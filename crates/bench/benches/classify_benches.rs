@@ -1,0 +1,53 @@
+//! Criterion benches for the classifier substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpubox_classify::{LogisticClassifier, Memorygram, TrainConfig};
+
+fn synth_gram(class: usize, seed: u64) -> Memorygram {
+    let mut g = Memorygram::new(256);
+    let mut state = seed | 1;
+    for t in 0..120usize {
+        let row: Vec<u8> = (0..256)
+            .map(|s| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                let active = (s + class * 40) % 97 < 20 && (t / 10) % 2 == 0;
+                if active {
+                    (state % 12) as u8 + 4
+                } else {
+                    (state % 2) as u8
+                }
+            })
+            .collect();
+        g.push_sweep(row);
+    }
+    g
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let data: Vec<(Vec<f32>, usize)> = (0..120)
+        .map(|i| {
+            let class = i % 6;
+            (
+                synth_gram(class, i as u64 * 17 + 3).downsample(24, 24, 16.0),
+                class,
+            )
+        })
+        .collect();
+    c.bench_function("logreg_train_120x576", |b| {
+        b.iter(|| LogisticClassifier::train(&data, 6, &TrainConfig::default()))
+    });
+    let model = LogisticClassifier::train(&data, 6, &TrainConfig::default());
+    c.bench_function("logreg_predict", |b| b.iter(|| model.predict(&data[0].0)));
+    let gram = synth_gram(2, 99);
+    c.bench_function("memorygram_downsample_256x120", |b| {
+        b.iter(|| gram.downsample(24, 24, 16.0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_classify
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion microbenches for the simulator's hot paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gpubox_sim::{GpuId, MultiGpuSystem, SystemConfig};
+
+fn bench_access_path(c: &mut Criterion) {
+    let mut sys = MultiGpuSystem::new(SystemConfig::dgx1());
+    let pid = sys.create_process(GpuId::new(0));
+    let agent = sys.default_agent(pid);
+    let buf = sys.malloc_on(pid, GpuId::new(0), 1 << 20).unwrap();
+    let mut t = 0u64;
+    c.bench_function("local_l2_access", |b| {
+        b.iter(|| {
+            t += 300;
+            sys.access(
+                pid,
+                agent,
+                buf.offset((t % 8192) * 128 % (1 << 20)),
+                t,
+                None,
+            )
+            .unwrap()
+        })
+    });
+
+    let spy = sys.create_process(GpuId::new(1));
+    sys.enable_peer_access(spy, GpuId::new(0)).unwrap();
+    let rbuf = sys.malloc_on(spy, GpuId::new(0), 1 << 20).unwrap();
+    let sagent = sys.default_agent(spy);
+    c.bench_function("remote_nvlink_access", |b| {
+        b.iter(|| {
+            t += 700;
+            sys.access(
+                spy,
+                sagent,
+                rbuf.offset((t % 8192) * 128 % (1 << 20)),
+                t,
+                None,
+            )
+            .unwrap()
+        })
+    });
+
+    let vas: Vec<_> = (0..16u64).map(|i| rbuf.offset(i * 128)).collect();
+    c.bench_function("warp_batch_probe_16", |b| {
+        b.iter(|| {
+            t += 1000;
+            sys.access_batch(spy, sagent, &vas, t).unwrap()
+        })
+    });
+}
+
+fn bench_system_boot(c: &mut Criterion) {
+    c.bench_function("boot_dgx1", |b| {
+        b.iter_batched(
+            SystemConfig::dgx1,
+            MultiGpuSystem::new,
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_access_path, bench_system_boot);
+criterion_main!(benches);

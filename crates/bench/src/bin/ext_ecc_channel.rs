@@ -1,0 +1,79 @@
+//! Extension — forward error correction over the covert channel.
+//!
+//! The paper reports raw error rates (1.3% at 4 sets, growing with more
+//! sets). Layering Hamming(7,4) over the channel trades 4/7 of the rate
+//! for single-error correction per codeword — pushing residual errors
+//! down even at aggressive set counts.
+
+use gpubox_attacks::covert::bits_from_bytes;
+use gpubox_attacks::covert::ecc::{deinterleave, ecc_decode, ecc_encode, interleave, ECC_RATE};
+use gpubox_attacks::{transmit, ChannelParams};
+use gpubox_bench::{report, AttackSetup};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    report::header(
+        "Extension — Hamming(7,4) coding over the covert channel",
+        "raw vs. coded residual error at 4 / 8 / 16 parallel sets",
+    );
+    let mut setup = AttackSetup::prepare(4711);
+    let pairs = setup.aligned_pairs(16);
+    let params = ChannelParams::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let data_bytes: Vec<u8> = (0..400).map(|_| rng.gen()).collect();
+    let data_bits = bits_from_bytes(&data_bytes);
+
+    let mut rows = Vec::new();
+    for &k in &[4usize, 8, 16] {
+        // Raw transmission.
+        let raw = transmit(
+            &mut setup.sys,
+            setup.trojan,
+            setup.spy,
+            &pairs[..k],
+            &data_bits,
+            &params,
+            setup.thresholds,
+        )
+        .expect("raw transmission");
+
+        // Coded + interleaved transmission: spread congestion bursts over
+        // many codewords, then correct.
+        let coded = ecc_encode(&data_bits);
+        let depth = 64;
+        let sent = interleave(&coded, depth);
+        let coded_rep = transmit(
+            &mut setup.sys,
+            setup.trojan,
+            setup.spy,
+            &pairs[..k],
+            &sent,
+            &params,
+            setup.thresholds,
+        )
+        .expect("coded transmission");
+        let received = deinterleave(&coded_rep.received, depth, coded.len());
+        let (decoded, corrections) = ecc_decode(&received, data_bits.len());
+        let residual = decoded
+            .iter()
+            .zip(&data_bits)
+            .filter(|(a, b)| a != b)
+            .count() as f64
+            / data_bits.len() as f64;
+
+        rows.push((
+            k,
+            format!("{:.2}%", raw.error_rate * 100.0),
+            format!("{:.3}% ({corrections} fixed)", residual * 100.0),
+        ));
+        let _ = ECC_RATE;
+    }
+    report::table3(("sets", "raw error", "coded+interleaved residual"), &rows);
+    println!(
+        "\ncoding costs {:.0}% of the goodput; interleaving (depth 64) spreads\n\
+         congestion bursts across codewords so single-error correction can\n\
+         repair them.",
+        (1.0 - ECC_RATE) * 100.0
+    );
+}

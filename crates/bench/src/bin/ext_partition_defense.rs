@@ -1,0 +1,70 @@
+//! Extension — MIG-style L2 partitioning defence (paper Sec. VII).
+//!
+//! NVIDIA's Multi-Instance GPU assigns L2 slices exclusively to instances.
+//! The paper notes MIG is unavailable on Pascal/Volta DGX machines; this
+//! extension models it and shows that confining trojan and spy to
+//! different partitions kills the covert channel, while co-partitioned
+//! processes remain attackable.
+
+use gpubox_attacks::covert::bits_from_bytes;
+use gpubox_attacks::{transmit, ChannelParams};
+use gpubox_bench::{report, AttackSetup};
+
+fn run(partitions: Option<(u32, u32)>) -> f64 {
+    let mut setup = AttackSetup::prepare(808);
+    // Offline phase first (the attacker prepared before the defence was
+    // switched on). Page classes stay valid under slicing — partition set
+    // indices are a coarsening of the physical indices — so the question
+    // is purely whether the two processes still share cache sets.
+    let pairs = setup.aligned_pairs(2);
+    if let Some((tp, sp)) = partitions {
+        setup.sys.set_cache_partition(setup.trojan, tp, 2);
+        setup.sys.set_cache_partition(setup.spy, sp, 2);
+    }
+    let payload = bits_from_bytes(b"partitioning defence check 0123456789abcdef");
+    let rep = transmit(
+        &mut setup.sys,
+        setup.trojan,
+        setup.spy,
+        &pairs,
+        &payload,
+        &ChannelParams::default(),
+        setup.thresholds,
+    )
+    .expect("transmission");
+    rep.error_rate
+}
+
+fn main() {
+    report::header(
+        "Extension — MIG-style L2 partitioning (Sec. VII defence)",
+        "isolated L2 slices remove cross-process contention",
+    );
+    let unpartitioned = run(None);
+    let same_slice = run(Some((0, 0)));
+    let isolated = run(Some((0, 1)));
+
+    let rows = vec![
+        (
+            "no partitioning (DGX-1 today)".to_string(),
+            format!("{:.1}%", unpartitioned * 100.0),
+        ),
+        (
+            "both in slice 0 (mis-configured)".to_string(),
+            format!("{:.1}%", same_slice * 100.0),
+        ),
+        (
+            "trojan slice 0, spy slice 1".to_string(),
+            format!("{:.1}%", isolated * 100.0),
+        ),
+    ];
+    report::table2("configuration", "channel bit error", &rows);
+    assert!(unpartitioned < 0.05, "baseline channel must work");
+    assert!(isolated > 0.25, "isolation must break the channel");
+    println!(
+        "\nwith disjoint L2 slices the spy's probes never observe trojan\n\
+         evictions: the channel degenerates to noise (~50% on random bits).\n\
+         Sharing a slice (or no MIG at all, as on the Pascal DGX-1) leaves\n\
+         the attack intact."
+    );
+}

@@ -1,0 +1,50 @@
+//! Fig. 4 — local/remote GPU access-time histogram.
+//!
+//! Reproduces the four latency clusters (local L2 hit, local miss, remote
+//! L2 hit, remote miss) that the whole attack rests on.
+
+use gpubox_attacks::timing_re::{histogram, measure_timing};
+use gpubox_bench::report;
+use gpubox_sim::{GpuId, MultiGpuSystem, SystemConfig};
+
+fn main() {
+    report::header(
+        "Fig. 4 — local and remote GPU access time",
+        "Sec. III-A: four timing clusters ~270/450/630/950 cycles",
+    );
+    let mut sys = MultiGpuSystem::new(SystemConfig::dgx1());
+    let rep =
+        measure_timing(&mut sys, GpuId::new(0), GpuId::new(1), 48).expect("timing experiment");
+
+    let all = rep.samples.all();
+    let hist = histogram(&all, 25);
+    let max = hist.iter().map(|&(_, c)| c).max().unwrap_or(1) as f64;
+    println!("\naccess-time histogram (bin = 25 cycles, 48 accesses per pass):\n");
+    for (bin, count) in &hist {
+        println!(
+            "{bin:>5} cyc | {:<40} {count}",
+            report::bar(*count as f64, max, 40)
+        );
+    }
+
+    println!("\nk-means cluster centres (paper: ~270 / ~450 / ~630 / ~950):");
+    let labels = [
+        "local L2 hit",
+        "local miss (HBM)",
+        "remote L2 hit",
+        "remote miss",
+    ];
+    let rows: Vec<(String, String)> = rep
+        .centers
+        .iter()
+        .zip(labels)
+        .map(|(c, l)| (l.to_string(), format!("{c:.0} cycles")))
+        .collect();
+    report::table2("cluster", "centre", &rows);
+
+    println!(
+        "\nderived thresholds: local miss >= {} cyc, remote miss >= {} cyc",
+        rep.thresholds.local_miss, rep.thresholds.remote_miss
+    );
+    report::write_json("fig04_centers", &rep.centers.to_vec());
+}

@@ -1,0 +1,82 @@
+//! Fig. 5 — validating the eviction set determination.
+//!
+//! Sweeps the number of conflict-set lines chased between two accesses of
+//! a target line, on both the local and the remote GPU: the target's
+//! re-access flips from hit to miss exactly at the associativity (16),
+//! confirming the eviction sets and the deterministic LRU replacement.
+
+use gpubox_attacks::validation_sweep;
+use gpubox_bench::{report, AttackSetup};
+use gpubox_sim::ProcessCtx;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    n: usize,
+    local_cycles: u32,
+    remote_cycles: u32,
+}
+
+fn main() {
+    report::header(
+        "Fig. 5 — eviction set validation (local and remote GPU)",
+        "Sec. III-B: eviction after every 16th access, LRU-deterministic",
+    );
+    let mut setup = AttackSetup::prepare(77);
+
+    // Local sweep: trojan's own class-0 conflict lines.
+    let (t_conf, t_target) = conflict_lines(&setup.trojan_classes);
+    let local = {
+        let mut ctx = ProcessCtx::new(&mut setup.sys, setup.trojan, 0);
+        validation_sweep(&mut ctx, t_target, &t_conf, 32).expect("local sweep")
+    };
+    // Remote sweep: the spy's conflict lines over NVLink.
+    let (s_conf, s_target) = conflict_lines(&setup.spy_classes);
+    let remote = {
+        let mut ctx = ProcessCtx::new(&mut setup.sys, setup.spy, 0);
+        validation_sweep(&mut ctx, s_target, &s_conf, 32).expect("remote sweep")
+    };
+
+    println!("\n target re-access latency vs. lines chased (miss step at n=16):\n");
+    let mut points = Vec::new();
+    println!(
+        "{:>4} | {:>12} | {:>13} |",
+        "n", "local cycles", "remote cycles"
+    );
+    println!("-----+--------------+---------------+");
+    for ((n, lc), (_, rc)) in local.iter().zip(&remote) {
+        let marker = if *n == 16 { "  <-- associativity" } else { "" };
+        println!("{n:>4} | {lc:>12} | {rc:>13} |{marker}");
+        points.push(SweepPoint {
+            n: *n,
+            local_cycles: *lc,
+            remote_cycles: *rc,
+        });
+    }
+
+    let local_step = local
+        .iter()
+        .find(|(_, t)| setup.thresholds.is_local_miss(*t));
+    let remote_step = remote
+        .iter()
+        .find(|(_, t)| setup.thresholds.is_remote_miss(*t));
+    println!(
+        "\nfirst miss: local at n={:?}, remote at n={:?} (paper: 16 on both)",
+        local_step.map(|(n, _)| *n),
+        remote_step.map(|(n, _)| *n)
+    );
+    report::write_json("fig05_sweep", &points);
+}
+
+fn conflict_lines(
+    classes: &gpubox_attacks::PageClasses,
+) -> (Vec<gpubox_sim::VirtAddr>, gpubox_sim::VirtAddr) {
+    let class0 = &classes.classes[0];
+    assert!(class0.len() >= 33, "need 33 pages in class 0");
+    let conf = class0[..32]
+        .iter()
+        .map(|&p| classes.base.offset(p * classes.page_size))
+        .collect();
+    let target = classes.base.offset(class0[32] * classes.page_size);
+    (conf, target)
+}

@@ -1,0 +1,77 @@
+//! Fig. 9 — covert channel bandwidth and error rate vs. parallel sets.
+//!
+//! Sends a long pseudo-random message striped over 1..16 aligned set
+//! pairs. Bandwidth grows with the number of sets; port contention makes
+//! the error rate grow too (the paper's best trade-off is 4 sets:
+//! 3.95 MB/s at 1.3% error on the DGX-1; the simulator reproduces the
+//! shape — see EXPERIMENTS.md for the absolute-scale discussion).
+
+use gpubox_attacks::covert::bits_from_bytes;
+use gpubox_attacks::{transmit, ChannelParams};
+use gpubox_bench::{report, AttackSetup};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    sets: usize,
+    bandwidth_mb_s: f64,
+    error_rate_pct: f64,
+}
+
+fn main() {
+    report::header(
+        "Fig. 9 — bandwidth and error rate vs. number of cache sets",
+        "Sec. IV-C: bandwidth rises with sets, error rises too; paper best 3.95 MB/s @ 4 sets, 1.3% error",
+    );
+    let mut setup = AttackSetup::prepare(909);
+    let pairs = setup.aligned_pairs(16);
+    let params = ChannelParams::default();
+
+    // Pseudo-random payload (repeatable); scaled-down stand-in for the
+    // paper's 1 Mb message.
+    let mut rng = ChaCha8Rng::seed_from_u64(4242);
+    let payload_bytes: Vec<u8> = (0..1500).map(|_| rng.gen()).collect();
+    let payload = bits_from_bytes(&payload_bytes);
+
+    let mut points = Vec::new();
+    for &k in &[1usize, 2, 4, 8, 16] {
+        let rep = transmit(
+            &mut setup.sys,
+            setup.trojan,
+            setup.spy,
+            &pairs[..k],
+            &payload,
+            &params,
+            setup.thresholds,
+        )
+        .expect("transmission");
+        points.push(Point {
+            sets: k,
+            bandwidth_mb_s: rep.bandwidth_bytes_per_sec / 1e6,
+            error_rate_pct: rep.error_rate * 100.0,
+        });
+    }
+
+    println!(
+        "\n{:>6} | {:>16} | {:>12}",
+        "sets", "bandwidth (MB/s)", "error (%)"
+    );
+    println!("-------+------------------+-------------");
+    for p in &points {
+        println!(
+            "{:>6} | {:>16.3} | {:>12.2}",
+            p.sets, p.bandwidth_mb_s, p.error_rate_pct
+        );
+    }
+
+    let bw_monotone = points
+        .windows(2)
+        .all(|w| w[1].bandwidth_mb_s > w[0].bandwidth_mb_s);
+    let err_1 = points[0].error_rate_pct;
+    let err_16 = points.last().unwrap().error_rate_pct;
+    println!("\nshape check: bandwidth monotone in sets = {bw_monotone}");
+    println!("shape check: error grows from {err_1:.2}% (1 set) to {err_16:.2}% (16 sets)");
+    report::write_json("fig09_bandwidth_error", &points);
+}

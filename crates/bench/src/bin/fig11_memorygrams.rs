@@ -1,0 +1,43 @@
+//! Fig. 11 — memorygrams of the six victim applications.
+//!
+//! Records one memorygram per workload over 256 monitored sets and renders
+//! them as ASCII intensity images: each application leaves a distinct
+//! footprint.
+
+use gpubox_attacks::side::{record_memorygram, RecorderConfig};
+use gpubox_bench::{report, setup::victim_with_duration, SideChannelSetup};
+use gpubox_sim::GpuId;
+use gpubox_workloads::standard_suite;
+
+fn main() {
+    report::header(
+        "Fig. 11 — memorygrams of 6 applications (256 monitored sets)",
+        "Sec. V-A: each victim leaves a unique memory footprint",
+    );
+    let mut setup = SideChannelSetup::prepare(111, 256);
+    for w in standard_suite() {
+        let victim = setup.sys.create_process(GpuId::new(0));
+        let (agent, duration) = victim_with_duration(&mut setup.sys, victim, w.as_ref());
+        setup.sys.flush_l2(GpuId::new(0));
+        let gram = record_memorygram(
+            &mut setup.sys,
+            setup.spy,
+            &setup.monitored,
+            setup.thresholds,
+            &RecorderConfig {
+                duration,
+                sweep_gap: 0,
+            },
+            vec![Box::new(agent)],
+        )
+        .expect("memorygram");
+        println!(
+            "\n--- {} ---  ({} sweeps x {} sets, {} total misses)",
+            w.name(),
+            gram.num_sweeps(),
+            gram.num_sets(),
+            gram.total_misses()
+        );
+        print!("{}", gram.to_ascii(18, 72));
+    }
+}

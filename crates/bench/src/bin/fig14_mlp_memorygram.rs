@@ -1,0 +1,46 @@
+//! Fig. 14 — memorygrams of MLP training with 128 vs. 512 hidden neurons.
+//!
+//! The wider model's weight traffic lights up more sets more intensely.
+
+use gpubox_attacks::side::{record_memorygram, summarize_mlp_gram, RecorderConfig};
+use gpubox_bench::{report, setup::victim_with_duration, SideChannelSetup};
+use gpubox_sim::GpuId;
+use gpubox_workloads::MlpTraining;
+
+fn main() {
+    report::header(
+        "Fig. 14 — memorygram of the MLP victim, 128 vs. 512 neurons",
+        "Sec. V-B: wider hidden layer -> denser memorygram",
+    );
+    let mut setup = SideChannelSetup::prepare(1414, 256);
+    let mut intensities = Vec::new();
+    for neurons in [128usize, 512] {
+        let victim = setup.sys.create_process(GpuId::new(0));
+        let w = MlpTraining::with_hidden(neurons);
+        let (agent, duration) = victim_with_duration(&mut setup.sys, victim, &w);
+        setup.sys.flush_l2(GpuId::new(0));
+        let gram = record_memorygram(
+            &mut setup.sys,
+            setup.spy,
+            &setup.monitored,
+            setup.thresholds,
+            &RecorderConfig {
+                duration,
+                sweep_gap: 0,
+            },
+            vec![Box::new(agent)],
+        )
+        .expect("memorygram");
+        let stats = summarize_mlp_gram(&gram);
+        println!(
+            "\n--- MLP with {neurons} hidden neurons --- (avg {:.1} misses/set)",
+            stats.avg_misses_per_set
+        );
+        print!("{}", gram.to_ascii(16, 72));
+        intensities.push(stats.avg_misses_per_set);
+    }
+    println!(
+        "\nshape check: 512-neuron capture denser than 128-neuron = {}",
+        intensities[1] > intensities[0]
+    );
+}

@@ -1,0 +1,53 @@
+//! Runs every experiment binary in paper order — the one-shot full
+//! reproduction. Skips the slow fingerprinting run unless `--full`.
+//!
+//! Usage: `cargo run --release -p gpubox-bench --bin run_all [--full]`
+
+use std::process::Command;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let mut bins = vec![
+        "fig04_timing_histogram",
+        "table1_cache_re",
+        "fig05_eviction_validation",
+        "fig09_bandwidth_error",
+        "fig10_message_trace",
+        "fig11_memorygrams",
+        "fig13_table2_mlp_misses",
+        "fig14_mlp_memorygram",
+        "fig15_epochs",
+        "ablation_replacement",
+        "ablation_alignment",
+        "ablation_noise_mitigation",
+        "ablation_slot_cycles",
+        "ext_partition_defense",
+        "ext_multi_gpu_bandwidth",
+        "ext_ecc_channel",
+        "ext_two_hop_channel",
+    ];
+    if full {
+        bins.insert(6, "fig12_confusion_matrix");
+    } else {
+        eprintln!("(skipping fig12_confusion_matrix — pass --full to include it)");
+    }
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for bin in &bins {
+        println!("\n################ {bin} ################");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("could not launch {bin}: {e}"));
+        if !status.success() {
+            failed.push(*bin);
+        }
+    }
+    println!("\n================================================================");
+    if failed.is_empty() {
+        println!("all {} experiments completed successfully", bins.len());
+    } else {
+        println!("FAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Table I — L2 cache architecture derived from user space.
+
+use gpubox_attacks::cache_re::derive_cache_architecture;
+use gpubox_attacks::{Locality, Thresholds};
+use gpubox_bench::{report, AttackSetup};
+use gpubox_sim::{GpuId, ProcessCtx};
+
+fn main() {
+    report::header(
+        "Table I — L2 cache architecture (reverse engineered)",
+        "Sec. III: 4 MiB, 2048 sets, 128 B lines, 16 ways, LRU",
+    );
+    let mut setup = AttackSetup::prepare(2024);
+    let thr: Thresholds = setup.thresholds;
+    let capacity = setup.sys.config().cache.size_bytes;
+    let ways = setup.sys.config().cache.ways as usize;
+
+    // A conflict superset from the classified pages: 24 same-set lines.
+    let class0 = &setup.trojan_classes.classes[0];
+    assert!(class0.len() >= 25, "need 25 pages in class 0");
+    let base = setup.trojan_classes.base;
+    let page = setup.trojan_classes.page_size;
+    let conflicts: Vec<_> = class0[..24]
+        .iter()
+        .map(|&p| base.offset(p * page))
+        .collect();
+    let target = base.offset(class0[24] * page);
+
+    let mut ctx = ProcessCtx::new(&mut setup.sys, setup.trojan, 0);
+    let fresh = ctx
+        .malloc_on(GpuId::new(0), 1024 * 1024)
+        .expect("fresh buffer");
+    let rep = derive_cache_architecture(
+        &mut ctx,
+        fresh,
+        target,
+        &conflicts,
+        capacity,
+        &thr,
+        Locality::Local,
+    )
+    .expect("cache reverse engineering");
+
+    let rows = vec![
+        (
+            "L2 cache size".to_string(),
+            format!("{} MiB", rep.capacity / 1024 / 1024),
+        ),
+        ("Number of sets".to_string(), rep.num_sets.to_string()),
+        (
+            "Cache line size".to_string(),
+            format!("{} B", rep.line_size),
+        ),
+        ("Cache lines per set".to_string(), rep.ways.to_string()),
+        (
+            "Replacement policy".to_string(),
+            rep.replacement.to_string(),
+        ),
+    ];
+    report::table2("attribute", "derived value", &rows);
+
+    let paper = [
+        ("4 MiB", "4 MiB"),
+        ("2048", "2048"),
+        ("128 B", "128 B"),
+        ("16", "16"),
+        ("LRU", "LRU"),
+    ];
+    let ok = rep.capacity == 4 * 1024 * 1024
+        && rep.num_sets == 2048
+        && rep.line_size == 128
+        && rep.ways == ways
+        && rep.replacement.to_string() == "LRU";
+    println!(
+        "\npaper Table I match: {}",
+        if ok { "EXACT" } else { "MISMATCH" }
+    );
+    let _ = paper;
+    report::write_json("table1_cache_re", &rep);
+}

@@ -1,0 +1,14 @@
+//! # gpubox-bench — experiment harness for the paper's tables and figures
+//!
+//! One binary per table/figure (see `src/bin/`), plus Criterion
+//! microbenches under `benches/`. The [`setup`] module runs the shared
+//! offline phase (timing reverse engineering, page classification,
+//! alignment) at DGX-1 scale; [`report`] renders the same rows/series the
+//! paper reports.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod setup;
+
+pub use setup::{AttackSetup, SideChannelSetup, ATTACK_BUFFER_BYTES};

@@ -1,0 +1,77 @@
+//! Small table/series printing helpers shared by the experiment binaries.
+
+use std::fmt::Display;
+
+/// Prints a boxed experiment header.
+pub fn header(title: &str, paper_ref: &str) {
+    let line = "=".repeat(72);
+    println!("{line}");
+    println!("{title}");
+    println!("reproduces: {paper_ref}");
+    println!("{line}");
+}
+
+/// Prints a two-column table.
+pub fn table2<A: Display, B: Display>(col_a: &str, col_b: &str, rows: &[(A, B)]) {
+    println!("{col_a:>24} | {col_b:>20}");
+    println!("{}-+-{}", "-".repeat(24), "-".repeat(20));
+    for (a, b) in rows {
+        println!("{a:>24} | {b:>20}");
+    }
+}
+
+/// Prints a three-column table.
+pub fn table3<A: Display, B: Display, C: Display>(cols: (&str, &str, &str), rows: &[(A, B, C)]) {
+    println!("{:>20} | {:>18} | {:>18}", cols.0, cols.1, cols.2);
+    println!(
+        "{}-+-{}-+-{}",
+        "-".repeat(20),
+        "-".repeat(18),
+        "-".repeat(18)
+    );
+    for (a, b, c) in rows {
+        println!("{a:>20} | {b:>18} | {c:>18}");
+    }
+}
+
+/// Renders an ASCII bar of `value` scaled to `max` over `width` chars.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let n = if max > 0.0 {
+        ((value / max) * width as f64).round() as usize
+    } else {
+        0
+    };
+    "#".repeat(n.min(width))
+}
+
+/// Writes a JSON artefact next to the binary outputs (under `results/`).
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("\n[artefact] {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialise {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10).len(), 10);
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+}

@@ -1,0 +1,276 @@
+//! Shared experiment scaffolding: boots a DGX-1, runs the offline
+//! reverse-engineering pipeline, and hands out aligned eviction sets.
+
+use gpubox_attacks::timing_re::measure_timing;
+use gpubox_attacks::{
+    align_classes, classify_pages, AlignmentConfig, Locality, PageClasses, SetPair, Thresholds,
+};
+use gpubox_sim::{GpuId, MultiGpuSystem, ProcessCtx, ProcessId, SystemConfig};
+
+/// The standard experiment scale: attacker buffers of this many bytes on
+/// the target GPU (256 pages of 64 KiB → ~64 pages per alignment class).
+pub const ATTACK_BUFFER_BYTES: u64 = 16 * 1024 * 1024;
+
+/// A fully prepared cross-GPU attack: trojan on GPU0, spy on GPU1, both
+/// with classified page buffers on GPU0 and derived thresholds.
+#[derive(Debug)]
+pub struct AttackSetup {
+    /// The simulated box.
+    pub sys: MultiGpuSystem,
+    /// Trojan process (on GPU0, the target).
+    pub trojan: ProcessId,
+    /// Spy process (on GPU1).
+    pub spy: ProcessId,
+    /// Trojan-side page classes over its GPU0 buffer.
+    pub trojan_classes: PageClasses,
+    /// Spy-side page classes over its GPU0 buffer.
+    pub spy_classes: PageClasses,
+    /// Derived timing thresholds.
+    pub thresholds: Thresholds,
+}
+
+impl AttackSetup {
+    /// Runs the full offline phase on a fresh DGX-1 (seeded), trojan on
+    /// GPU0 and spy on GPU1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on simulator errors — experiment binaries treat those as
+    /// fatal misconfiguration.
+    pub fn prepare(seed: u64) -> Self {
+        Self::prepare_between(
+            SystemConfig::dgx1().with_seed(seed),
+            GpuId::new(0),
+            GpuId::new(1),
+        )
+    }
+
+    /// As [`AttackSetup::prepare`], for an arbitrary configuration and
+    /// GPU pair (the trojan's GPU is the attack target whose L2 carries
+    /// the channel).
+    ///
+    /// # Panics
+    ///
+    /// Panics on simulator errors.
+    pub fn prepare_between(cfg: SystemConfig, trojan_gpu: GpuId, spy_gpu: GpuId) -> Self {
+        let mut sys = MultiGpuSystem::new(cfg);
+        let timing =
+            measure_timing(&mut sys, trojan_gpu, spy_gpu, 48).expect("timing reverse engineering");
+        let thresholds = timing.thresholds;
+
+        let trojan = sys.create_process(trojan_gpu);
+        let spy = sys.create_process(spy_gpu);
+        sys.enable_peer_access(spy, trojan_gpu)
+            .expect("peer access");
+
+        let page = sys.config().page_size;
+        let line = sys.config().cache.line_size;
+        let ways = sys.config().cache.ways as usize;
+
+        let trojan_classes = {
+            let mut ctx = ProcessCtx::new(&mut sys, trojan, 0);
+            let buf = ctx
+                .malloc_on(trojan_gpu, ATTACK_BUFFER_BYTES)
+                .expect("trojan buffer");
+            classify_pages(
+                &mut ctx,
+                buf,
+                ATTACK_BUFFER_BYTES,
+                page,
+                line,
+                ways,
+                &thresholds,
+                Locality::Local,
+            )
+            .expect("trojan page classification")
+        };
+        let spy_classes = {
+            let mut ctx = ProcessCtx::new(&mut sys, spy, 0);
+            let buf = ctx
+                .malloc_on(trojan_gpu, ATTACK_BUFFER_BYTES)
+                .expect("spy buffer");
+            classify_pages(
+                &mut ctx,
+                buf,
+                ATTACK_BUFFER_BYTES,
+                page,
+                line,
+                ways,
+                &thresholds,
+                Locality::Remote,
+            )
+            .expect("spy page classification")
+        };
+        AttackSetup {
+            sys,
+            trojan,
+            spy,
+            trojan_classes,
+            spy_classes,
+            thresholds,
+        }
+    }
+
+    /// Runs the Algorithm-2 alignment protocol and returns `count` aligned
+    /// set pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if alignment fails to pair enough classes.
+    pub fn aligned_pairs(&mut self, count: usize) -> Vec<SetPair> {
+        let ways = self.sys.config().cache.ways as usize;
+        let matches = align_classes(
+            &mut self.sys,
+            self.trojan,
+            &self.trojan_classes,
+            self.spy,
+            &self.spy_classes,
+            ways,
+            &AlignmentConfig::default(),
+        )
+        .expect("alignment protocol");
+        let pairs = gpubox_attacks::paired_sets(
+            &self.trojan_classes,
+            &self.spy_classes,
+            &matches,
+            count,
+            ways,
+        );
+        assert!(
+            pairs.len() >= count,
+            "only {} aligned pairs available",
+            pairs.len()
+        );
+        pairs
+            .into_iter()
+            .map(|(t, s)| SetPair { trojan: t, spy: s })
+            .collect()
+    }
+}
+
+/// A spy-only setup for side-channel experiments: spy on `spy_gpu`
+/// monitoring `monitored` sets of `target_gpu`'s L2.
+#[derive(Debug)]
+pub struct SideChannelSetup {
+    /// The simulated box.
+    pub sys: MultiGpuSystem,
+    /// Spy process.
+    pub spy: ProcessId,
+    /// Spy eviction sets (one per monitored physical set).
+    pub monitored: Vec<gpubox_attacks::EvictionSet>,
+    /// Derived thresholds.
+    pub thresholds: Thresholds,
+}
+
+impl SideChannelSetup {
+    /// Prepares a spy on GPU1 monitoring `sets` cache sets of GPU0.
+    ///
+    /// # Panics
+    ///
+    /// Panics on simulator errors.
+    pub fn prepare(seed: u64, sets: usize) -> Self {
+        let cfg = SystemConfig::dgx1().with_seed(seed);
+        let mut sys = MultiGpuSystem::new(cfg);
+        let timing = measure_timing(&mut sys, GpuId::new(1), GpuId::new(0), 48)
+            .expect("timing reverse engineering");
+        let thresholds = timing.thresholds;
+        let spy = sys.create_process(GpuId::new(1));
+        sys.enable_peer_access(spy, GpuId::new(0))
+            .expect("peer access");
+        let page = sys.config().page_size;
+        let line = sys.config().cache.line_size;
+        let ways = sys.config().cache.ways as usize;
+        let classes = {
+            let mut ctx = ProcessCtx::new(&mut sys, spy, 0);
+            let buf = ctx
+                .malloc_on(GpuId::new(0), ATTACK_BUFFER_BYTES)
+                .expect("spy buffer");
+            classify_pages(
+                &mut ctx,
+                buf,
+                ATTACK_BUFFER_BYTES,
+                page,
+                line,
+                ways,
+                &thresholds,
+                Locality::Remote,
+            )
+            .expect("spy page classification")
+        };
+        let monitored = classes.enumerate_sets(sets, ways);
+        assert_eq!(monitored.len(), sets, "buffer too small for {sets} sets");
+        SideChannelSetup {
+            sys,
+            spy,
+            monitored,
+            thresholds,
+        }
+    }
+}
+
+/// Estimates how long (in cycles) a victim trace will occupy the GPU, so
+/// recorders know how long to watch.
+pub fn estimate_trace_cycles(trace: &[gpubox_workloads::TraceOp]) -> u64 {
+    use gpubox_workloads::TraceOp;
+    trace
+        .iter()
+        .map(|op| match op {
+            TraceOp::Load(_) | TraceOp::Store(..) => 360, // mixed hit/miss estimate
+            TraceOp::Compute(c) => *c,
+        })
+        .sum()
+}
+
+/// Builds a victim's replay agent plus a watch-duration estimate (with a
+/// 30% margin) for the memorygram recorder.
+///
+/// # Panics
+///
+/// Panics on allocation failure.
+pub fn victim_with_duration(
+    sys: &mut MultiGpuSystem,
+    pid: ProcessId,
+    workload: &dyn gpubox_workloads::Workload,
+) -> (gpubox_workloads::TraceAgent, u64) {
+    let trace = {
+        let mut ctx = ProcessCtx::new(sys, pid, 0);
+        workload.build(&mut ctx).expect("victim trace build")
+    };
+    let estimate = estimate_trace_cycles(&trace) * 13 / 10;
+    (gpubox_workloads::TraceAgent::new(pid, trace), estimate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attack_setup_produces_aligned_pairs() {
+        let mut setup = AttackSetup::prepare(101);
+        // Every class should have plenty of pages at DGX scale.
+        assert!(setup.trojan_classes.classes.len() >= 2);
+        let pairs = setup.aligned_pairs(4);
+        assert_eq!(pairs.len(), 4);
+        for p in &pairs {
+            let t = setup
+                .sys
+                .oracle_set_of(setup.trojan, p.trojan.lines()[0])
+                .unwrap();
+            let s = setup
+                .sys
+                .oracle_set_of(setup.spy, p.spy.lines()[0])
+                .unwrap();
+            assert_eq!(t, s, "pair must share a physical set");
+        }
+    }
+
+    #[test]
+    fn side_setup_monitors_distinct_sets() {
+        let setup = SideChannelSetup::prepare(55, 64);
+        let mut seen = std::collections::HashSet::new();
+        for es in &setup.monitored {
+            let s = setup.sys.oracle_set_of(setup.spy, es.lines()[0]).unwrap();
+            assert!(seen.insert(s));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! k-nearest-neighbour baseline classifier.
+
+/// A k-NN classifier over stored training vectors (L2 distance).
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    k: usize,
+    data: Vec<(Vec<f32>, usize)>,
+}
+
+impl KnnClassifier {
+    /// Stores the training data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or the data is empty.
+    pub fn new(data: Vec<(Vec<f32>, usize)>, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(!data.is_empty(), "empty training set");
+        KnnClassifier { k, data }
+    }
+
+    /// Majority label among the k nearest stored vectors.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        let mut dists: Vec<(f32, usize)> = self
+            .data
+            .iter()
+            .map(|(v, y)| {
+                let d: f32 = v.iter().zip(x).map(|(&a, &b)| (a - b) * (a - b)).sum();
+                (d, *y)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut votes = std::collections::HashMap::new();
+        for &(_, y) in dists.iter().take(self.k) {
+            *votes.entry(y).or_insert(0usize) += 1;
+        }
+        votes
+            .into_iter()
+            .max_by_key(|&(_, n)| n)
+            .map(|(y, _)| y)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_neighbour_wins() {
+        let data = vec![
+            (vec![0.0, 0.0], 0),
+            (vec![0.1, 0.0], 0),
+            (vec![1.0, 1.0], 1),
+            (vec![0.9, 1.0], 1),
+        ];
+        let knn = KnnClassifier::new(data, 3);
+        assert_eq!(knn.predict(&[0.05, 0.02]), 0);
+        assert_eq!(knn.predict(&[0.95, 0.98]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = KnnClassifier::new(vec![(vec![0.0], 0)], 0);
+    }
+}

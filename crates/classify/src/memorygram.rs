@@ -1,0 +1,190 @@
+//! The memorygram: a cache-set × time matrix of observed misses.
+//!
+//! The paper (Sec. V) records, for every monitored L2 cache set, how many
+//! of the spy's probe lines missed in each probe sweep. Plotted as an
+//! image (Fig. 11/14/15), each victim application leaves a distinctive
+//! footprint; numerically it feeds the fingerprinting classifier and the
+//! MLP-extraction statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// A set × time miss matrix. Rows are probe sweeps (time), columns are
+/// monitored cache sets; each cell counts missed lines (0..=ways).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Memorygram {
+    sets: usize,
+    rows: Vec<Vec<u8>>,
+}
+
+impl Memorygram {
+    /// Creates an empty memorygram over `sets` monitored sets.
+    pub fn new(sets: usize) -> Self {
+        Memorygram {
+            sets,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of monitored sets (columns).
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of recorded sweeps (rows).
+    pub fn num_sweeps(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Appends one sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != num_sets()`.
+    pub fn push_sweep(&mut self, row: Vec<u8>) {
+        assert_eq!(row.len(), self.sets, "sweep width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Cell accessor: misses observed at `(sweep, set)`.
+    pub fn get(&self, sweep: usize, set: usize) -> u8 {
+        self.rows[sweep][set]
+    }
+
+    /// Iterates over sweeps.
+    pub fn sweeps(&self) -> impl Iterator<Item = &[u8]> {
+        self.rows.iter().map(Vec::as_slice)
+    }
+
+    /// Total misses per set, summed over time (the Fig. 13 histogram).
+    pub fn misses_per_set(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.sets];
+        for row in &self.rows {
+            for (s, &v) in row.iter().enumerate() {
+                out[s] += u64::from(v);
+            }
+        }
+        out
+    }
+
+    /// Total misses per sweep, summed over sets (the temporal activity
+    /// profile used for epoch detection, Fig. 15).
+    pub fn misses_per_sweep(&self) -> Vec<u64> {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(|&v| u64::from(v)).sum())
+            .collect()
+    }
+
+    /// Grand total of observed misses.
+    pub fn total_misses(&self) -> u64 {
+        self.misses_per_set().iter().sum()
+    }
+
+    /// Average misses per set over the whole run (the paper's Table II
+    /// metric).
+    pub fn average_misses_per_set(&self) -> f64 {
+        if self.sets == 0 {
+            return 0.0;
+        }
+        self.total_misses() as f64 / self.sets as f64
+    }
+
+    /// Downsamples to a `rows_out × cols_out` normalised image in `[0,1]`
+    /// (mean pooling) — the classifier input.
+    pub fn downsample(&self, rows_out: usize, cols_out: usize, max_cell: f64) -> Vec<f32> {
+        let mut img = vec![0.0f32; rows_out * cols_out];
+        if self.rows.is_empty() {
+            return img;
+        }
+        let mut counts = vec![0u32; rows_out * cols_out];
+        let nr = self.rows.len();
+        for (r, row) in self.rows.iter().enumerate() {
+            let ro = r * rows_out / nr;
+            for (c, &v) in row.iter().enumerate() {
+                let co = c * cols_out / self.sets;
+                let idx = ro * cols_out + co;
+                img[idx] += f64::from(v) as f32;
+                counts[idx] += 1;
+            }
+        }
+        for (v, &n) in img.iter_mut().zip(&counts) {
+            if n > 0 {
+                *v = (*v / n as f32 / max_cell as f32).min(1.0);
+            }
+        }
+        img
+    }
+
+    /// Renders the memorygram as rows of ASCII intensity characters —
+    /// the textual stand-in for the paper's figure images.
+    pub fn to_ascii(&self, max_rows: usize, max_cols: usize) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let img = self.downsample(max_rows.min(self.num_sweeps().max(1)), max_cols, 16.0);
+        let cols = max_cols;
+        let mut out = String::new();
+        for r in 0..img.len() / cols {
+            for c in 0..cols {
+                let v = img[r * cols + c];
+                let idx = ((v * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gram() -> Memorygram {
+        let mut g = Memorygram::new(4);
+        g.push_sweep(vec![0, 1, 2, 3]);
+        g.push_sweep(vec![4, 0, 0, 1]);
+        g
+    }
+
+    #[test]
+    fn totals_and_averages() {
+        let g = gram();
+        assert_eq!(g.misses_per_set(), vec![4, 1, 2, 4]);
+        assert_eq!(g.misses_per_sweep(), vec![6, 5]);
+        assert_eq!(g.total_misses(), 11);
+        assert!((g.average_misses_per_set() - 11.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_rejected() {
+        let mut g = Memorygram::new(4);
+        g.push_sweep(vec![1, 2]);
+    }
+
+    #[test]
+    fn downsample_preserves_shape_and_range() {
+        let mut g = Memorygram::new(64);
+        for t in 0..100 {
+            g.push_sweep((0..64).map(|s| ((s + t) % 17) as u8).collect());
+        }
+        let img = g.downsample(8, 8, 16.0);
+        assert_eq!(img.len(), 64);
+        assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(img.iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = gram();
+        let s = serde_json::to_string(&g).unwrap();
+        let back: Memorygram = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn ascii_render_is_nonempty() {
+        let g = gram();
+        let art = g.to_ascii(2, 4);
+        assert_eq!(art.lines().count(), 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the classifier substrate.
+
+use gpubox_classify::{
+    stratified_split, ConfusionMatrix, LogisticClassifier, Memorygram, TrainConfig,
+};
+use proptest::prelude::*;
+
+fn arb_gram() -> impl Strategy<Value = Memorygram> {
+    (1usize..12, 1usize..30).prop_flat_map(|(sets, sweeps)| {
+        prop::collection::vec(prop::collection::vec(0u8..=16, sets), sweeps).prop_map(move |rows| {
+            let mut g = Memorygram::new(sets);
+            for r in rows {
+                g.push_sweep(r);
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Aggregations over the memorygram are mutually consistent.
+    #[test]
+    fn memorygram_aggregates_consistent(g in arb_gram()) {
+        let per_set: u64 = g.misses_per_set().iter().sum();
+        let per_sweep: u64 = g.misses_per_sweep().iter().sum();
+        prop_assert_eq!(per_set, g.total_misses());
+        prop_assert_eq!(per_sweep, g.total_misses());
+        let avg = g.average_misses_per_set();
+        prop_assert!((avg - g.total_misses() as f64 / g.num_sets() as f64).abs() < 1e-9);
+    }
+
+    /// Downsampling stays in [0, 1] and preserves emptiness.
+    #[test]
+    fn downsample_bounded(g in arb_gram(), rows in 1usize..10, cols in 1usize..10) {
+        let img = g.downsample(rows, cols, 16.0);
+        prop_assert_eq!(img.len(), rows * cols);
+        prop_assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        if g.total_misses() == 0 {
+            prop_assert!(img.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    /// Memorygrams serialise losslessly.
+    #[test]
+    fn memorygram_serde_roundtrip(g in arb_gram()) {
+        let s = serde_json::to_string(&g).unwrap();
+        let back: Memorygram = serde_json::from_str(&s).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    /// Softmax probabilities are a distribution for any input.
+    #[test]
+    fn probabilities_form_distribution(
+        x in prop::collection::vec(-5.0f32..5.0, 4),
+        seed in 0u64..100,
+    ) {
+        let train: Vec<(Vec<f32>, usize)> = (0..12)
+            .map(|i| {
+                let c = i % 3;
+                (vec![c as f32, -(c as f32), 1.0, 0.5 * i as f32], c)
+            })
+            .collect();
+        let cfg = TrainConfig { seed, epochs: 5, ..Default::default() };
+        let model = LogisticClassifier::train(&train, 3, &cfg);
+        let p = model.probabilities(&x);
+        prop_assert_eq!(p.len(), 3);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(model.predict(&x) < 3);
+    }
+
+    /// Stratified splits partition the data exactly.
+    #[test]
+    fn split_partitions_data(
+        n_per_class in 4usize..40,
+        train_frac in 0.1f64..0.6,
+        val_frac in 0.1f64..0.3,
+        seed in 0u64..50,
+    ) {
+        let data: Vec<(Vec<f32>, usize)> = (0..n_per_class * 3)
+            .map(|i| (vec![i as f32], i % 3))
+            .collect();
+        let s = stratified_split(&data, 3, train_frac, val_frac, seed);
+        prop_assert_eq!(s.train.len() + s.val.len() + s.test.len(), data.len());
+        // No sample lost or duplicated (feature values are unique ids).
+        let mut seen: Vec<i64> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .map(|(x, _)| x[0] as i64)
+            .collect();
+        seen.sort_unstable();
+        let expect: Vec<i64> = (0..(n_per_class * 3) as i64).collect();
+        prop_assert_eq!(seen, expect);
+    }
+
+    /// Confusion-matrix accuracy is the fraction of diagonal mass.
+    #[test]
+    fn confusion_accuracy_bounds(
+        preds in prop::collection::vec((0usize..4, 0usize..4), 1..100)
+    ) {
+        let mut cm = ConfusionMatrix::new(4);
+        for &(t, p) in &preds {
+            cm.record(t, p);
+        }
+        let acc = cm.accuracy();
+        prop_assert!((0.0..=1.0).contains(&acc));
+        let diag: usize = (0..4).map(|c| cm.get(c, c)).sum();
+        prop_assert!((acc - diag as f64 / preds.len() as f64).abs() < 1e-12);
+        let recalls = cm.per_class_recall();
+        prop_assert!(recalls.iter().all(|r| (0.0..=1.0).contains(r)));
+    }
+}

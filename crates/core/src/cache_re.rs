@@ -1,0 +1,320 @@
+//! Cache-architecture reverse engineering (paper Table I).
+//!
+//! From user space, with only timed loads, the attacker derives: the cache
+//! line size (stride experiment), the associativity (smallest conflict
+//! prefix evicting a target), the number of sets (capacity ÷ line ÷ ways,
+//! with the 4 MiB capacity from the public spec sheet), and the
+//! replacement policy (victim-identification trials).
+
+use crate::eviction::{validation_sweep, EvictionSet, Locality};
+use crate::thresholds::Thresholds;
+use gpubox_sim::{ProcessCtx, SimResult, VirtAddr};
+use serde::{Deserialize, Serialize};
+
+/// The Table I output: everything the attacker learned about the L2.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheArchReport {
+    /// Cache line size in bytes.
+    pub line_size: u64,
+    /// Associativity (cache lines per set).
+    pub ways: usize,
+    /// Number of sets (derived: capacity / line / ways).
+    pub num_sets: u64,
+    /// Total capacity in bytes (from the public spec).
+    pub capacity: u64,
+    /// Detected replacement policy.
+    pub replacement: DetectedPolicy,
+}
+
+/// Replacement policy as classified by the detection experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectedPolicy {
+    /// Deterministic, victim is the least-recently-used line.
+    Lru,
+    /// Deterministic, but the victim is not strictly the LRU line.
+    PseudoLru,
+    /// Victim varies across identical trials.
+    Randomized,
+}
+
+impl std::fmt::Display for DetectedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectedPolicy::Lru => write!(f, "LRU"),
+            DetectedPolicy::PseudoLru => write!(f, "pseudo-LRU"),
+            DetectedPolicy::Randomized => write!(f, "randomized"),
+        }
+    }
+}
+
+/// Discovers the cache line size: for each candidate stride, touch a cold
+/// address, then probe `addr + stride`; a hit means both bytes share a
+/// line. The smallest stride that misses is the line size.
+///
+/// `fresh` must point at memory never accessed before, at least
+/// `max_stride * 64` bytes.
+///
+/// # Errors
+///
+/// Propagates simulator access errors.
+pub fn detect_line_size(
+    ctx: &mut ProcessCtx<'_>,
+    fresh: VirtAddr,
+    max_stride: u64,
+    thr: &Thresholds,
+    loc: Locality,
+) -> SimResult<u64> {
+    let mut stride = 8u64;
+    let mut region = 0u64;
+    while stride <= max_stride {
+        // Use a fresh region per trial so the first access is cold. Regions
+        // are spaced far apart (> max line size) to avoid overlap.
+        let base = fresh.offset(region * max_stride * 4);
+        region += 1;
+        ctx.ldcg(base)?; // cold fill
+        let (_, t) = ctx.ldcg(base.offset(stride))?;
+        if loc.is_miss(thr, t) {
+            return Ok(stride);
+        }
+        stride *= 2;
+    }
+    Ok(max_stride)
+}
+
+/// Discovers the associativity from a conflict superset: the smallest
+/// prefix of same-set addresses whose traversal evicts the target.
+///
+/// # Errors
+///
+/// Propagates simulator access errors.
+pub fn detect_associativity(
+    ctx: &mut ProcessCtx<'_>,
+    target: VirtAddr,
+    conflicts: &[VirtAddr],
+    thr: &Thresholds,
+    loc: Locality,
+) -> SimResult<usize> {
+    let sweep = validation_sweep(ctx, target, conflicts, conflicts.len())?;
+    for (n, t) in sweep {
+        if loc.is_miss(thr, t) {
+            return Ok(n);
+        }
+    }
+    Ok(conflicts.len() + 1)
+}
+
+/// Detects the replacement policy with victim-identification trials.
+///
+/// Each trial: fill the set with `ways` lines in a fixed order, re-touch
+/// line 0 (so under true LRU the victim must be line 1), insert one more
+/// conflicting line, then probe every filled line and record which one
+/// vanished.
+///
+/// # Errors
+///
+/// Propagates simulator access errors.
+pub fn detect_replacement(
+    ctx: &mut ProcessCtx<'_>,
+    set: &EvictionSet,
+    extra: VirtAddr,
+    thr: &Thresholds,
+    loc: Locality,
+    trials: u32,
+) -> SimResult<DetectedPolicy> {
+    let ways = set.len();
+    let mut victims = Vec::new();
+    for _ in 0..trials {
+        // Fill in order 0..ways.
+        for &va in set.lines() {
+            ctx.ldcg(va)?;
+        }
+        // Promote line 0 to MRU.
+        ctx.ldcg(set.lines()[0])?;
+        // Insert the 17th line.
+        ctx.ldcg(extra)?;
+        // Identify the victim. Probing itself perturbs the set, but the
+        // victim is identified by the *first* miss among lines probed in
+        // fill order, and the extra line's own eviction by later probes
+        // cannot create an earlier miss.
+        let mut victim = None;
+        for (i, &va) in set.lines().iter().enumerate() {
+            let (_, t) = ctx.ldcg(va)?;
+            if loc.is_miss(thr, t) {
+                victim = Some(i);
+                break;
+            }
+        }
+        victims.push(victim);
+        // Drain: thrash the set so the next trial starts comparably.
+        for &va in set.lines() {
+            ctx.ldcg(va)?;
+        }
+    }
+    let first = victims[0];
+    if victims.iter().all(|&v| v == first) {
+        // Deterministic. Line 1 is the true-LRU victim (line 0 was
+        // re-touched). `ways` guard for degenerate tiny sets.
+        if first == Some(1) || ways < 3 {
+            Ok(DetectedPolicy::Lru)
+        } else {
+            Ok(DetectedPolicy::PseudoLru)
+        }
+    } else {
+        Ok(DetectedPolicy::Randomized)
+    }
+}
+
+/// Runs the complete Table I derivation given a conflict superset (from
+/// [`crate::eviction::classify_pages`]) and the public capacity figure.
+///
+/// # Errors
+///
+/// Propagates simulator access errors.
+#[allow(clippy::too_many_arguments)]
+pub fn derive_cache_architecture(
+    ctx: &mut ProcessCtx<'_>,
+    fresh: VirtAddr,
+    target: VirtAddr,
+    conflicts: &[VirtAddr],
+    capacity: u64,
+    thr: &Thresholds,
+    loc: Locality,
+) -> SimResult<CacheArchReport> {
+    let line_size = detect_line_size(ctx, fresh, 1024, thr, loc)?;
+    let ways = detect_associativity(ctx, target, conflicts, thr, loc)?;
+    let set = EvictionSet::new(conflicts[..ways].to_vec());
+    let extra = conflicts[ways];
+    let replacement = detect_replacement(ctx, &set, extra, thr, loc, 12)?;
+    Ok(CacheArchReport {
+        line_size,
+        ways,
+        num_sets: capacity / (line_size * ways as u64),
+        capacity,
+        replacement,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eviction::classify_pages;
+    use gpubox_sim::{GpuId, MultiGpuSystem, ReplacementKind, SystemConfig};
+
+    fn conflicts_on(
+        sys: &mut MultiGpuSystem,
+    ) -> (gpubox_sim::ProcessId, VirtAddr, VirtAddr, Vec<VirtAddr>) {
+        let pid = sys.create_process(GpuId::new(0));
+        let mut ctx = ProcessCtx::new(sys, pid, 0);
+        let num_pages = 96u64;
+        let buf = ctx.malloc_on(GpuId::new(0), num_pages * 4096).unwrap();
+        let thr = Thresholds::paper_defaults();
+        let classes = classify_pages(
+            &mut ctx,
+            buf,
+            num_pages * 4096,
+            4096,
+            128,
+            16,
+            &thr,
+            Locality::Local,
+        )
+        .unwrap();
+        let pages = &classes.classes[0];
+        let conflicts: Vec<VirtAddr> = pages[..24].iter().map(|&p| buf.offset(p * 4096)).collect();
+        let target = buf.offset(pages[24] * 4096);
+        (pid, buf, target, conflicts)
+    }
+
+    #[test]
+    fn line_size_detected_as_128() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let pid = sys.create_process(GpuId::new(0));
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        let fresh = ctx.malloc_on(GpuId::new(0), 1024 * 1024).unwrap();
+        let thr = Thresholds::paper_defaults();
+        let ls = detect_line_size(&mut ctx, fresh, 1024, &thr, Locality::Local).unwrap();
+        assert_eq!(ls, 128);
+    }
+
+    #[test]
+    fn associativity_detected_as_16() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let (pid, _buf, target, conflicts) = conflicts_on(&mut sys);
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        let thr = Thresholds::paper_defaults();
+        let w = detect_associativity(&mut ctx, target, &conflicts, &thr, Locality::Local).unwrap();
+        assert_eq!(w, 16);
+    }
+
+    #[test]
+    fn lru_policy_detected() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let (pid, _buf, _target, conflicts) = conflicts_on(&mut sys);
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        let thr = Thresholds::paper_defaults();
+        let set = EvictionSet::new(conflicts[..16].to_vec());
+        let pol =
+            detect_replacement(&mut ctx, &set, conflicts[16], &thr, Locality::Local, 10).unwrap();
+        assert_eq!(pol, DetectedPolicy::Lru);
+    }
+
+    #[test]
+    fn random_policy_detected() {
+        // Under random replacement, Algorithm-1 discovery itself is
+        // unreliable (that is the ablation result), so build the conflict
+        // list from ground truth and test only the policy detector.
+        let cfg = SystemConfig::small_test()
+            .noiseless()
+            .with_replacement(ReplacementKind::Random);
+        let mut sys = MultiGpuSystem::new(cfg);
+        let pid = sys.create_process(GpuId::new(0));
+        let buf = sys.malloc_on(pid, GpuId::new(0), 96 * 4096).unwrap();
+        let (_, tset) = sys.oracle_set_of(pid, buf).unwrap();
+        let mut conflicts = Vec::new();
+        for p in 0..96u64 {
+            let va = VirtAddr(buf.raw() + p * 4096);
+            if sys.oracle_set_of(pid, va).unwrap().1 == tset {
+                conflicts.push(va);
+            }
+            if conflicts.len() == 17 {
+                break;
+            }
+        }
+        assert!(
+            conflicts.len() == 17,
+            "need 17 same-set lines, got {}",
+            conflicts.len()
+        );
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        let thr = Thresholds::paper_defaults();
+        let set = EvictionSet::new(conflicts[..16].to_vec());
+        let pol =
+            detect_replacement(&mut ctx, &set, conflicts[16], &thr, Locality::Local, 12).unwrap();
+        assert_eq!(pol, DetectedPolicy::Randomized);
+    }
+
+    #[test]
+    fn full_report_matches_ground_truth() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let capacity = sys.config().cache.size_bytes;
+        let true_sets = sys.config().cache.num_sets();
+        let (pid, _buf, target, conflicts) = conflicts_on(&mut sys);
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        let fresh = ctx.malloc_on(GpuId::new(0), 1024 * 1024).unwrap();
+        let thr = Thresholds::paper_defaults();
+        let rep = derive_cache_architecture(
+            &mut ctx,
+            fresh,
+            target,
+            &conflicts,
+            capacity,
+            &thr,
+            Locality::Local,
+        )
+        .unwrap();
+        assert_eq!(rep.line_size, 128);
+        assert_eq!(rep.ways, 16);
+        assert_eq!(rep.num_sets, true_sets);
+        assert_eq!(rep.replacement, DetectedPolicy::Lru);
+    }
+}

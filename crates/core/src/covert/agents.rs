@@ -1,0 +1,235 @@
+//! Trojan and spy engine agents for the covert channel.
+
+use super::protocol::{ChannelParams, ProbeSample};
+use crate::eviction::EvictionSet;
+use crate::thresholds::Thresholds;
+use gpubox_sim::{Agent, Op, OpResult, ProcessId, VirtAddr};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The trojan transmitter for one set pair: paces bit slots on its own
+/// clock; during a `1` slot it re-primes its eviction set (warp-parallel,
+/// all threads of the block participating); during a `0` slot it spins on
+/// dummy trigonometric work of comparable duration (paper Sec. IV-B).
+#[derive(Debug)]
+pub struct TrojanAgent {
+    pid: ProcessId,
+    lines: Vec<VirtAddr>,
+    frame: Vec<u8>,
+    slot_cycles: u64,
+    start: Option<u64>,
+    /// Estimated duration of one prime batch, used to size dummy waits.
+    prime_estimate: u64,
+    bit_idx: usize,
+}
+
+impl TrojanAgent {
+    /// Creates a transmitter sending `frame` over `set`.
+    pub fn new(pid: ProcessId, set: &EvictionSet, frame: Vec<u8>, params: &ChannelParams) -> Self {
+        TrojanAgent {
+            pid,
+            lines: set.lines().to_vec(),
+            frame,
+            slot_cycles: params.slot_cycles,
+            start: None,
+            prime_estimate: 700,
+            bit_idx: 0,
+        }
+    }
+}
+
+impl Agent for TrojanAgent {
+    fn next_op(&mut self, now: u64) -> Op {
+        let start = *self.start.get_or_insert(now);
+        if self.bit_idx >= self.frame.len() {
+            return Op::Done;
+        }
+        let slot_end = start + (self.bit_idx as u64 + 1) * self.slot_cycles;
+        if now >= slot_end {
+            self.bit_idx += 1;
+            return self.next_op(now);
+        }
+        let remaining = slot_end - now;
+        if self.frame[self.bit_idx] == 1 {
+            if remaining < self.prime_estimate {
+                // Not enough room for a full prime; idle to the boundary.
+                Op::Compute(remaining)
+            } else {
+                Op::LoadBatch(self.lines.clone())
+            }
+        } else {
+            // Dummy computation sized like a prime so 0/1 slots take the
+            // same wall-clock time.
+            Op::Compute(remaining.min(self.prime_estimate))
+        }
+    }
+
+    fn on_result(&mut self, res: &OpResult) {
+        if !res.latencies.is_empty() {
+            // Track the real prime duration so pacing stays calibrated.
+            self.prime_estimate = (self.prime_estimate + res.duration) / 2;
+        }
+    }
+
+    fn process(&self) -> ProcessId {
+        self.pid
+    }
+
+    fn label(&self) -> &str {
+        "trojan"
+    }
+}
+
+/// Shared recording of a spy agent's probe samples.
+#[derive(Debug, Clone, Default)]
+pub struct SpyTrace(Rc<RefCell<Vec<ProbeSample>>>);
+
+impl SpyTrace {
+    /// Snapshot of the samples recorded so far.
+    pub fn samples(&self) -> Vec<ProbeSample> {
+        self.0.borrow().clone()
+    }
+}
+
+/// The spy receiver for one set pair: probes its aligned eviction set
+/// back-to-back (with an optional gap) and records per-probe miss counts,
+/// classified with the remote-access thresholds.
+#[derive(Debug)]
+pub struct SpyProbeAgent {
+    pid: ProcessId,
+    lines: Vec<VirtAddr>,
+    thresholds: Thresholds,
+    gap: u64,
+    stop_after: u64,
+    trace: SpyTrace,
+    pending_probe_at: u64,
+    gap_next: bool,
+}
+
+impl SpyProbeAgent {
+    /// Creates a receiver probing `set` until its clock passes
+    /// `stop_after`.
+    pub fn new(
+        pid: ProcessId,
+        set: &EvictionSet,
+        thresholds: Thresholds,
+        params: &ChannelParams,
+        stop_after: u64,
+    ) -> Self {
+        SpyProbeAgent {
+            pid,
+            lines: set.lines().to_vec(),
+            thresholds,
+            gap: params.spy_gap,
+            stop_after,
+            trace: SpyTrace::default(),
+            pending_probe_at: 0,
+            gap_next: false,
+        }
+    }
+
+    /// Handle to the recorded trace.
+    pub fn trace(&self) -> SpyTrace {
+        self.trace.clone()
+    }
+}
+
+impl Agent for SpyProbeAgent {
+    fn next_op(&mut self, now: u64) -> Op {
+        if now >= self.stop_after {
+            return Op::Done;
+        }
+        if self.gap_next && self.gap > 0 {
+            self.gap_next = false;
+            return Op::Compute(self.gap);
+        }
+        self.gap_next = true;
+        self.pending_probe_at = now;
+        Op::LoadBatch(self.lines.clone())
+    }
+
+    fn on_result(&mut self, res: &OpResult) {
+        if res.latencies.is_empty() {
+            return;
+        }
+        let misses = self.thresholds.count_remote_misses(&res.latencies) as u32;
+        let mean =
+            res.latencies.iter().map(|&l| u64::from(l)).sum::<u64>() / res.latencies.len() as u64;
+        self.trace.0.borrow_mut().push(ProbeSample {
+            at: res.started_at,
+            misses,
+            lines: res.latencies.len() as u32,
+            mean_latency: mean as u32,
+        });
+    }
+
+    fn process(&self) -> ProcessId {
+        self.pid
+    }
+
+    fn label(&self) -> &str {
+        "spy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trojan_paces_slots_on_its_clock() {
+        let params = ChannelParams {
+            slot_cycles: 1000,
+            ..Default::default()
+        };
+        let set = EvictionSet::new(vec![VirtAddr(4096)]);
+        let mut t = TrojanAgent::new(ProcessId(0), &set, vec![0, 0], &params);
+        // First op at now=0 inside slot 0 (a '0' bit): compute.
+        match t.next_op(0) {
+            Op::Compute(c) => assert!(c <= 1000),
+            other => panic!("expected compute, got {other:?}"),
+        }
+        // At now=2000 both slots are over.
+        assert_eq!(t.next_op(2000), Op::Done);
+    }
+
+    #[test]
+    fn trojan_primes_during_one_bits() {
+        let params = ChannelParams {
+            slot_cycles: 5000,
+            ..Default::default()
+        };
+        let set = EvictionSet::new(vec![VirtAddr(4096), VirtAddr(8192)]);
+        let mut t = TrojanAgent::new(ProcessId(0), &set, vec![1], &params);
+        match t.next_op(0) {
+            Op::LoadBatch(v) => assert_eq!(v.len(), 2),
+            other => panic!("expected prime batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spy_records_probe_samples() {
+        let params = ChannelParams::default();
+        let set = EvictionSet::new(vec![VirtAddr(4096)]);
+        let mut s = SpyProbeAgent::new(
+            ProcessId(1),
+            &set,
+            Thresholds::paper_defaults(),
+            &params,
+            10_000,
+        );
+        let trace = s.trace();
+        let op = s.next_op(0);
+        assert!(matches!(op, Op::LoadBatch(_)));
+        s.on_result(&OpResult {
+            started_at: 0,
+            duration: 900,
+            value: 0,
+            latencies: vec![950],
+        });
+        let samples = trace.samples();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].misses, 1);
+        assert_eq!(s.next_op(20_000), Op::Done);
+    }
+}

@@ -1,0 +1,242 @@
+//! End-to-end covert transmission and measurement (Fig. 9 / Fig. 10).
+
+use super::agents::{SpyProbeAgent, SpyTrace, TrojanAgent};
+use super::protocol::{decode_trace, stripe_bits, unstripe_bits, ChannelParams, ProbeSample};
+use crate::eviction::EvictionSet;
+use crate::thresholds::Thresholds;
+use gpubox_sim::{Engine, MultiGpuSystem, ProcessId, SimResult};
+
+/// One aligned (trojan, spy) eviction-set pair (from
+/// [`crate::alignment::paired_sets`]).
+#[derive(Debug, Clone)]
+pub struct SetPair {
+    /// The trojan's eviction set for the physical set.
+    pub trojan: EvictionSet,
+    /// The spy's eviction set for the same physical set.
+    pub spy: EvictionSet,
+}
+
+/// Outcome of one covert transmission.
+#[derive(Debug, Clone)]
+pub struct ChannelReport {
+    /// Bits handed to the transmitter (payload only, pre-striping).
+    pub sent: Vec<u8>,
+    /// Bits recovered by the receiver.
+    pub received: Vec<u8>,
+    /// Hamming distance between sent and received.
+    pub bit_errors: usize,
+    /// `bit_errors / sent.len()`.
+    pub error_rate: f64,
+    /// Cycles from first to last activity.
+    pub duration_cycles: u64,
+    /// Payload bandwidth in bytes per second at the configured core clock.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Raw per-set spy traces (set index → probe samples), e.g. for the
+    /// Fig. 10 message trace.
+    pub traces: Vec<Vec<ProbeSample>>,
+}
+
+/// Transmits `payload` bits from `trojan_pid` to `spy_pid` over the given
+/// aligned set pairs (bits striped round-robin across pairs) and decodes
+/// the spy's observations.
+///
+/// # Errors
+///
+/// Propagates simulator errors from either side.
+pub fn transmit(
+    sys: &mut MultiGpuSystem,
+    trojan_pid: ProcessId,
+    spy_pid: ProcessId,
+    pairs: &[SetPair],
+    payload: &[u8],
+    params: &ChannelParams,
+    thresholds: Thresholds,
+) -> SimResult<ChannelReport> {
+    assert!(!pairs.is_empty(), "need at least one aligned set pair");
+    let k = pairs.len();
+    let stripes = stripe_bits(payload, k);
+
+    // Frame length decides how long the spy must listen.
+    let max_frame = stripes.iter().map(Vec::len).max().unwrap_or(0) + params.preamble_bits;
+    let listen = (max_frame as u64 + 4) * params.slot_cycles;
+
+    let mut eng = Engine::new(sys);
+    let mut traces: Vec<SpyTrace> = Vec::with_capacity(k);
+    for (i, pair) in pairs.iter().enumerate() {
+        let frame = params.frame(&stripes[i]);
+        let trojan = TrojanAgent::new(trojan_pid, &pair.trojan, frame, params);
+        let spy = SpyProbeAgent::new(spy_pid, &pair.spy, thresholds, params, listen);
+        traces.push(spy.trace());
+        // The spy starts slightly before the trojan (it must be listening
+        // when the preamble begins); the stagger also models independent
+        // process launches.
+        eng.add_agent(Box::new(spy), 0);
+        eng.add_agent(Box::new(trojan), params.slot_cycles / 2 + 37 * i as u64);
+    }
+    let end = eng.run(listen + 16 * params.slot_cycles)?;
+
+    let mut decoded_stripes = Vec::with_capacity(k);
+    let mut sample_traces = Vec::with_capacity(k);
+    for (i, t) in traces.iter().enumerate() {
+        let samples = t.samples();
+        let dec = decode_trace(&samples, params, stripes[i].len());
+        decoded_stripes.push(dec.payload);
+        sample_traces.push(samples);
+    }
+    let received = unstripe_bits(&decoded_stripes, payload.len());
+    let bit_errors = received.iter().zip(payload).filter(|(a, b)| a != b).count();
+    let secs = sys.latency_model().cycles_to_seconds(end);
+    Ok(ChannelReport {
+        sent: payload.to_vec(),
+        received,
+        bit_errors,
+        error_rate: bit_errors as f64 / payload.len().max(1) as f64,
+        duration_cycles: end,
+        bandwidth_bytes_per_sec: payload.len() as f64 / 8.0 / secs,
+        traces: sample_traces,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::{align_classes, paired_sets, AlignmentConfig};
+    use crate::covert::protocol::bits_from_bytes;
+    use crate::eviction::{classify_pages, Locality};
+    use gpubox_sim::{GpuId, ProcessCtx, SystemConfig};
+
+    fn channel_fixture(noiseless: bool) -> (MultiGpuSystem, ProcessId, ProcessId, Vec<SetPair>) {
+        let cfg = if noiseless {
+            SystemConfig::small_test().noiseless()
+        } else {
+            SystemConfig::small_test()
+        };
+        let mut sys = MultiGpuSystem::new(cfg);
+        let thr = Thresholds::paper_defaults();
+        let trojan = sys.create_process(GpuId::new(0));
+        let spy = sys.create_process(GpuId::new(1));
+        sys.enable_peer_access(spy, GpuId::new(0)).unwrap();
+        let bytes = 96 * 4096u64;
+        let tclasses = {
+            let mut ctx = ProcessCtx::new(&mut sys, trojan, 0);
+            let b = ctx.malloc_on(GpuId::new(0), bytes).unwrap();
+            classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Local).unwrap()
+        };
+        let sclasses = {
+            let mut ctx = ProcessCtx::new(&mut sys, spy, 0);
+            let b = ctx.malloc_on(GpuId::new(0), bytes).unwrap();
+            classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Remote).unwrap()
+        };
+        let matches = align_classes(
+            &mut sys,
+            trojan,
+            &tclasses,
+            spy,
+            &sclasses,
+            16,
+            &AlignmentConfig::default(),
+        )
+        .unwrap();
+        let pairs = paired_sets(&tclasses, &sclasses, &matches, 8, 16)
+            .into_iter()
+            .map(|(t, s)| SetPair { trojan: t, spy: s })
+            .collect();
+        (sys, trojan, spy, pairs)
+    }
+
+    #[test]
+    fn single_set_transmission_is_error_free_noiseless() {
+        let (mut sys, trojan, spy, pairs) = channel_fixture(true);
+        let payload = bits_from_bytes(b"Hi");
+        let report = transmit(
+            &mut sys,
+            trojan,
+            spy,
+            &pairs[..1],
+            &payload,
+            &ChannelParams::default(),
+            Thresholds::paper_defaults(),
+        )
+        .unwrap();
+        assert_eq!(report.bit_errors, 0, "received {:?}", report.received);
+        assert!(report.bandwidth_bytes_per_sec > 0.0);
+    }
+
+    #[test]
+    fn four_set_transmission_has_low_error_with_noise() {
+        let (mut sys, trojan, spy, pairs) = channel_fixture(false);
+        let payload = bits_from_bytes(b"The quick brown fox jumps!");
+        let report = transmit(
+            &mut sys,
+            trojan,
+            spy,
+            &pairs[..4],
+            &payload,
+            &ChannelParams::default(),
+            Thresholds::paper_defaults(),
+        )
+        .unwrap();
+        assert!(
+            report.error_rate < 0.08,
+            "error rate {} too high ({} errors)",
+            report.error_rate,
+            report.bit_errors
+        );
+    }
+
+    #[test]
+    fn more_sets_increase_bandwidth() {
+        let (mut sys, trojan, spy, pairs) = channel_fixture(true);
+        let payload = bits_from_bytes(b"bandwidth scaling test!!");
+        let params = ChannelParams::default();
+        let thr = Thresholds::paper_defaults();
+        let bw1 = transmit(&mut sys, trojan, spy, &pairs[..1], &payload, &params, thr)
+            .unwrap()
+            .bandwidth_bytes_per_sec;
+        let bw4 = transmit(&mut sys, trojan, spy, &pairs[..4], &payload, &params, thr)
+            .unwrap()
+            .bandwidth_bytes_per_sec;
+        assert!(bw4 > bw1 * 2.0, "bw1={bw1} bw4={bw4}");
+    }
+
+    #[test]
+    fn trace_levels_match_fig10() {
+        // '0' slots show ~630-cycle probes, '1' slots ~950 (paper Fig. 10).
+        let (mut sys, trojan, spy, pairs) = channel_fixture(true);
+        let payload = vec![1, 1, 1, 1, 0, 0, 0, 0, 1, 1, 1, 1];
+        let report = transmit(
+            &mut sys,
+            trojan,
+            spy,
+            &pairs[..1],
+            &payload,
+            &ChannelParams::default(),
+            Thresholds::paper_defaults(),
+        )
+        .unwrap();
+        assert_eq!(report.bit_errors, 0);
+        let trace = &report.traces[0];
+        let ones: Vec<u32> = trace
+            .iter()
+            .filter(|s| s.misses > 8)
+            .map(|s| s.mean_latency)
+            .collect();
+        let zeros: Vec<u32> = trace
+            .iter()
+            .filter(|s| s.misses <= 8)
+            .map(|s| s.mean_latency)
+            .collect();
+        assert!(!ones.is_empty() && !zeros.is_empty());
+        let avg = |v: &[u32]| v.iter().map(|&x| f64::from(x)).sum::<f64>() / v.len() as f64;
+        assert!(
+            (avg(&ones) - 950.0).abs() < 120.0,
+            "one-level {}",
+            avg(&ones)
+        );
+        assert!(
+            (avg(&zeros) - 630.0).abs() < 120.0,
+            "zero-level {}",
+            avg(&zeros)
+        );
+    }
+}

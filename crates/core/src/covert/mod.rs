@@ -1,0 +1,24 @@
+//! The cross-GPU covert channel (paper Sec. IV, Fig. 8/9/10).
+//!
+//! A trojan process on GPU A and a spy process on GPU B communicate
+//! through Prime+Probe contention on individual L2 cache sets of GPU A.
+//! To send a `1` the trojan fills the set (evicting the spy's lines); to
+//! send a `0` it busy-waits on dummy arithmetic. The spy probes its
+//! aligned eviction set continuously: high latency ⇒ miss ⇒ `1`, low
+//! latency ⇒ hit ⇒ `0`.
+//!
+//! Multiple aligned set pairs carry disjoint bit stripes in parallel
+//! (one thread block per set, paper Sec. IV-B); bandwidth scales with the
+//! number of sets while port contention raises the error rate (Fig. 9).
+
+mod agents;
+mod channel;
+pub mod ecc;
+mod protocol;
+
+pub use agents::{SpyProbeAgent, SpyTrace, TrojanAgent};
+pub use channel::{transmit, ChannelReport, SetPair};
+pub use protocol::{
+    adaptive_boundary, bits_from_bytes, bytes_from_bits, decode_trace, stripe_bits, unstripe_bits,
+    ChannelParams, DecodedStripe, ProbeSample,
+};

@@ -1,0 +1,375 @@
+//! Channel parameters, bit (de)framing and the slot decoder.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters both covert endpoints agree on out of band (they are two
+/// halves of one malicious application, so shared constants are fine —
+/// the paper tunes them the same way, Sec. IV-C).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChannelParams {
+    /// Bit-slot duration in trojan-clock cycles.
+    pub slot_cycles: u64,
+    /// Cycles the spy idles between probes (0 = probe back to back).
+    pub spy_gap: u64,
+    /// Number of alternating `1010…` preamble bits used for slot-phase
+    /// recovery.
+    pub preamble_bits: usize,
+    /// Fraction of a probe's lines that must miss for the probe to vote
+    /// "1".
+    pub miss_vote_fraction: f64,
+}
+
+impl Default for ChannelParams {
+    fn default() -> Self {
+        ChannelParams {
+            slot_cycles: 6_000,
+            spy_gap: 0,
+            preamble_bits: 16,
+            miss_vote_fraction: 0.5,
+        }
+    }
+}
+
+impl ChannelParams {
+    /// The preamble pattern: alternating bits starting with 1.
+    pub fn preamble(&self) -> Vec<u8> {
+        (0..self.preamble_bits).map(|i| (1 - i % 2) as u8).collect()
+    }
+
+    /// Frames a payload stripe: preamble followed by payload bits.
+    pub fn frame(&self, payload: &[u8]) -> Vec<u8> {
+        let mut f = self.preamble();
+        f.extend_from_slice(payload);
+        f
+    }
+}
+
+/// Unpacks bytes into bits, MSB first (the order the Fig. 10 message trace
+/// uses).
+pub fn bits_from_bytes(bytes: &[u8]) -> Vec<u8> {
+    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in (0..8).rev() {
+            bits.push((b >> i) & 1);
+        }
+    }
+    bits
+}
+
+/// Packs bits (MSB first) back into bytes; trailing partial bytes are
+/// dropped.
+pub fn bytes_from_bits(bits: &[u8]) -> Vec<u8> {
+    bits.chunks_exact(8)
+        .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | (b & 1)))
+        .collect()
+}
+
+/// Distributes payload bits round-robin over `k` parallel set stripes.
+pub fn stripe_bits(bits: &[u8], k: usize) -> Vec<Vec<u8>> {
+    let mut stripes = vec![Vec::with_capacity(bits.len() / k + 1); k];
+    for (i, &b) in bits.iter().enumerate() {
+        stripes[i % k].push(b);
+    }
+    stripes
+}
+
+/// Reassembles round-robin stripes into one bit stream of length `total`.
+pub fn unstripe_bits(stripes: &[Vec<u8>], total: usize) -> Vec<u8> {
+    let k = stripes.len();
+    (0..total)
+        .map(|i| stripes[i % k].get(i / k).copied().unwrap_or(0))
+        .collect()
+}
+
+/// One probe observation from the spy: when it started and how many of the
+/// set's lines were classified as misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeSample {
+    /// Spy-local clock at probe start.
+    pub at: u64,
+    /// Misses among the probed lines.
+    pub misses: u32,
+    /// Lines probed.
+    pub lines: u32,
+    /// Mean per-line latency of the probe (for the Fig. 10 trace).
+    pub mean_latency: u32,
+}
+
+impl ProbeSample {
+    /// The probe's binary vote under the protocol's miss fraction.
+    pub fn vote(&self, miss_fraction: f64) -> u8 {
+        u8::from(f64::from(self.misses) >= miss_fraction * f64::from(self.lines))
+    }
+
+    /// The probe's binary vote against an adaptive latency boundary.
+    pub fn vote_boundary(&self, boundary: f64) -> u8 {
+        u8::from(f64::from(self.mean_latency) >= boundary)
+    }
+}
+
+/// Self-calibrates the hit/miss decision boundary from the spy's own
+/// probe-mean distribution (1-D 2-means). Under port contention both
+/// levels shift upward together; clustering the observed bimodal
+/// distribution cancels the shift, which a fixed threshold cannot do.
+pub fn adaptive_boundary(samples: &[ProbeSample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let vals: Vec<f64> = samples.iter().map(|s| f64::from(s.mean_latency)).collect();
+    let lo0 = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi0 = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let (mut lo, mut hi) = (lo0, hi0);
+    if (hi - lo) < 1.0 {
+        return hi + 1.0;
+    }
+    for _ in 0..32 {
+        let mid = (lo + hi) / 2.0;
+        let (mut sl, mut nl, mut sh, mut nh) = (0.0, 0usize, 0.0, 0usize);
+        for &v in &vals {
+            if v < mid {
+                sl += v;
+                nl += 1;
+            } else {
+                sh += v;
+                nh += 1;
+            }
+        }
+        if nl == 0 || nh == 0 {
+            break;
+        }
+        let (nlo, nhi) = (sl / nl as f64, sh / nh as f64);
+        if (nlo - lo).abs() < 1e-9 && (nhi - hi).abs() < 1e-9 {
+            break;
+        }
+        lo = nlo;
+        hi = nhi;
+    }
+    (lo + hi) / 2.0
+}
+
+/// Output of decoding one stripe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedStripe {
+    /// Recovered payload bits (preamble stripped).
+    pub payload: Vec<u8>,
+    /// Estimated slot phase offset in cycles.
+    pub phase: u64,
+    /// How many preamble bits matched after phase lock (sync quality).
+    pub preamble_matches: usize,
+}
+
+/// Decodes a spy probe trace into payload bits.
+///
+/// The decoder knows `params` (shared constants) and the payload length,
+/// but must recover the slot *phase* from the alternating preamble — the
+/// synchronisation challenge the paper describes (Sec. IV-C: "we tune
+/// parameters on the trojan side ... to synchronize the communication").
+pub fn decode_trace(
+    samples: &[ProbeSample],
+    params: &ChannelParams,
+    payload_bits: usize,
+) -> DecodedStripe {
+    let preamble = params.preamble();
+    let total_slots = preamble.len() + payload_bits;
+    if samples.is_empty() {
+        return DecodedStripe {
+            payload: vec![0; payload_bits],
+            phase: 0,
+            preamble_matches: 0,
+        };
+    }
+    let t0 = samples[0].at;
+    let slot = params.slot_cycles;
+    let boundary = adaptive_boundary(samples);
+
+    // Phase search: try candidate offsets across one slot. Primary score:
+    // preamble agreement of majority-voted slots; tiebreak: vote margin
+    // (how far slot vote fractions sit from 50%), which centres the slot
+    // windows between bit transitions.
+    let steps = 64u64;
+    let mut best = (0u64, usize::MAX, f64::NEG_INFINITY, 0usize);
+    for step in 0..steps {
+        let phase = slot * step / steps;
+        let (slots, margin) = vote_slots_scored(
+            samples,
+            t0 + phase,
+            slot,
+            total_slots,
+            boundary,
+            preamble.len(),
+        );
+        let matches = slots
+            .iter()
+            .zip(&preamble)
+            .filter(|(got, want)| got.map(|g| g == **want).unwrap_or(false))
+            .count();
+        let err = preamble.len() - matches;
+        if err < best.1 || (err == best.1 && margin > best.2) {
+            best = (phase, err, margin, matches);
+        }
+    }
+    let (phase, _, _, preamble_matches) = best;
+    let slots = vote_slots(samples, t0 + phase, slot, total_slots, boundary);
+    let payload = slots[preamble.len()..]
+        .iter()
+        .map(|s| s.unwrap_or(0))
+        .collect();
+    DecodedStripe {
+        payload,
+        phase,
+        preamble_matches,
+    }
+}
+
+/// Majority-votes the probe samples falling inside each slot window.
+/// `None` for slots with no samples.
+fn vote_slots(
+    samples: &[ProbeSample],
+    start: u64,
+    slot: u64,
+    total_slots: usize,
+    boundary: f64,
+) -> Vec<Option<u8>> {
+    vote_slots_scored(samples, start, slot, total_slots, boundary, 0).0
+}
+
+/// As [`vote_slots`], also returning the mean vote margin (distance of the
+/// slot vote fraction from 50%) over the first `margin_slots` slots.
+fn vote_slots_scored(
+    samples: &[ProbeSample],
+    start: u64,
+    slot: u64,
+    total_slots: usize,
+    boundary: f64,
+    margin_slots: usize,
+) -> (Vec<Option<u8>>, f64) {
+    let mut ones = vec![0u32; total_slots];
+    let mut counts = vec![0u32; total_slots];
+    for s in samples {
+        if s.at < start {
+            continue;
+        }
+        let idx = ((s.at - start) / slot) as usize;
+        if idx >= total_slots {
+            break;
+        }
+        counts[idx] += 1;
+        ones[idx] += u32::from(s.vote_boundary(boundary));
+    }
+    let votes: Vec<Option<u8>> = (0..total_slots)
+        .map(|i| (counts[i] > 0).then(|| u8::from(ones[i] * 2 > counts[i])))
+        .collect();
+    let mut margin = 0.0;
+    let mut n = 0usize;
+    for i in 0..margin_slots.min(total_slots) {
+        if counts[i] > 0 {
+            let frac = f64::from(ones[i]) / f64::from(counts[i]);
+            margin += (frac - 0.5).abs();
+            n += 1;
+        }
+    }
+    (votes, if n > 0 { margin / n as f64 } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip_bytes() {
+        let msg = b"Hello! How are you?".to_vec();
+        let bits = bits_from_bytes(&msg);
+        assert_eq!(bits.len(), msg.len() * 8);
+        assert_eq!(bytes_from_bits(&bits), msg);
+    }
+
+    #[test]
+    fn stripes_round_trip() {
+        let bits: Vec<u8> = (0..37).map(|i| (i % 3 == 0) as u8).collect();
+        for k in [1, 2, 4, 5] {
+            let s = stripe_bits(&bits, k);
+            assert_eq!(unstripe_bits(&s, bits.len()), bits);
+        }
+    }
+
+    #[test]
+    fn preamble_alternates_starting_with_one() {
+        let p = ChannelParams::default().preamble();
+        assert_eq!(&p[..4], &[1, 0, 1, 0]);
+    }
+
+    fn synth_samples(
+        frame: &[u8],
+        slot: u64,
+        phase: u64,
+        probes_per_slot: u64,
+    ) -> Vec<ProbeSample> {
+        let mut out = Vec::new();
+        for (i, &b) in frame.iter().enumerate() {
+            for p in 0..probes_per_slot {
+                let at = phase + i as u64 * slot + p * (slot / probes_per_slot) + 3;
+                out.push(ProbeSample {
+                    at,
+                    misses: if b == 1 { 14 } else { 1 },
+                    lines: 16,
+                    mean_latency: if b == 1 { 950 } else { 630 },
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn decoder_recovers_clean_frame() {
+        let params = ChannelParams::default();
+        let payload = bits_from_bytes(b"hi");
+        let frame = params.frame(&payload);
+        let samples = synth_samples(&frame, params.slot_cycles, 0, 3);
+        let dec = decode_trace(&samples, &params, payload.len());
+        assert_eq!(dec.payload, payload);
+        assert_eq!(dec.preamble_matches, params.preamble_bits);
+    }
+
+    #[test]
+    fn decoder_locks_phase_despite_offset() {
+        let params = ChannelParams::default();
+        let payload = bits_from_bytes(&[0b1011_0010]);
+        let frame = params.frame(&payload);
+        // Probes start mid-slot: phase offset of 40% of a slot.
+        let samples = synth_samples(&frame, params.slot_cycles, params.slot_cycles * 2 / 5, 4);
+        let dec = decode_trace(&samples, &params, payload.len());
+        assert_eq!(dec.payload, payload, "phase-shifted frame must decode");
+    }
+
+    #[test]
+    fn decoder_tolerates_sparse_noise() {
+        let params = ChannelParams::default();
+        let payload = bits_from_bytes(b"noise");
+        let frame = params.frame(&payload);
+        let mut samples = synth_samples(&frame, params.slot_cycles, 100, 4);
+        // Flip every 13th probe's misses.
+        for (i, s) in samples.iter_mut().enumerate() {
+            if i % 13 == 0 {
+                s.misses = 16 - s.misses;
+            }
+        }
+        let dec = decode_trace(&samples, &params, payload.len());
+        let errs = dec
+            .payload
+            .iter()
+            .zip(&payload)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(
+            errs <= 1,
+            "majority voting should absorb sparse flips, got {errs}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_decodes_to_zeros() {
+        let params = ChannelParams::default();
+        let dec = decode_trace(&[], &params, 8);
+        assert_eq!(dec.payload, vec![0; 8]);
+    }
+}

@@ -1,0 +1,796 @@
+//! Eviction-set discovery from user space (paper Sec. III-B).
+//!
+//! Implements Algorithm 1 — the incremental pointer-chase scan that finds
+//! addresses conflicting with a chosen target — together with the paper's
+//! optimisations: skipping ahead with backtracking, and exploiting the
+//! observation that *"data belonging to a page is indexed consecutively in
+//! the cache"*. Because pages are placed at line-aligned frame boundaries,
+//! two pages either conflict line-for-line (same alignment class) or not
+//! at all; classifying pages therefore yields eviction sets for **every**
+//! set the buffer covers, without a quadratic per-set scan.
+//!
+//! Also provides the Fig. 5 validation sweep and the Fig. 6 aliasing test.
+
+use crate::thresholds::Thresholds;
+use gpubox_sim::{ProcessCtx, SimResult, VirtAddr};
+
+/// Whether the scanned buffer is homed on the scanning process's GPU or on
+/// a peer GPU (decides which latency threshold applies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Locality {
+    /// Buffer on the process's own GPU.
+    Local,
+    /// Buffer on a peer GPU, reached over NVLink.
+    Remote,
+}
+
+impl Locality {
+    /// Classifies a latency as a miss under this locality.
+    pub fn is_miss(self, thr: &Thresholds, cycles: u32) -> bool {
+        match self {
+            Locality::Local => thr.is_local_miss(cycles),
+            Locality::Remote => thr.is_remote_miss(cycles),
+        }
+    }
+}
+
+/// A discovered eviction set: at least `ways` virtual addresses hashing to
+/// one physical cache set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictionSet {
+    lines: Vec<VirtAddr>,
+}
+
+impl EvictionSet {
+    /// Wraps a list of conflicting line addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is empty.
+    pub fn new(lines: Vec<VirtAddr>) -> Self {
+        assert!(!lines.is_empty(), "eviction set cannot be empty");
+        EvictionSet { lines }
+    }
+
+    /// The member line addresses.
+    pub fn lines(&self) -> &[VirtAddr] {
+        &self.lines
+    }
+
+    /// Number of member lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the set has no members (never true for constructed sets).
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Primes the set: serial dependent accesses to every member,
+    /// replacing whatever the set held.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped addresses.
+    pub fn prime(&self, ctx: &mut ProcessCtx<'_>) -> SimResult<()> {
+        for &va in &self.lines {
+            ctx.ldcg(va)?;
+        }
+        Ok(())
+    }
+
+    /// Probes the set warp-parallel, returning per-line latencies and the
+    /// number classified as misses.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped addresses.
+    pub fn probe(
+        &self,
+        ctx: &mut ProcessCtx<'_>,
+        thr: &Thresholds,
+        loc: Locality,
+    ) -> SimResult<ProbeOutcome> {
+        let b = ctx.probe_batch(&self.lines)?;
+        let misses = b.latencies.iter().filter(|&&l| loc.is_miss(thr, l)).count();
+        Ok(ProbeOutcome {
+            latencies: b.latencies,
+            misses,
+            duration: b.duration,
+        })
+    }
+}
+
+/// Result of probing an eviction set once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// Per-line measured latency.
+    pub latencies: Vec<u32>,
+    /// Lines classified as misses.
+    pub misses: usize,
+    /// Total probe duration in cycles.
+    pub duration: u64,
+}
+
+/// Tuning knobs for the Algorithm 1 scan.
+#[derive(Debug, Clone)]
+pub struct ScanConfig {
+    /// Candidates to skip per jump before re-testing (the paper's
+    /// "skipping some address accesses" optimisation).
+    pub skip: usize,
+    /// Stop after this many conflicts were found (0 = exhaustive).
+    pub max_conflicts: usize,
+    /// Repeat each timed decision this many times and majority-vote
+    /// (noise robustness).
+    pub votes: u32,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        ScanConfig {
+            skip: 64,
+            max_conflicts: 0,
+            votes: 1,
+        }
+    }
+}
+
+/// One timed Algorithm-1 trial: access the target, pointer-chase the first
+/// `n` candidates, re-access the target and classify the second access.
+/// Returns `true` when the target was evicted.
+fn target_evicted(
+    ctx: &mut ProcessCtx<'_>,
+    target: VirtAddr,
+    chain: &[VirtAddr],
+    n: usize,
+    thr: &Thresholds,
+    loc: Locality,
+    votes: u32,
+) -> SimResult<bool> {
+    let mut miss_votes = 0u32;
+    for _ in 0..votes.max(1) {
+        // basePtr access (line 1-7 of Algorithm 1).
+        ctx.ldcg(target)?;
+        ctx.compute(4); // dummy op
+                        // Pointer chase over the first n candidates (lines 9-14).
+        for &va in &chain[..n] {
+            ctx.ldcg(va)?;
+        }
+        ctx.compute(4);
+        // Second target access (lines 16-21).
+        let (_, t2) = ctx.ldcg(target)?;
+        if loc.is_miss(thr, t2) {
+            miss_votes += 1;
+        }
+    }
+    Ok(miss_votes * 2 > votes.max(1))
+}
+
+/// Algorithm 1: finds, among `candidates`, the addresses that hash to the
+/// same cache set as `target`. Returns them in discovery order.
+///
+/// Under an LRU cache of associativity `w`, the first `w - 1` same-set
+/// candidates are absorbed without evicting the target, so this returns
+/// the *remaining* conflicts; [`classify_pages`] recovers the absorbed
+/// ones with group tests.
+///
+/// # Errors
+///
+/// Propagates simulator access errors.
+pub fn discover_conflicts(
+    ctx: &mut ProcessCtx<'_>,
+    target: VirtAddr,
+    candidates: &[VirtAddr],
+    thr: &Thresholds,
+    loc: Locality,
+    cfg: &ScanConfig,
+) -> SimResult<Vec<VirtAddr>> {
+    let mut chain: Vec<VirtAddr> = candidates.to_vec();
+    let mut found = Vec::new();
+    // `n` = prefix length known NOT to evict the target.
+    let mut n = 0usize;
+    while n < chain.len() {
+        // Jump ahead by `skip`.
+        let hi = (n + cfg.skip).min(chain.len());
+        if !target_evicted(ctx, target, &chain, hi, thr, loc, cfg.votes)? {
+            n = hi;
+            continue;
+        }
+        // A conflict lies in (n, hi]; binary-search the smallest prefix
+        // that evicts (the paper's "revert back and check all those last
+        // skipped addresses").
+        let (mut lo, mut up) = (n, hi);
+        while up - lo > 1 {
+            let mid = (lo + up) / 2;
+            if target_evicted(ctx, target, &chain, mid, thr, loc, cfg.votes)? {
+                up = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        // chain[up - 1] caused the eviction: it conflicts with the target.
+        let conflict = chain.remove(up - 1);
+        found.push(conflict);
+        if cfg.max_conflicts != 0 && found.len() >= cfg.max_conflicts {
+            break;
+        }
+        n = up - 1;
+    }
+    Ok(found)
+}
+
+/// Group test: does `candidate` hash to the same set as `target`, given
+/// `ways - 1` known conflicts? (Access target, chase the known conflicts
+/// plus the candidate, re-probe the target.)
+///
+/// # Errors
+///
+/// Propagates simulator access errors.
+pub fn conflicts_with(
+    ctx: &mut ProcessCtx<'_>,
+    target: VirtAddr,
+    known: &[VirtAddr],
+    candidate: VirtAddr,
+    thr: &Thresholds,
+    loc: Locality,
+    votes: u32,
+) -> SimResult<bool> {
+    let mut chain: Vec<VirtAddr> = known.to_vec();
+    chain.push(candidate);
+    let n = chain.len();
+    target_evicted(ctx, target, &chain, n, thr, loc, votes)
+}
+
+/// The Fig. 5 validation sweep: for each prefix length `n`, the latency of
+/// the target's re-access after chasing `n` conflict-set members. The step
+/// from hit to miss at `n == ways` confirms the set and exposes the
+/// associativity and the deterministic (LRU) replacement.
+///
+/// # Errors
+///
+/// Propagates simulator access errors.
+pub fn validation_sweep(
+    ctx: &mut ProcessCtx<'_>,
+    target: VirtAddr,
+    conflicts: &[VirtAddr],
+    max_n: usize,
+) -> SimResult<Vec<(usize, u32)>> {
+    let mut out = Vec::new();
+    for n in 1..=max_n.min(conflicts.len()) {
+        ctx.ldcg(target)?;
+        ctx.compute(4);
+        for &va in &conflicts[..n] {
+            ctx.ldcg(va)?;
+        }
+        ctx.compute(4);
+        let (_, t2) = ctx.ldcg(target)?;
+        out.push((n, t2));
+    }
+    Ok(out)
+}
+
+/// The Fig. 6 aliasing test: do two discovered eviction sets map to the
+/// same physical cache set? Takes `w/2 + 1` lines from each; if they
+/// alias, the combined `w + 2` lines thrash and re-probing sees misses;
+/// if they map to distinct sets, both halves fit and everything hits.
+///
+/// # Errors
+///
+/// Propagates simulator access errors.
+pub fn sets_alias(
+    ctx: &mut ProcessCtx<'_>,
+    a: &EvictionSet,
+    b: &EvictionSet,
+    ways: usize,
+    thr: &Thresholds,
+    loc: Locality,
+) -> SimResult<bool> {
+    let half = ways / 2 + 1;
+    let mut combined: Vec<VirtAddr> = Vec::with_capacity(2 * half);
+    combined.extend_from_slice(&a.lines()[..half.min(a.len())]);
+    combined.extend_from_slice(&b.lines()[..half.min(b.len())]);
+    // Two warm-up chases, then a timed pass.
+    for _ in 0..2 {
+        for &va in &combined {
+            ctx.ldcg(va)?;
+        }
+    }
+    let mut misses = 0usize;
+    for &va in &combined {
+        let (_, t) = ctx.ldcg(va)?;
+        if loc.is_miss(thr, t) {
+            misses += 1;
+        }
+    }
+    // Distinct sets: everything resident => ~0 misses. Aliased: LRU
+    // thrashing => most accesses miss.
+    Ok(misses > combined.len() / 3)
+}
+
+/// Removes aliased duplicates from a collection of discovered eviction
+/// sets (paper Fig. 6): each new set is tested against every kept set
+/// with [`sets_alias`]; aliases are dropped so self-eviction cannot fake
+/// victim activity during the attack. Returns the surviving sets.
+///
+/// # Errors
+///
+/// Propagates simulator access errors.
+pub fn dedupe_aliased(
+    ctx: &mut ProcessCtx<'_>,
+    sets: Vec<EvictionSet>,
+    ways: usize,
+    thr: &Thresholds,
+    loc: Locality,
+) -> SimResult<Vec<EvictionSet>> {
+    let mut kept: Vec<EvictionSet> = Vec::with_capacity(sets.len());
+    for candidate in sets {
+        let mut aliased = false;
+        for existing in &kept {
+            if sets_alias(ctx, existing, &candidate, ways, thr, loc)? {
+                aliased = true;
+                break;
+            }
+        }
+        if !aliased {
+            kept.push(candidate);
+        }
+    }
+    Ok(kept)
+}
+
+/// Page alignment classes discovered for one buffer: pages in the same
+/// class conflict line-for-line.
+#[derive(Debug, Clone)]
+pub struct PageClasses {
+    /// `classes[c]` lists page indices (0-based within the buffer).
+    pub classes: Vec<Vec<u64>>,
+    /// Buffer base address the classes refer to.
+    pub base: VirtAddr,
+    /// Page size in bytes.
+    pub page_size: u64,
+    /// Cache line size in bytes.
+    pub line_size: u64,
+}
+
+impl PageClasses {
+    /// Lines per page.
+    pub fn lines_per_page(&self) -> u64 {
+        self.page_size / self.line_size
+    }
+
+    /// Number of distinct relative cache sets reachable from this buffer:
+    /// `classes × lines_per_page`.
+    pub fn distinct_sets(&self) -> u64 {
+        self.classes.len() as u64 * self.lines_per_page()
+    }
+
+    /// Builds the eviction set for relative set `(class, line_offset)`
+    /// using the first `ways` member pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class has fewer than `ways` pages or the offset is
+    /// out of range.
+    pub fn eviction_set(&self, class: usize, line_offset: u64, ways: usize) -> EvictionSet {
+        assert!(
+            line_offset < self.lines_per_page(),
+            "line offset out of page"
+        );
+        let pages = &self.classes[class];
+        assert!(
+            pages.len() >= ways,
+            "class {class} has only {} pages",
+            pages.len()
+        );
+        let lines = pages[..ways]
+            .iter()
+            .map(|&p| {
+                self.base
+                    .offset(p * self.page_size + line_offset * self.line_size)
+            })
+            .collect();
+        EvictionSet::new(lines)
+    }
+
+    /// Enumerates `count` distinct relative sets as `(class, offset)`
+    /// pairs, spread evenly across every alignment class and across the
+    /// in-page offsets within each class. Spreading matters: any victim
+    /// page covers the *consecutive* sets of one class (the paper's
+    /// page-consecutive structure), so an evenly-spread monitor overlaps
+    /// every victim page instead of gambling on one contiguous window.
+    pub fn enumerate_sets(&self, count: usize, ways: usize) -> Vec<EvictionSet> {
+        let lpp = self.lines_per_page();
+        let usable: Vec<usize> = (0..self.classes.len())
+            .filter(|&c| self.classes[c].len() >= ways)
+            .collect();
+        if usable.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(count);
+        let per_class = count.div_ceil(usable.len());
+        for &c in &usable {
+            let n = per_class.min(count - out.len()).min(lpp as usize);
+            for i in 0..n {
+                let off = (i as u64 * lpp) / n as u64;
+                out.push(self.eviction_set(c, off, ways));
+            }
+            if out.len() >= count {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Classifies every page of `[base, base + bytes)` into alignment classes
+/// using Algorithm-1 scans over one representative line per page, plus
+/// group tests to recover the conflicts absorbed by the cache's
+/// associativity.
+///
+/// # Errors
+///
+/// Propagates simulator access errors.
+#[allow(clippy::too_many_arguments)]
+pub fn classify_pages(
+    ctx: &mut ProcessCtx<'_>,
+    base: VirtAddr,
+    bytes: u64,
+    page_size: u64,
+    line_size: u64,
+    ways: usize,
+    thr: &Thresholds,
+    loc: Locality,
+) -> SimResult<PageClasses> {
+    let num_pages = bytes / page_size;
+    let page_line0 = |p: u64| base.offset(p * page_size);
+    let mut unclassified: Vec<u64> = (0..num_pages).collect();
+    let mut classes: Vec<Vec<u64>> = Vec::new();
+
+    while !unclassified.is_empty() {
+        let target_page = unclassified[0];
+        let target = page_line0(target_page);
+        let candidates: Vec<VirtAddr> = unclassified[1..].iter().map(|&p| page_line0(p)).collect();
+        let cfg = ScanConfig {
+            skip: 32,
+            max_conflicts: 0,
+            votes: 1,
+        };
+        let found = discover_conflicts(ctx, target, &candidates, thr, loc, &cfg)?;
+        let mut members: Vec<u64> = vec![target_page];
+        let found_pages: Vec<u64> = found
+            .iter()
+            .map(|va| (va.raw() - base.raw()) / page_size)
+            .collect();
+        members.extend_from_slice(&found_pages);
+
+        // Group-test the remaining pages: the scan absorbs the first
+        // `ways - 1` same-class pages without a visible eviction.
+        if found.len() >= ways - 1 {
+            let known: Vec<VirtAddr> = found[..ways - 1].to_vec();
+            for &p in &unclassified {
+                if p == target_page || members.contains(&p) {
+                    continue;
+                }
+                if conflicts_with(ctx, target, &known, page_line0(p), thr, loc, 1)? {
+                    members.push(p);
+                }
+            }
+        }
+        unclassified.retain(|p| !members.contains(p));
+        members.sort_unstable();
+        classes.push(members);
+    }
+
+    Ok(PageClasses {
+        classes,
+        base,
+        page_size,
+        line_size,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpubox_sim::{GpuId, MultiGpuSystem, SystemConfig};
+
+    /// Small system: 2 GPUs, 64-set 16-way L2, 4 KiB pages (32 lines/page,
+    /// so 2 alignment classes).
+    fn boot() -> MultiGpuSystem {
+        MultiGpuSystem::new(SystemConfig::small_test().noiseless())
+    }
+
+    #[test]
+    fn discover_conflicts_finds_same_set_lines() {
+        let mut sys = boot();
+        let pid = sys.create_process(GpuId::new(0));
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        // 64 pages x 4 KiB: expect ~32 pages per class.
+        let buf = ctx.malloc_on(GpuId::new(0), 64 * 4096).unwrap();
+        let target = buf;
+        let candidates: Vec<VirtAddr> = (1..64u64).map(|p| buf.offset(p * 4096)).collect();
+        let thr = Thresholds::paper_defaults();
+        let found = discover_conflicts(
+            &mut ctx,
+            target,
+            &candidates,
+            &thr,
+            Locality::Local,
+            &ScanConfig::default(),
+        )
+        .unwrap();
+        // Ground truth: every found address shares the target's set.
+        let (_, tset) = ctx.system().oracle_set_of(pid, target).unwrap();
+        assert!(!found.is_empty());
+        for va in &found {
+            let (_, s) = ctx.system().oracle_set_of(pid, *va).unwrap();
+            assert_eq!(s, tset, "found address {va} not in target set");
+        }
+    }
+
+    #[test]
+    fn classify_pages_recovers_all_classes() {
+        let mut sys = boot();
+        let pid = sys.create_process(GpuId::new(0));
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        // Enough pages that each of the 2 classes gets ≥ 16 w.h.p.
+        let num_pages = 96u64;
+        let buf = ctx.malloc_on(GpuId::new(0), num_pages * 4096).unwrap();
+        let thr = Thresholds::paper_defaults();
+        let classes = classify_pages(
+            &mut ctx,
+            buf,
+            num_pages * 4096,
+            4096,
+            128,
+            16,
+            &thr,
+            Locality::Local,
+        )
+        .unwrap();
+        // 64 sets / 32 lines-per-page = 2 classes.
+        assert_eq!(classes.classes.len(), 2, "expected 2 alignment classes");
+        let total: usize = classes.classes.iter().map(Vec::len).sum();
+        assert_eq!(total as u64, num_pages, "every page classified once");
+
+        // Ground truth: all pages of a class have the same base set.
+        for group in &classes.classes {
+            let sets: Vec<_> = group
+                .iter()
+                .map(|&p| {
+                    ctx.system()
+                        .oracle_set_of(pid, buf.offset(p * 4096))
+                        .unwrap()
+                        .1
+                })
+                .collect();
+            assert!(
+                sets.windows(2).all(|w| w[0] == w[1]),
+                "class not homogeneous"
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_set_from_classes_really_evicts() {
+        let mut sys = boot();
+        let pid = sys.create_process(GpuId::new(0));
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        let num_pages = 96u64;
+        let buf = ctx.malloc_on(GpuId::new(0), num_pages * 4096).unwrap();
+        let thr = Thresholds::paper_defaults();
+        let classes = classify_pages(
+            &mut ctx,
+            buf,
+            num_pages * 4096,
+            4096,
+            128,
+            16,
+            &thr,
+            Locality::Local,
+        )
+        .unwrap();
+        let es = classes.eviction_set(0, 5, 16);
+        // All 16 lines must share one physical set (oracle check).
+        let first = ctx.system().oracle_set_of(pid, es.lines()[0]).unwrap().1;
+        for &va in es.lines() {
+            assert_eq!(ctx.system().oracle_set_of(pid, va).unwrap().1, first);
+        }
+        // Priming the set evicts a victim line placed there beforehand.
+        // Use a line from the *other* class page at the right offset...
+        // simplest: a second set on same (class, offset) built from other
+        // pages aliases — prime one, probe the other: all misses.
+        let es2 = {
+            let pages = &classes.classes[0];
+            assert!(pages.len() >= 32, "need 32 pages in class for this test");
+            let lines = pages[16..32]
+                .iter()
+                .map(|&p| buf.offset(p * 4096 + 5 * 128))
+                .collect();
+            EvictionSet::new(lines)
+        };
+        es2.prime(&mut ctx).unwrap();
+        es.prime(&mut ctx).unwrap();
+        let probe = es2.probe(&mut ctx, &thr, Locality::Local).unwrap();
+        assert!(
+            probe.misses >= 15,
+            "priming es must evict es2: {} misses",
+            probe.misses
+        );
+    }
+
+    #[test]
+    fn validation_sweep_steps_at_associativity() {
+        let mut sys = boot();
+        let pid = sys.create_process(GpuId::new(0));
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        let num_pages = 96u64;
+        let buf = ctx.malloc_on(GpuId::new(0), num_pages * 4096).unwrap();
+        let thr = Thresholds::paper_defaults();
+        let classes = classify_pages(
+            &mut ctx,
+            buf,
+            num_pages * 4096,
+            4096,
+            128,
+            16,
+            &thr,
+            Locality::Local,
+        )
+        .unwrap();
+        // Superset: 24 same-set lines.
+        let pages = &classes.classes[0];
+        let conflicts: Vec<VirtAddr> = pages[..24].iter().map(|&p| buf.offset(p * 4096)).collect();
+        let target = buf.offset(pages[24] * 4096);
+        let sweep = validation_sweep(&mut ctx, target, &conflicts, 24).unwrap();
+        for (n, t) in &sweep {
+            if *n < 16 {
+                assert!(!thr.is_local_miss(*t), "n={n} should still hit ({t})");
+            } else {
+                assert!(thr.is_local_miss(*t), "n={n} should miss ({t})");
+            }
+        }
+    }
+
+    #[test]
+    fn aliased_sets_detected_distinct_sets_pass() {
+        let mut sys = boot();
+        let pid = sys.create_process(GpuId::new(0));
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        let num_pages = 96u64;
+        let buf = ctx.malloc_on(GpuId::new(0), num_pages * 4096).unwrap();
+        let thr = Thresholds::paper_defaults();
+        let classes = classify_pages(
+            &mut ctx,
+            buf,
+            num_pages * 4096,
+            4096,
+            128,
+            16,
+            &thr,
+            Locality::Local,
+        )
+        .unwrap();
+        let pages = &classes.classes[0];
+        assert!(pages.len() >= 32);
+        let set_a = classes.eviction_set(0, 3, 16);
+        // Aliased set: same (class, offset), different pages.
+        let aliased = EvictionSet::new(
+            pages[16..32]
+                .iter()
+                .map(|&p| buf.offset(p * 4096 + 3 * 128))
+                .collect(),
+        );
+        // Distinct set: same class, different offset.
+        let distinct = classes.eviction_set(0, 4, 16);
+        assert!(sets_alias(&mut ctx, &set_a, &aliased, 16, &thr, Locality::Local).unwrap());
+        assert!(!sets_alias(&mut ctx, &set_a, &distinct, 16, &thr, Locality::Local).unwrap());
+    }
+
+    #[test]
+    fn remote_discovery_works_over_nvlink() {
+        // The spy on GPU1 scans a buffer homed on GPU0 — the cross-GPU
+        // setting of the paper.
+        let mut sys = boot();
+        let pid = sys.create_process(GpuId::new(1));
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        ctx.enable_peer_access(GpuId::new(0)).unwrap();
+        let buf = ctx.malloc_on(GpuId::new(0), 64 * 4096).unwrap();
+        let thr = Thresholds::paper_defaults();
+        let target = buf;
+        let candidates: Vec<VirtAddr> = (1..64u64).map(|p| buf.offset(p * 4096)).collect();
+        let found = discover_conflicts(
+            &mut ctx,
+            target,
+            &candidates,
+            &thr,
+            Locality::Remote,
+            &ScanConfig::default(),
+        )
+        .unwrap();
+        let (g, tset) = ctx.system().oracle_set_of(pid, target).unwrap();
+        assert_eq!(g, GpuId::new(0), "buffer homed on remote GPU");
+        for va in &found {
+            assert_eq!(ctx.system().oracle_set_of(pid, *va).unwrap().1, tset);
+        }
+        assert!(!found.is_empty());
+    }
+
+    #[test]
+    fn enumerate_sets_yields_distinct_physical_sets() {
+        let mut sys = boot();
+        let pid = sys.create_process(GpuId::new(0));
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        let num_pages = 96u64;
+        let buf = ctx.malloc_on(GpuId::new(0), num_pages * 4096).unwrap();
+        let thr = Thresholds::paper_defaults();
+        let classes = classify_pages(
+            &mut ctx,
+            buf,
+            num_pages * 4096,
+            4096,
+            128,
+            16,
+            &thr,
+            Locality::Local,
+        )
+        .unwrap();
+        let sets = classes.enumerate_sets(48, 16);
+        assert_eq!(sets.len(), 48);
+        let mut phys = std::collections::HashSet::new();
+        for es in &sets {
+            let s = ctx.system().oracle_set_of(pid, es.lines()[0]).unwrap().1;
+            assert!(phys.insert(s), "duplicate physical set {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_eviction_set_rejected() {
+        let _ = EvictionSet::new(vec![]);
+    }
+
+    #[test]
+    fn dedupe_drops_aliases_keeps_distinct() {
+        let mut sys = boot();
+        let pid = sys.create_process(GpuId::new(0));
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        let num_pages = 96u64;
+        let buf = ctx.malloc_on(GpuId::new(0), num_pages * 4096).unwrap();
+        let thr = Thresholds::paper_defaults();
+        let classes = classify_pages(
+            &mut ctx,
+            buf,
+            num_pages * 4096,
+            4096,
+            128,
+            16,
+            &thr,
+            Locality::Local,
+        )
+        .unwrap();
+        let pages = &classes.classes[0];
+        assert!(pages.len() >= 32);
+        let a = classes.eviction_set(0, 1, 16);
+        let b = classes.eviction_set(0, 2, 16);
+        // Alias of `a` built from different pages of the same class.
+        let a_alias = EvictionSet::new(
+            pages[16..32]
+                .iter()
+                .map(|&p| buf.offset(p * 4096 + 128))
+                .collect(),
+        );
+        let kept = dedupe_aliased(
+            &mut ctx,
+            vec![a.clone(), b.clone(), a_alias],
+            16,
+            &thr,
+            Locality::Local,
+        )
+        .unwrap();
+        assert_eq!(kept.len(), 2, "alias must be dropped");
+        assert_eq!(kept[0], a);
+        assert_eq!(kept[1], b);
+    }
+}

@@ -1,0 +1,63 @@
+//! # gpubox-attacks — cross-GPU covert and side channel attacks
+//!
+//! Reproduction of the attacks in *"Spy in the GPU-box: Covert and Side
+//! Channel Attacks on Multi-GPU Systems"* (ISCA 2023), running on the
+//! [`gpubox_sim`] DGX-1 model. The crate follows the paper's structure:
+//!
+//! 1. [`timing_re`] — reverse engineer the four local/remote × hit/miss
+//!    latency clusters and derive decision [`Thresholds`] (Fig. 4).
+//! 2. [`cache_re`] — derive line size, associativity, set count and the
+//!    replacement policy from user space (Table I).
+//! 3. [`eviction`] — Algorithm 1 pointer-chase eviction-set discovery,
+//!    page-class structure, aliasing detection and the Fig. 5 validation
+//!    sweep.
+//! 4. [`alignment`] — Algorithm 2: pair trojan and spy eviction sets that
+//!    share a physical cache set (Fig. 7).
+//! 5. [`covert`] — the Prime+Probe covert channel across GPUs: slotted
+//!    transmission, preamble sync, multi-set striping, bandwidth and error
+//!    measurement (Fig. 8/9/10).
+//! 6. [`side`] — memorygram recording, application fingerprinting
+//!    (Fig. 11/12) and MLP model extraction (Table II, Fig. 13/14/15).
+//! 7. [`mitigation`] — SM-saturation noise exclusion (Sec. VI).
+//!
+//! ## End-to-end sketch
+//!
+//! ```no_run
+//! use gpubox_attacks::timing_re;
+//! use gpubox_sim::{GpuId, MultiGpuSystem, SystemConfig};
+//!
+//! # fn main() -> Result<(), gpubox_sim::SimError> {
+//! let mut sys = MultiGpuSystem::new(SystemConfig::dgx1());
+//! // 1. One-time offline reverse engineering.
+//! let timing = timing_re::measure_timing(&mut sys, GpuId::new(0), GpuId::new(1), 48)?;
+//! let thr = timing.thresholds;
+//! // 2-5. Discover eviction sets, align them, transmit covertly... see
+//! // the `examples/` directory for the complete flows.
+//! # let _ = thr;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alignment;
+pub mod cache_re;
+pub mod covert;
+pub mod eviction;
+pub mod mitigation;
+pub mod side;
+pub mod thresholds;
+pub mod timing_re;
+
+pub use alignment::{align_classes, paired_sets, AlignmentConfig, ClassMatch};
+pub use cache_re::{derive_cache_architecture, CacheArchReport, DetectedPolicy};
+pub use covert::{transmit, ChannelParams, ChannelReport, SetPair};
+pub use eviction::{
+    classify_pages, dedupe_aliased, discover_conflicts, sets_alias, validation_sweep, EvictionSet,
+    Locality, PageClasses, ScanConfig,
+};
+pub use mitigation::ExclusiveOccupancy;
+pub use side::{record_memorygram, FingerprintDataset, RecorderConfig};
+pub use thresholds::Thresholds;
+pub use timing_re::{measure_timing, TimingReport};

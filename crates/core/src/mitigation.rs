@@ -1,0 +1,143 @@
+//! Noise mitigation via SM-resource saturation (paper Sec. VI).
+//!
+//! GPUs schedule thread blocks with a *leftover policy*: a concurrent
+//! kernel can only launch onto SMs with spare shared memory / block slots.
+//! On Pascal a block may allocate at most 32 KiB of the 64 KiB per-SM
+//! shared memory, so the attack kernel (one 32 KiB block per SM) plus a
+//! fleet of idle 32 KiB blocks saturates every SM and locks noise tenants
+//! out of the GPU for the duration of the attack.
+
+use gpubox_sim::{GpuId, KernelId, KernelLaunch, MultiGpuSystem, SimResult};
+
+/// Handle over the resident attack + blocker kernels.
+#[derive(Debug)]
+pub struct ExclusiveOccupancy {
+    gpu: GpuId,
+    kernels: Vec<KernelId>,
+}
+
+impl ExclusiveOccupancy {
+    /// Launches the attack kernel (one block per SM, 32 KiB shared memory
+    /// each, `threads_per_block` threads) plus idle blocker blocks
+    /// consuming the leftover shared memory, so no other kernel that needs
+    /// shared memory or a block slot can co-locate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gpubox_sim::SimError::InsufficientSmResources`] when the
+    /// GPU is already partially occupied.
+    pub fn establish(
+        sys: &mut MultiGpuSystem,
+        gpu: GpuId,
+        threads_per_block: u32,
+    ) -> SimResult<Self> {
+        let sm = sys.config().sm.clone();
+        let half_shmem = sm.shared_mem_per_sm / 2;
+        // The attack kernel: one block per SM (paper: "the attack uses one
+        // thread block per SM").
+        let attack = KernelLaunch {
+            blocks: sm.num_sms,
+            threads_per_block,
+            shared_mem_per_block: half_shmem,
+        };
+        let mut kernels = vec![sys.launch_kernel(gpu, attack)?];
+        // Idle blockers: consume the remaining 32 KiB per SM without
+        // touching global memory.
+        let blockers = KernelLaunch {
+            blocks: sm.num_sms,
+            threads_per_block: 1,
+            shared_mem_per_block: half_shmem,
+        };
+        match sys.launch_kernel(gpu, blockers) {
+            Ok(id) => kernels.push(id),
+            Err(e) => {
+                // Roll back the attack kernel so failure leaves no residue.
+                let first = kernels.pop().expect("attack kernel present");
+                sys.terminate_kernel(gpu, first);
+                return Err(e);
+            }
+        }
+        Ok(ExclusiveOccupancy { gpu, kernels })
+    }
+
+    /// Whether a kernel needing any shared memory could still launch.
+    pub fn excludes(&self, sys: &MultiGpuSystem, noise: &KernelLaunch) -> bool {
+        !sys.can_launch(self.gpu, noise)
+    }
+
+    /// Releases every kernel, restoring the GPU.
+    pub fn release(self, sys: &mut MultiGpuSystem) {
+        for id in self.kernels {
+            sys.terminate_kernel(self.gpu, id);
+        }
+    }
+}
+
+/// A representative noise kernel shape: a modest block wanting 1 KiB of
+/// shared memory.
+pub fn typical_noise_kernel() -> KernelLaunch {
+    KernelLaunch {
+        blocks: 8,
+        threads_per_block: 128,
+        shared_mem_per_block: 1024,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpubox_sim::SystemConfig;
+
+    #[test]
+    fn saturation_excludes_noise_kernels() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::dgx1());
+        let gpu = GpuId::new(0);
+        let noise = typical_noise_kernel();
+        assert!(sys.can_launch(gpu, &noise), "idle GPU accepts noise");
+        let occ = ExclusiveOccupancy::establish(&mut sys, gpu, 32).unwrap();
+        assert!(
+            occ.excludes(&sys, &noise),
+            "saturated GPU must refuse noise"
+        );
+        occ.release(&mut sys);
+        assert!(sys.can_launch(gpu, &noise), "release restores the GPU");
+    }
+
+    #[test]
+    fn zero_shared_memory_kernels_are_not_excluded() {
+        // The defence targets shared-memory users; a pathological
+        // zero-footprint kernel can still squeeze in via block slots,
+        // which is why the paper also counts block-slot saturation.
+        let mut sys = MultiGpuSystem::new(SystemConfig::dgx1());
+        let gpu = GpuId::new(1);
+        let occ = ExclusiveOccupancy::establish(&mut sys, gpu, 32).unwrap();
+        let tiny = KernelLaunch {
+            blocks: 1,
+            threads_per_block: 1,
+            shared_mem_per_block: 0,
+        };
+        // Still fits: only 2 of 32 block slots per SM are used.
+        assert!(!occ.excludes(&sys, &tiny));
+        occ.release(&mut sys);
+    }
+
+    #[test]
+    fn establish_on_occupied_gpu_fails_cleanly() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::dgx1());
+        let gpu = GpuId::new(2);
+        // Another tenant already holds most shared memory.
+        let hog = KernelLaunch {
+            blocks: sys.config().sm.num_sms,
+            threads_per_block: 32,
+            shared_mem_per_block: 48 * 1024,
+        };
+        sys.launch_kernel(gpu, hog).unwrap();
+        let before = sys.sm_array(gpu).resident_kernels();
+        assert!(ExclusiveOccupancy::establish(&mut sys, gpu, 32).is_err());
+        assert_eq!(
+            sys.sm_array(gpu).resident_kernels(),
+            before,
+            "failed establish must roll back"
+        );
+    }
+}

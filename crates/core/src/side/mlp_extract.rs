@@ -1,0 +1,131 @@
+//! MLP model extraction from memorygrams (paper Sec. V-B).
+//!
+//! Training a wider hidden layer moves more weight/activation traffic
+//! through the L2, so the *average misses per monitored set* separates the
+//! candidate widths (Table II: 5653 / 6846 / 8744 / 10197 for
+//! 64/128/256/512 neurons). The temporal profile additionally reveals the
+//! number of epochs (Fig. 15: two bands for two epochs).
+
+use gpubox_classify::Memorygram;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one MLP-victim memorygram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpGramStats {
+    /// Average misses per monitored set (the Table II metric).
+    pub avg_misses_per_set: f64,
+    /// Total misses.
+    pub total_misses: u64,
+    /// Number of monitored sets.
+    pub sets: usize,
+    /// Number of sweeps.
+    pub sweeps: usize,
+}
+
+/// Computes the Table II statistics for one capture.
+pub fn summarize_mlp_gram(gram: &Memorygram) -> MlpGramStats {
+    MlpGramStats {
+        avg_misses_per_set: gram.average_misses_per_set(),
+        total_misses: gram.total_misses(),
+        sets: gram.num_sets(),
+        sweeps: gram.num_sweeps(),
+    }
+}
+
+/// Detects the number of training epochs from the temporal activity
+/// profile: epochs show as contiguous high-activity bands separated by
+/// quiet gaps (data reloading / evaluation phases), Fig. 15.
+///
+/// `smooth` is the moving-average window (in sweeps); a band must exceed
+/// half the profile's peak to count.
+pub fn detect_epochs(gram: &Memorygram, smooth: usize) -> usize {
+    let mut profile = gram.misses_per_sweep();
+    if profile.is_empty() {
+        return 0;
+    }
+    // The first sweeps are dominated by the spy's own cold fill of its
+    // eviction sets; drop them so the warm-up burst does not register as
+    // a band (nor dwarf the victim's real activity level).
+    let skip = 2.min(profile.len() - 1);
+    profile.drain(..skip);
+    if profile.is_empty() {
+        return 0;
+    }
+    let w = smooth.max(1);
+    let smoothed: Vec<f64> = (0..profile.len())
+        .map(|i| {
+            let lo = i.saturating_sub(w / 2);
+            let hi = (i + w / 2 + 1).min(profile.len());
+            profile[lo..hi].iter().map(|&v| v as f64).sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+    // Robust activity level: 90th percentile rather than the maximum, so
+    // a single outlier burst cannot set an unreachable threshold.
+    let mut sorted = smoothed.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let peak = sorted[(sorted.len() - 1) * 9 / 10];
+    if peak <= 0.0 {
+        return 0;
+    }
+    let thresh = peak * 0.5;
+    let mut bands = 0;
+    let mut inside = false;
+    for &v in &smoothed {
+        if v >= thresh && !inside {
+            bands += 1;
+            inside = true;
+        } else if v < thresh && inside {
+            inside = false;
+        }
+    }
+    bands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn banded_gram(bands: usize, band_len: usize, gap: usize) -> Memorygram {
+        let sets = 16;
+        let mut g = Memorygram::new(sets);
+        for b in 0..bands {
+            for _ in 0..band_len {
+                g.push_sweep(vec![10u8; sets]);
+            }
+            if b + 1 < bands {
+                for _ in 0..gap {
+                    g.push_sweep(vec![0u8; sets]);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn two_bands_detected_as_two_epochs() {
+        let g = banded_gram(2, 30, 12);
+        assert_eq!(detect_epochs(&g, 3), 2);
+    }
+
+    #[test]
+    fn single_band_is_one_epoch() {
+        let g = banded_gram(1, 50, 0);
+        assert_eq!(detect_epochs(&g, 3), 1);
+    }
+
+    #[test]
+    fn empty_gram_has_zero_epochs() {
+        let g = Memorygram::new(8);
+        assert_eq!(detect_epochs(&g, 3), 0);
+    }
+
+    #[test]
+    fn stats_reflect_gram() {
+        let g = banded_gram(1, 10, 0);
+        let s = summarize_mlp_gram(&g);
+        assert_eq!(s.sets, 16);
+        assert_eq!(s.sweeps, 10);
+        assert_eq!(s.total_misses, 16 * 10 * 10);
+        assert!((s.avg_misses_per_set - 100.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,80 @@
+//! Timing thresholds separating cache hits from misses.
+//!
+//! The reverse-engineering phase (paper Sec. III-A) yields four latency
+//! clusters; the attacker needs only two boundaries from them: hit/miss
+//! for *local* accesses and hit/miss for *remote* accesses. Everything in
+//! the attack crates consumes a [`Thresholds`] value rather than raw
+//! cluster data.
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss decision boundaries in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// A local access at or above this latency is a miss.
+    pub local_miss: u32,
+    /// A remote (one NVLink hop) access at or above this latency is a miss.
+    pub remote_miss: u32,
+}
+
+impl Thresholds {
+    /// Thresholds placed halfway between the paper's measured clusters
+    /// (local 270/450, remote 630/950). Useful as a fallback; real attacks
+    /// derive them with [`crate::timing_re`].
+    pub fn paper_defaults() -> Self {
+        Thresholds {
+            local_miss: 360,
+            remote_miss: 790,
+        }
+    }
+
+    /// Classifies a local access latency: `true` = miss.
+    pub fn is_local_miss(&self, cycles: u32) -> bool {
+        cycles >= self.local_miss
+    }
+
+    /// Classifies a remote access latency: `true` = miss.
+    pub fn is_remote_miss(&self, cycles: u32) -> bool {
+        cycles >= self.remote_miss
+    }
+
+    /// Counts misses among remote probe latencies.
+    pub fn count_remote_misses(&self, latencies: &[u32]) -> usize {
+        latencies
+            .iter()
+            .filter(|&&l| self.is_remote_miss(l))
+            .count()
+    }
+
+    /// Counts misses among local probe latencies.
+    pub fn count_local_misses(&self, latencies: &[u32]) -> usize {
+        latencies.iter().filter(|&&l| self.is_local_miss(l)).count()
+    }
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_separate_clusters() {
+        let t = Thresholds::paper_defaults();
+        assert!(!t.is_local_miss(270));
+        assert!(t.is_local_miss(450));
+        assert!(!t.is_remote_miss(630));
+        assert!(t.is_remote_miss(950));
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let t = Thresholds::paper_defaults();
+        assert_eq!(t.count_remote_misses(&[630, 950, 940, 600]), 2);
+        assert_eq!(t.count_local_misses(&[270, 460]), 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! Timing reverse engineering (paper Sec. III-A, Fig. 4).
+//!
+//! The microbenchmark allocates a buffer on a GPU, walks it at cache-line
+//! stride with `ldcg`-style loads, and records access times for the cold
+//! pass (DRAM) and the warm pass (L2). Run once against local memory and
+//! once against a peer GPU's memory, this produces the paper's four
+//! latency clusters; 1-D k-means then extracts cluster centres and the
+//! hit/miss [`Thresholds`].
+
+use crate::thresholds::Thresholds;
+use gpubox_sim::{GpuId, MultiGpuSystem, ProcessCtx, ProcessId, SimResult};
+
+/// Raw samples of one timing experiment.
+#[derive(Debug, Clone, Default)]
+pub struct TimingSamples {
+    /// Cold (DRAM) access latencies against local memory.
+    pub local_miss: Vec<u32>,
+    /// Warm (L2 hit) latencies against local memory.
+    pub local_hit: Vec<u32>,
+    /// Cold latencies against remote memory.
+    pub remote_miss: Vec<u32>,
+    /// Warm latencies against remote memory.
+    pub remote_hit: Vec<u32>,
+}
+
+impl TimingSamples {
+    /// All samples flattened (the Fig. 4 histogram input).
+    pub fn all(&self) -> Vec<u32> {
+        let mut v = Vec::with_capacity(
+            self.local_miss.len()
+                + self.local_hit.len()
+                + self.remote_miss.len()
+                + self.remote_hit.len(),
+        );
+        v.extend_from_slice(&self.local_hit);
+        v.extend_from_slice(&self.local_miss);
+        v.extend_from_slice(&self.remote_hit);
+        v.extend_from_slice(&self.remote_miss);
+        v
+    }
+}
+
+/// Result of the full timing reverse-engineering pass.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// The raw samples.
+    pub samples: TimingSamples,
+    /// The four cluster centres, ascending (local hit, local miss,
+    /// remote hit, remote miss on the DGX-1).
+    pub centers: [f64; 4],
+    /// Derived decision thresholds.
+    pub thresholds: Thresholds,
+}
+
+/// Runs the Fig. 4 microbenchmark: `accesses` lines are walked cold then
+/// warm, locally (buffer on `local`) and remotely (buffer on `remote`,
+/// issued from `local`... the spy's view: a process on `local` with its
+/// buffer homed on `remote`).
+///
+/// # Errors
+///
+/// Propagates allocation/peer-access failures from the simulator.
+pub fn measure_timing(
+    sys: &mut MultiGpuSystem,
+    local: GpuId,
+    remote: GpuId,
+    accesses: u64,
+) -> SimResult<TimingReport> {
+    let pid = sys.create_process(local);
+    sys.enable_peer_access(pid, remote)?;
+    let line = sys.config().cache.line_size;
+    let mut samples = TimingSamples::default();
+
+    // Local buffer: cold pass = local DRAM, warm pass = local L2 hit.
+    run_passes(
+        sys,
+        pid,
+        local,
+        accesses,
+        line,
+        &mut samples.local_miss,
+        &mut samples.local_hit,
+    )?;
+    // Remote buffer: cold = remote DRAM over NVLink, warm = remote L2 hit.
+    run_passes(
+        sys,
+        pid,
+        remote,
+        accesses,
+        line,
+        &mut samples.remote_miss,
+        &mut samples.remote_hit,
+    )?;
+
+    let centers = kmeans4(&samples.all());
+    let thresholds = Thresholds {
+        local_miss: midpoint(centers[0], centers[1]),
+        remote_miss: midpoint(centers[2], centers[3]),
+    };
+    Ok(TimingReport {
+        samples,
+        centers,
+        thresholds,
+    })
+}
+
+fn run_passes(
+    sys: &mut MultiGpuSystem,
+    pid: ProcessId,
+    on: GpuId,
+    accesses: u64,
+    line: u64,
+    cold: &mut Vec<u32>,
+    warm: &mut Vec<u32>,
+) -> SimResult<()> {
+    let mut ctx = ProcessCtx::new(sys, pid, 0);
+    let buf = ctx.malloc_on(on, accesses * line)?;
+    // Cold pass: stride of one cache line, ldcg loads — every access goes
+    // to DRAM and fills the L2 (paper: "this first cold access shows the
+    // DRAM access time").
+    for i in 0..accesses {
+        let (_, cycles) = ctx.ldcg(buf.offset(i * line))?;
+        cold.push(cycles);
+        // Dummy op so the access is "not optimized out" — a few ALU cycles.
+        ctx.compute(4);
+    }
+    // Warm pass: the same addresses are now L2-resident.
+    for i in 0..accesses {
+        let (_, cycles) = ctx.ldcg(buf.offset(i * line))?;
+        warm.push(cycles);
+        ctx.compute(4);
+    }
+    Ok(())
+}
+
+fn midpoint(a: f64, b: f64) -> u32 {
+    ((a + b) / 2.0).round() as u32
+}
+
+/// 1-D k-means with k=4, initialised at the sample quantiles. Returns the
+/// cluster centres in ascending order.
+pub fn kmeans4(samples: &[u32]) -> [f64; 4] {
+    assert!(samples.len() >= 4, "need at least 4 samples");
+    let mut sorted: Vec<f64> = samples.iter().map(|&s| s as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |f: f64| sorted[((sorted.len() - 1) as f64 * f) as usize];
+    let mut centers = [q(0.125), q(0.375), q(0.625), q(0.875)];
+    for _ in 0..64 {
+        let mut sums = [0.0f64; 4];
+        let mut counts = [0usize; 4];
+        for &s in &sorted {
+            let mut best = 0;
+            for k in 1..4 {
+                if (s - centers[k]).abs() < (s - centers[best]).abs() {
+                    best = k;
+                }
+            }
+            sums[best] += s;
+            counts[best] += 1;
+        }
+        let mut moved = false;
+        for k in 0..4 {
+            if counts[k] > 0 {
+                let c = sums[k] / counts[k] as f64;
+                if (c - centers[k]).abs() > 1e-9 {
+                    moved = true;
+                }
+                centers[k] = c;
+            }
+        }
+        centers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if !moved {
+            break;
+        }
+    }
+    centers
+}
+
+/// Builds a histogram over the samples with the given bin width — the
+/// exact artefact plotted in the paper's Fig. 4.
+pub fn histogram(samples: &[u32], bin_width: u32) -> Vec<(u32, usize)> {
+    use std::collections::BTreeMap;
+    let mut bins: BTreeMap<u32, usize> = BTreeMap::new();
+    for &s in samples {
+        *bins.entry(s / bin_width * bin_width).or_default() += 1;
+    }
+    bins.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpubox_sim::SystemConfig;
+
+    #[test]
+    fn four_clusters_recovered_on_dgx1() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::dgx1());
+        let rep = measure_timing(&mut sys, GpuId::new(0), GpuId::new(1), 48).unwrap();
+        // Cluster centres must land near the calibrated constants.
+        let expect = [270.0, 450.0, 630.0, 950.0];
+        for (c, e) in rep.centers.iter().zip(expect) {
+            assert!((c - e).abs() < 30.0, "center {c} far from {e}");
+        }
+        // Thresholds separate the clusters.
+        assert!(rep.thresholds.local_miss > 300 && rep.thresholds.local_miss < 430);
+        assert!(rep.thresholds.remote_miss > 700 && rep.thresholds.remote_miss < 900);
+    }
+
+    #[test]
+    fn warm_pass_is_faster_than_cold() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::dgx1().noiseless());
+        let rep = measure_timing(&mut sys, GpuId::new(0), GpuId::new(2), 32).unwrap();
+        let avg = |v: &[u32]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        assert!(avg(&rep.samples.local_hit) < avg(&rep.samples.local_miss));
+        assert!(avg(&rep.samples.remote_hit) < avg(&rep.samples.remote_miss));
+        assert!(avg(&rep.samples.local_miss) < avg(&rep.samples.remote_hit));
+    }
+
+    #[test]
+    fn kmeans_separates_synthetic_clusters() {
+        let mut data = Vec::new();
+        for base in [100u32, 300, 500, 900] {
+            for d in 0..20 {
+                data.push(base + d % 7);
+            }
+        }
+        let c = kmeans4(&data);
+        for (got, want) in c.iter().zip([103.0, 303.0, 503.0, 903.0]) {
+            assert!((got - want).abs() < 10.0, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn histogram_bins_sum_to_sample_count() {
+        let samples = vec![10, 12, 25, 100, 101, 102];
+        let h = histogram(&samples, 10);
+        assert_eq!(h.iter().map(|&(_, c)| c).sum::<usize>(), samples.len());
+        assert_eq!(h[0], (10, 2));
+    }
+}

@@ -1,0 +1,220 @@
+//! Address newtypes and the physical-address → cache-set mapping.
+//!
+//! The simulator keeps three address spaces apart with newtypes
+//! ([`VirtAddr`], [`PhysAddr`], [`GpuId`]) so that attack code can never
+//! accidentally index a cache with a virtual address: the L2 is *physically
+//! indexed*, which is precisely what makes eviction-set discovery
+//! non-trivial for the user-space attacker in the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one GPU in the box (0-based).
+///
+/// # Examples
+///
+/// ```
+/// use gpubox_sim::GpuId;
+/// let g = GpuId::new(3);
+/// assert_eq!(g.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GpuId(u8);
+
+impl GpuId {
+    /// Creates a new GPU identifier.
+    pub fn new(index: u8) -> Self {
+        GpuId(index)
+    }
+
+    /// Returns the 0-based index of this GPU.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GPU{}", self.0)
+    }
+}
+
+impl From<u8> for GpuId {
+    fn from(v: u8) -> Self {
+        GpuId(v)
+    }
+}
+
+/// A per-process virtual address.
+///
+/// Virtual addresses are what the attacker manipulates; the mapping to
+/// physical frames is randomised by the driver model in
+/// [`crate::vm::AddressSpace`] and never exposed.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// Byte offset addition.
+    #[must_use]
+    pub fn offset(self, bytes: u64) -> Self {
+        VirtAddr(self.0 + bytes)
+    }
+
+    /// The raw address value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+/// A physical address within one GPU's HBM.
+///
+/// A `PhysAddr` is only meaningful together with the [`GpuId`] of its home
+/// GPU; [`PhysLoc`] bundles the two.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// The raw address value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pa:{:#x}", self.0)
+    }
+}
+
+/// A fully resolved physical location: which GPU's HBM, and where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhysLoc {
+    /// The GPU whose HBM holds this address (the *home* GPU — its L2
+    /// caches this line, per the paper's NUMA reverse engineering).
+    pub gpu: GpuId,
+    /// Address within that GPU's physical memory.
+    pub addr: PhysAddr,
+}
+
+impl fmt::Display for PhysLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.addr, self.gpu)
+    }
+}
+
+/// Index of a cache set within one L2.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SetIndex(pub u32);
+
+impl SetIndex {
+    /// The raw set number.
+    pub fn raw(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SetIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "set:{}", self.0)
+    }
+}
+
+/// A physical page-frame number within one GPU's HBM.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct FrameNumber(pub u64);
+
+/// A virtual page number within one process address space.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PageNumber(pub u64);
+
+/// Computes the cache-set index for a physical address.
+///
+/// The mapping uses the bits directly above the line offset, i.e.
+/// `set = (pa >> log2(line)) mod num_sets`. This matches the paper's
+/// observation that *"the addresses within a single page will hash to
+/// consecutive sets in the physical cache"* (Sec. V-A): lines of one page
+/// land in consecutive sets, while the page's *frame* placement (and hence
+/// the base set) is unknown to the user.
+pub fn set_index(pa: PhysAddr, line_size: u64, num_sets: u64) -> SetIndex {
+    debug_assert!(line_size.is_power_of_two());
+    debug_assert!(num_sets.is_power_of_two());
+    SetIndex(((pa.0 / line_size) & (num_sets - 1)) as u32)
+}
+
+/// Computes the cache line address (physical address with the line offset
+/// stripped) used as the tag key.
+pub fn line_address(pa: PhysAddr, line_size: u64) -> u64 {
+    pa.0 / line_size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_index_is_page_consecutive() {
+        // Within a page, consecutive lines map to consecutive sets.
+        let line = 128;
+        let sets = 2048;
+        let base = PhysAddr(0x40000);
+        let s0 = set_index(base, line, sets);
+        let s1 = set_index(PhysAddr(base.0 + line), line, sets);
+        assert_eq!(s1.0, (s0.0 + 1) % sets as u32);
+    }
+
+    #[test]
+    fn set_index_wraps_modulo_sets() {
+        let line = 128;
+        let sets = 2048;
+        let pa = PhysAddr(line * sets); // exactly one full cache span
+        assert_eq!(set_index(pa, line, sets), SetIndex(0));
+    }
+
+    #[test]
+    fn same_set_addresses_differ_by_cache_span() {
+        let line = 128;
+        let sets = 2048;
+        let span = line * sets;
+        for k in 0..20u64 {
+            assert_eq!(
+                set_index(PhysAddr(777 * line + k * span), line, sets),
+                set_index(PhysAddr(777 * line), line, sets)
+            );
+        }
+    }
+
+    #[test]
+    fn line_address_strips_offset() {
+        assert_eq!(line_address(PhysAddr(128 * 5 + 17), 128), 5);
+    }
+
+    #[test]
+    fn gpu_id_display_and_index() {
+        let g = GpuId::new(7);
+        assert_eq!(g.to_string(), "GPU7");
+        assert_eq!(g.index(), 7);
+        assert_eq!(GpuId::from(2), GpuId::new(2));
+    }
+
+    #[test]
+    fn virt_addr_offset() {
+        assert_eq!(VirtAddr(100).offset(28), VirtAddr(128));
+        assert_eq!(VirtAddr(100).raw(), 100);
+    }
+}

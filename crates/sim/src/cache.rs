@@ -1,0 +1,306 @@
+//! Set-associative L2 cache model.
+//!
+//! One [`L2Cache`] instance sits on every GPU. Crucially — and this is the
+//! paper's central reverse-engineering result (Sec. III-A) — a line is
+//! cached in the L2 of the GPU *whose HBM homes the physical page*, no
+//! matter which GPU issued the access. The cache is physically indexed, so
+//! user code cannot predict which set a virtual address lands in.
+
+use crate::address::{line_address, set_index, PhysAddr, SetIndex};
+use crate::config::CacheConfig;
+use crate::replacement::SetPolicy;
+use rand::Rng;
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was filled; `evicted` carries the displaced line address.
+    Miss {
+        /// Line address that was evicted to make room, if the way held one.
+        evicted: Option<u64>,
+    },
+}
+
+impl AccessOutcome {
+    /// Whether the access hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CacheSet {
+    /// `ways[i]` holds the line address resident in way `i`.
+    ways: Vec<Option<u64>>,
+    policy: SetPolicy,
+    hits: u64,
+    misses: u64,
+}
+
+/// A physically indexed, set-associative, write-allocate cache.
+#[derive(Debug, Clone)]
+pub struct L2Cache {
+    sets: Vec<CacheSet>,
+    line_size: u64,
+    num_sets: u64,
+}
+
+impl L2Cache {
+    /// Builds an empty cache from its geometry.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let num_sets = cfg.num_sets();
+        let sets = (0..num_sets)
+            .map(|_| CacheSet {
+                ways: vec![None; cfg.ways as usize],
+                policy: SetPolicy::new(cfg.replacement, cfg.ways),
+                hits: 0,
+                misses: 0,
+            })
+            .collect();
+        L2Cache {
+            sets,
+            line_size: cfg.line_size,
+            num_sets,
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.num_sets
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// The set a physical address maps to.
+    pub fn set_of(&self, pa: PhysAddr) -> SetIndex {
+        set_index(pa, self.line_size, self.num_sets)
+    }
+
+    /// The set a physical address maps to under an optional MIG-style
+    /// partition `(index, count)`: the address is confined to the
+    /// partition's contiguous slice of sets (paper Sec. VII).
+    pub fn set_of_partitioned(&self, pa: PhysAddr, partition: Option<(u32, u32)>) -> SetIndex {
+        match partition {
+            None => self.set_of(pa),
+            Some((idx, count)) => {
+                let span = (self.num_sets / u64::from(count)).max(1);
+                let line = crate::address::line_address(pa, self.line_size);
+                SetIndex((u64::from(idx) * span + line % span) as u32)
+            }
+        }
+    }
+
+    /// Performs an access (load or store — the L2 is write-allocate) and
+    /// updates replacement state and statistics.
+    pub fn access<R: Rng>(&mut self, pa: PhysAddr, rng: &mut R) -> AccessOutcome {
+        self.access_partitioned(pa, rng, None)
+    }
+
+    /// As [`L2Cache::access`], but with an optional MIG-style partition
+    /// confining the line to a slice of the sets.
+    pub fn access_partitioned<R: Rng>(
+        &mut self,
+        pa: PhysAddr,
+        rng: &mut R,
+        partition: Option<(u32, u32)>,
+    ) -> AccessOutcome {
+        let set_idx = self.set_of_partitioned(pa, partition).raw();
+        let line = line_address(pa, self.line_size);
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.ways.iter().position(|w| *w == Some(line)) {
+            set.policy.touch(way as u8);
+            set.hits += 1;
+            return AccessOutcome::Hit;
+        }
+        set.misses += 1;
+        // Prefer an empty way before evicting.
+        if let Some(free) = set.ways.iter().position(Option::is_none) {
+            set.ways[free] = Some(line);
+            set.policy.touch(free as u8);
+            return AccessOutcome::Miss { evicted: None };
+        }
+        let victim_way = set.policy.evict(rng) as usize;
+        let evicted = set.ways[victim_way];
+        set.ways[victim_way] = Some(line);
+        AccessOutcome::Miss { evicted }
+    }
+
+    /// Whether the line holding `pa` is currently resident (no state change;
+    /// ground-truth inspection for tests, not reachable by attack code).
+    pub fn probe_resident(&self, pa: PhysAddr) -> bool {
+        self.probe_resident_partitioned(pa, None)
+    }
+
+    /// As [`L2Cache::probe_resident`] under an optional partition.
+    pub fn probe_resident_partitioned(&self, pa: PhysAddr, partition: Option<(u32, u32)>) -> bool {
+        let set_idx = self.set_of_partitioned(pa, partition).raw();
+        let line = line_address(pa, self.line_size);
+        self.sets[set_idx].ways.contains(&Some(line))
+    }
+
+    /// Hit/miss counters of one set: `(hits, misses)`.
+    pub fn set_stats(&self, set: SetIndex) -> (u64, u64) {
+        let s = &self.sets[set.raw()];
+        (s.hits, s.misses)
+    }
+
+    /// Total `(hits, misses)` over all sets.
+    pub fn totals(&self) -> (u64, u64) {
+        self.sets
+            .iter()
+            .fold((0, 0), |(h, m), s| (h + s.hits, m + s.misses))
+    }
+
+    /// Number of occupied ways in a set (ground truth for tests).
+    pub fn set_occupancy(&self, set: SetIndex) -> usize {
+        self.sets[set.raw()]
+            .ways
+            .iter()
+            .filter(|w| w.is_some())
+            .count()
+    }
+
+    /// Clears all contents and statistics.
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            for w in &mut s.ways {
+                *w = None;
+            }
+            s.hits = 0;
+            s.misses = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReplacementKind;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn cache() -> L2Cache {
+        L2Cache::new(&CacheConfig {
+            size_bytes: 16 * 128 * 8, // 8 sets, 16 ways
+            line_size: 128,
+            ways: 16,
+            replacement: ReplacementKind::Lru,
+        })
+    }
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(9)
+    }
+
+    /// Address of the `k`-th distinct line mapping to `set`.
+    fn addr_in_set(c: &L2Cache, set: u64, k: u64) -> PhysAddr {
+        PhysAddr(set * c.line_size() + k * c.line_size() * c.num_sets())
+    }
+
+    #[test]
+    fn cold_access_misses_then_hits() {
+        let mut c = cache();
+        let mut r = rng();
+        let pa = PhysAddr(0x1000);
+        assert!(!c.access(pa, &mut r).is_hit());
+        assert!(c.access(pa, &mut r).is_hit());
+    }
+
+    #[test]
+    fn same_line_different_offset_hits() {
+        let mut c = cache();
+        let mut r = rng();
+        assert!(!c.access(PhysAddr(0x100), &mut r).is_hit());
+        // 0x100..0x180 is one 128 B line.
+        assert!(c.access(PhysAddr(0x17f), &mut r).is_hit());
+    }
+
+    #[test]
+    fn sixteen_ways_fit_seventeenth_evicts() {
+        let mut c = cache();
+        let mut r = rng();
+        for k in 0..16 {
+            c.access(addr_in_set(&c, 3, k), &mut r);
+        }
+        // All 16 still resident.
+        for k in 0..16 {
+            assert!(c.probe_resident(addr_in_set(&c, 3, k)), "line {k} resident");
+        }
+        // A 17th line evicts the LRU line (line 0).
+        let out = c.access(addr_in_set(&c, 3, 16), &mut r);
+        match out {
+            AccessOutcome::Miss { evicted: Some(e) } => {
+                assert_eq!(e, addr_in_set(&c, 3, 0).0 / 128);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(!c.probe_resident(addr_in_set(&c, 3, 0)));
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut c = cache();
+        let mut r = rng();
+        c.access(addr_in_set(&c, 1, 0), &mut r);
+        for k in 0..32 {
+            c.access(addr_in_set(&c, 2, k), &mut r);
+        }
+        assert!(c.probe_resident(addr_in_set(&c, 1, 0)));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = cache();
+        let mut r = rng();
+        let pa = addr_in_set(&c, 5, 0);
+        c.access(pa, &mut r);
+        c.access(pa, &mut r);
+        c.access(pa, &mut r);
+        let (h, m) = c.set_stats(SetIndex(5));
+        assert_eq!((h, m), (2, 1));
+        let (th, tm) = c.totals();
+        assert_eq!((th, tm), (2, 1));
+    }
+
+    #[test]
+    fn flush_empties_everything() {
+        let mut c = cache();
+        let mut r = rng();
+        let pa = PhysAddr(0x2000);
+        c.access(pa, &mut r);
+        c.flush();
+        assert!(!c.probe_resident(pa));
+        assert_eq!(c.totals(), (0, 0));
+        assert_eq!(c.set_occupancy(c.set_of(pa)), 0);
+    }
+
+    #[test]
+    fn lru_touch_protects_recently_used() {
+        let mut c = cache();
+        let mut r = rng();
+        for k in 0..16 {
+            c.access(addr_in_set(&c, 0, k), &mut r);
+        }
+        // Re-touch line 0 so it is MRU.
+        c.access(addr_in_set(&c, 0, 0), &mut r);
+        // Fill one more: victim should be line 1, not line 0.
+        c.access(addr_in_set(&c, 0, 16), &mut r);
+        assert!(c.probe_resident(addr_in_set(&c, 0, 0)));
+        assert!(!c.probe_resident(addr_in_set(&c, 0, 1)));
+    }
+
+    #[test]
+    fn occupancy_tracks_fills() {
+        let mut c = cache();
+        let mut r = rng();
+        for k in 0..5 {
+            c.access(addr_in_set(&c, 7, k), &mut r);
+        }
+        assert_eq!(c.set_occupancy(SetIndex(7)), 5);
+    }
+}

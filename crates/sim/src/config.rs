@@ -1,0 +1,327 @@
+//! System, cache, timing and noise configuration.
+//!
+//! [`SystemConfig::dgx1`] reproduces the machine the paper attacks: an
+//! NVIDIA DGX-1 with eight Pascal P100 GPUs connected by NVLink-V1 in a
+//! hybrid cube-mesh (paper Fig. 1, Fig. 2, Table I).
+
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one L2 cache (paper Table I for the P100).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (P100: 4 MiB).
+    pub size_bytes: u64,
+    /// Cache line size in bytes (P100: 128 B).
+    pub line_size: u64,
+    /// Associativity (P100: 16 ways).
+    pub ways: u32,
+    /// Replacement policy used by every set.
+    pub replacement: ReplacementKind,
+}
+
+impl CacheConfig {
+    /// L2 configuration of the Tesla P100 as reverse engineered in the
+    /// paper (Table I): 4 MiB, 2048 sets, 128 B lines, 16-way, LRU.
+    pub fn p100_l2() -> Self {
+        CacheConfig {
+            size_bytes: 4 * 1024 * 1024,
+            line_size: 128,
+            ways: 16,
+            replacement: ReplacementKind::Lru,
+        }
+    }
+
+    /// Number of sets implied by size, line size and associativity.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.line_size * u64::from(self.ways))
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::p100_l2()
+    }
+}
+
+/// Which replacement policy the cache sets use.
+///
+/// The paper infers LRU (or pseudo-LRU) from the deterministic
+/// every-16th-access eviction pattern (Fig. 5); the other variants exist
+/// for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ReplacementKind {
+    /// True least-recently-used.
+    #[default]
+    Lru,
+    /// Tree pseudo-LRU (binary decision tree per set).
+    TreePlru,
+    /// Uniform random victim selection.
+    Random,
+}
+
+/// Latency model constants, in GPU core cycles.
+///
+/// Calibrated to the four timing clusters measured in the paper's Fig. 4
+/// and the covert-channel trace of Fig. 10 (probe hit ≈ 630 cycles, probe
+/// miss ≈ 950 cycles when accessing a remote GPU's memory).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingConfig {
+    /// Local L2 hit latency (paper: "just over 250" — we use 270).
+    pub l2_hit: u32,
+    /// Extra cycles for an HBM access on a local L2 miss (270+180 = 450).
+    pub dram_penalty: u32,
+    /// Extra round-trip cycles for one NVLink hop (270+360 = 630 remote hit).
+    pub nvlink_hop: u32,
+    /// Extra serialisation cycles on a remote miss beyond hit+dram
+    /// (270+180+360+140 = 950 remote miss).
+    pub remote_miss_extra: u32,
+    /// Extra round-trip cycles when the route falls back to PCIe.
+    pub pcie_round_trip: u32,
+    /// Standard deviation of the Gaussian timing jitter applied per access.
+    pub jitter_sigma: f64,
+    /// Cycles added per concurrently active *other* agent recently touching
+    /// the same GPU (port/bank contention, the error driver of Fig. 9).
+    pub contention_per_actor: u32,
+    /// Pressure saturates at this many concurrent actors (ports pipeline;
+    /// beyond this, extra requesters queue rather than slow every access).
+    pub contention_pressure_cap: u32,
+    /// Window (cycles) in which another agent's access counts as concurrent.
+    pub contention_window: u64,
+    /// Per-access probability (times the uncapped pressure) of triggering
+    /// a *congestion episode* on the home GPU: a burst during which every
+    /// access pays [`TimingConfig::contention_spike_cycles`] extra. Bursty
+    /// congestion is what corrupts whole covert-channel bit slots (Fig. 9).
+    pub contention_spike_prob: f64,
+    /// Extra cycles per access while the GPU is congested.
+    pub contention_spike_cycles: u32,
+    /// Duration of one congestion episode, cycles.
+    pub congestion_cycles: u64,
+    /// Cycles of NVLink serialisation per concurrent *other* remote
+    /// requester to the same home GPU (link queueing: the second error
+    /// driver of Fig. 9 at high set counts).
+    pub nvlink_queue_per_req: u32,
+    /// Issue gap between back-to-back loads of one warp (memory-level
+    /// parallelism: a 16-line probe does not pay 16 full latencies).
+    pub issue_gap: u32,
+    /// GPU core clock in Hz (P100 boost clock ≈ 1.48 GHz), used to convert
+    /// cycles to wall-clock bandwidth.
+    pub clock_hz: f64,
+}
+
+impl TimingConfig {
+    /// Timing constants calibrated to the paper's P100 measurements.
+    pub fn p100() -> Self {
+        TimingConfig {
+            l2_hit: 270,
+            dram_penalty: 180,
+            nvlink_hop: 360,
+            remote_miss_extra: 140,
+            pcie_round_trip: 1900,
+            jitter_sigma: 9.0,
+            contention_per_actor: 14,
+            contention_pressure_cap: 10,
+            contention_window: 2_000,
+            contention_spike_prob: 1.1e-5,
+            contention_spike_cycles: 260,
+            congestion_cycles: 5_000,
+            nvlink_queue_per_req: 9,
+            issue_gap: 24,
+            clock_hz: 1.48e9,
+        }
+    }
+
+    /// Expected latency of a cached access from `hops` NVLink hops away.
+    pub fn expected_hit(&self, hops: u32) -> u32 {
+        self.l2_hit + hops * self.nvlink_hop
+    }
+
+    /// Expected latency of a missing access from `hops` NVLink hops away.
+    pub fn expected_miss(&self, hops: u32) -> u32 {
+        self.l2_hit + self.dram_penalty + hops * (self.nvlink_hop + self.remote_miss_extra)
+    }
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig::p100()
+    }
+}
+
+/// Streaming-multiprocessor resources of one GPU (paper Fig. 2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmConfig {
+    /// Number of SMs per GPU (P100: 56).
+    pub num_sms: u32,
+    /// Shared memory per SM, bytes (P100: 64 KiB).
+    pub shared_mem_per_sm: u32,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+}
+
+impl SmConfig {
+    /// P100 SM resources.
+    pub fn p100() -> Self {
+        SmConfig {
+            num_sms: 56,
+            shared_mem_per_sm: 64 * 1024,
+            max_blocks_per_sm: 32,
+            max_threads_per_sm: 2048,
+        }
+    }
+}
+
+impl Default for SmConfig {
+    fn default() -> Self {
+        SmConfig::p100()
+    }
+}
+
+/// Whole-box configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of GPUs in the box.
+    pub num_gpus: u8,
+    /// HBM capacity per GPU, bytes (P100: 16 GiB; the simulator allocates
+    /// frames lazily so this is just an upper bound).
+    pub hbm_bytes: u64,
+    /// Page size used by the driver model (GPU big pages: 64 KiB).
+    pub page_size: u64,
+    /// L2 geometry.
+    pub cache: CacheConfig,
+    /// Latency model.
+    pub timing: TimingConfig,
+    /// SM resources.
+    pub sm: SmConfig,
+    /// NVLink/PCIe topology.
+    pub topology: Topology,
+    /// Allow peer access over multi-hop/PCIe routes. The real CUDA runtime
+    /// on the DGX-1 refuses peer access between GPUs that are not directly
+    /// NVLink-connected (paper Sec. III-A), so this defaults to `false`.
+    pub allow_indirect_peer: bool,
+    /// RNG seed for frame placement and jitter; fixed per system for
+    /// reproducible experiments.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's attack platform: an 8-GPU Pascal DGX-1.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gpubox_sim::SystemConfig;
+    /// let cfg = SystemConfig::dgx1();
+    /// assert_eq!(cfg.num_gpus, 8);
+    /// assert_eq!(cfg.cache.num_sets(), 2048);
+    /// ```
+    pub fn dgx1() -> Self {
+        SystemConfig {
+            num_gpus: 8,
+            hbm_bytes: 16 * 1024 * 1024 * 1024,
+            page_size: 64 * 1024,
+            cache: CacheConfig::p100_l2(),
+            timing: TimingConfig::p100(),
+            sm: SmConfig::p100(),
+            topology: Topology::dgx1(),
+            allow_indirect_peer: false,
+            seed: 0xD6B0_C0DE,
+        }
+    }
+
+    /// A two-GPU machine with a small L2 for fast unit tests (64 sets).
+    pub fn small_test() -> Self {
+        let cache = CacheConfig {
+            size_bytes: 64 * 128 * 16,
+            line_size: 128,
+            ways: 16,
+            replacement: ReplacementKind::Lru,
+        };
+        SystemConfig {
+            num_gpus: 2,
+            hbm_bytes: 256 * 1024 * 1024,
+            page_size: 4 * 1024,
+            cache,
+            timing: TimingConfig::p100(),
+            sm: SmConfig::p100(),
+            topology: Topology::fully_connected(2),
+            allow_indirect_peer: false,
+            seed: 42,
+        }
+    }
+
+    /// Replaces the seed (builder-style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the replacement policy (builder-style).
+    #[must_use]
+    pub fn with_replacement(mut self, kind: ReplacementKind) -> Self {
+        self.cache.replacement = kind;
+        self
+    }
+
+    /// Disables timing jitter and contention noise (for deterministic
+    /// ground-truth tests).
+    #[must_use]
+    pub fn noiseless(mut self) -> Self {
+        self.timing.jitter_sigma = 0.0;
+        self.timing.contention_per_actor = 0;
+        self.timing.contention_spike_prob = 0.0;
+        self.timing.nvlink_queue_per_req = 0;
+        self
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::dgx1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p100_l2_matches_table1() {
+        let c = CacheConfig::p100_l2();
+        assert_eq!(c.size_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.num_sets(), 2048);
+        assert_eq!(c.line_size, 128);
+        assert_eq!(c.ways, 16);
+        assert_eq!(c.replacement, ReplacementKind::Lru);
+    }
+
+    #[test]
+    fn timing_clusters_match_fig4() {
+        let t = TimingConfig::p100();
+        assert_eq!(t.expected_hit(0), 270);
+        assert_eq!(t.expected_miss(0), 450);
+        assert_eq!(t.expected_hit(1), 630);
+        assert_eq!(t.expected_miss(1), 950);
+    }
+
+    #[test]
+    fn dgx1_has_eight_gpus() {
+        let cfg = SystemConfig::dgx1();
+        assert_eq!(cfg.num_gpus, 8);
+        assert_eq!(cfg.sm.num_sms, 56);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let cfg = SystemConfig::small_test()
+            .with_seed(7)
+            .with_replacement(ReplacementKind::Random)
+            .noiseless();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.cache.replacement, ReplacementKind::Random);
+        assert_eq!(cfg.timing.jitter_sigma, 0.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Discrete-event interleaver for concurrent agents.
+//!
+//! The covert channel (trojan + spy on different GPUs) and the side channel
+//! (victim + spy) are concurrent programs contending on a shared L2. The
+//! [`Engine`] runs a set of [`Agent`]s in global-timestamp order: it always
+//! steps the agent whose local clock is furthest behind, so accesses hit
+//! the shared caches in true time order.
+//!
+//! Agents express their programs as a stream of [`Op`]s and receive an
+//! [`OpResult`] per op — mirroring how a GPU kernel only observes its own
+//! loads and `clock()` values.
+
+use crate::address::VirtAddr;
+use crate::error::SimResult;
+use crate::system::{AgentId, MultiGpuSystem, ProcessId};
+
+/// One operation an agent asks the machine to perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// A single (dependent) load, e.g. one pointer-chase step.
+    Load(VirtAddr),
+    /// A warp-parallel batch of loads (the covert-channel probe).
+    LoadBatch(Vec<VirtAddr>),
+    /// A store.
+    Store(VirtAddr, u64),
+    /// Busy computation for the given cycles (dummy ops / trigonometric
+    /// wait while sending a "0").
+    Compute(u64),
+    /// The agent is finished.
+    Done,
+}
+
+/// What the machine reports back for one op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpResult {
+    /// Agent-local time when the op started.
+    pub started_at: u64,
+    /// Cycles the op took.
+    pub duration: u64,
+    /// Value loaded (single loads) or 0.
+    pub value: u64,
+    /// Per-line latencies (one entry for `Load`, n for `LoadBatch`).
+    pub latencies: Vec<u32>,
+}
+
+/// A concurrent actor driven by the engine.
+pub trait Agent {
+    /// Returns the next operation. `now` is the agent's local clock.
+    fn next_op(&mut self, now: u64) -> Op;
+
+    /// Receives the result of the op previously returned.
+    fn on_result(&mut self, res: &OpResult);
+
+    /// The process this agent issues memory operations as.
+    fn process(&self) -> ProcessId;
+
+    /// Human-readable label for diagnostics.
+    fn label(&self) -> &str {
+        "agent"
+    }
+}
+
+struct Slot {
+    agent: Box<dyn Agent>,
+    agent_id: AgentId,
+    clock: u64,
+    done: bool,
+}
+
+/// Runs agents against a shared [`MultiGpuSystem`] in timestamp order.
+pub struct Engine<'a> {
+    sys: &'a mut MultiGpuSystem,
+    slots: Vec<Slot>,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine over the system. Clears transient timing state
+    /// (pressure windows, congestion) because agent clocks restart at zero.
+    pub fn new(sys: &'a mut MultiGpuSystem) -> Self {
+        sys.reset_timing_state();
+        Engine {
+            sys,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Adds an agent starting at local time `start` (a launch offset models
+    /// the two malicious processes not starting simultaneously).
+    pub fn add_agent(&mut self, agent: Box<dyn Agent>, start: u64) {
+        let agent_id = self.sys.new_agent();
+        self.slots.push(Slot {
+            agent,
+            agent_id,
+            clock: start,
+            done: false,
+        });
+    }
+
+    /// Runs until every agent is done or the global clock passes
+    /// `deadline` cycles. Returns the final global time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulator error an agent's op produces.
+    pub fn run(&mut self, deadline: u64) -> SimResult<u64> {
+        loop {
+            // Pick the live agent with the smallest local clock.
+            let next = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.done)
+                .min_by_key(|(_, s)| s.clock)
+                .map(|(i, _)| i);
+            let Some(i) = next else {
+                break;
+            };
+            if self.slots[i].clock >= deadline {
+                break;
+            }
+            let now = self.slots[i].clock;
+            let op = self.slots[i].agent.next_op(now);
+            match op {
+                Op::Done => {
+                    self.slots[i].done = true;
+                }
+                Op::Compute(c) => {
+                    let res = OpResult {
+                        started_at: now,
+                        duration: c,
+                        value: 0,
+                        latencies: Vec::new(),
+                    };
+                    self.slots[i].clock += c;
+                    self.slots[i].agent.on_result(&res);
+                }
+                Op::Load(va) => {
+                    let pid = self.slots[i].agent.process();
+                    let acc = self
+                        .sys
+                        .access(pid, self.slots[i].agent_id, va, now, None)?;
+                    let res = OpResult {
+                        started_at: now,
+                        duration: u64::from(acc.latency),
+                        value: acc.value,
+                        latencies: vec![acc.latency],
+                    };
+                    self.slots[i].clock += u64::from(acc.latency);
+                    self.slots[i].agent.on_result(&res);
+                }
+                Op::Store(va, v) => {
+                    let pid = self.slots[i].agent.process();
+                    let acc = self
+                        .sys
+                        .access(pid, self.slots[i].agent_id, va, now, Some(v))?;
+                    let res = OpResult {
+                        started_at: now,
+                        duration: u64::from(acc.latency),
+                        value: v,
+                        latencies: vec![acc.latency],
+                    };
+                    self.slots[i].clock += u64::from(acc.latency);
+                    self.slots[i].agent.on_result(&res);
+                }
+                Op::LoadBatch(vas) => {
+                    let pid = self.slots[i].agent.process();
+                    let b = self
+                        .sys
+                        .access_batch(pid, self.slots[i].agent_id, &vas, now)?;
+                    let res = OpResult {
+                        started_at: now,
+                        duration: b.duration,
+                        value: 0,
+                        latencies: b.latencies,
+                    };
+                    self.slots[i].clock += b.duration;
+                    self.slots[i].agent.on_result(&res);
+                }
+            }
+        }
+        Ok(self.slots.iter().map(|s| s.clock).max().unwrap_or(0))
+    }
+
+    /// Whether every agent has finished.
+    pub fn all_done(&self) -> bool {
+        self.slots.iter().all(|s| s.done)
+    }
+}
+
+impl std::fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("agents", &self.slots.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::GpuId;
+    use crate::config::SystemConfig;
+
+    /// Touches a fixed list of addresses `reps` times.
+    struct Toucher {
+        pid: ProcessId,
+        vas: Vec<VirtAddr>,
+        reps: usize,
+        idx: usize,
+        observed: Vec<(u64, u32)>,
+    }
+
+    impl Agent for Toucher {
+        fn next_op(&mut self, _now: u64) -> Op {
+            if self.idx >= self.vas.len() * self.reps {
+                return Op::Done;
+            }
+            let va = self.vas[self.idx % self.vas.len()];
+            self.idx += 1;
+            Op::Load(va)
+        }
+
+        fn on_result(&mut self, res: &OpResult) {
+            self.observed.push((res.started_at, res.latencies[0]));
+        }
+
+        fn process(&self) -> ProcessId {
+            self.pid
+        }
+    }
+
+    #[test]
+    fn two_agents_interleave_by_time() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let p0 = sys.create_process(GpuId::new(0));
+        let p1 = sys.create_process(GpuId::new(1));
+        sys.enable_peer_access(p1, GpuId::new(0)).unwrap();
+        let b0 = sys.malloc_on(p0, GpuId::new(0), 4096).unwrap();
+        let b1 = sys.malloc_on(p1, GpuId::new(0), 4096).unwrap();
+
+        let a0 = Toucher {
+            pid: p0,
+            vas: vec![b0],
+            reps: 50,
+            idx: 0,
+            observed: vec![],
+        };
+        let a1 = Toucher {
+            pid: p1,
+            vas: vec![b1],
+            reps: 50,
+            idx: 0,
+            observed: vec![],
+        };
+        let mut eng = Engine::new(&mut sys);
+        eng.add_agent(Box::new(a0), 0);
+        eng.add_agent(Box::new(a1), 0);
+        let end = eng.run(u64::MAX).unwrap();
+        assert!(eng.all_done());
+        assert!(end > 0);
+    }
+
+    #[test]
+    fn deadline_stops_infinite_agent() {
+        struct Forever(ProcessId, VirtAddr);
+        impl Agent for Forever {
+            fn next_op(&mut self, _now: u64) -> Op {
+                Op::Load(self.1)
+            }
+            fn on_result(&mut self, _res: &OpResult) {}
+            fn process(&self) -> ProcessId {
+                self.0
+            }
+        }
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let p = sys.create_process(GpuId::new(0));
+        let b = sys.malloc_on(p, GpuId::new(0), 4096).unwrap();
+        let mut eng = Engine::new(&mut sys);
+        eng.add_agent(Box::new(Forever(p, b)), 0);
+        let end = eng.run(100_000).unwrap();
+        assert!(end >= 100_000);
+        assert!(!eng.all_done());
+    }
+
+    #[test]
+    fn compute_advances_without_memory_traffic() {
+        struct Compute(ProcessId, bool);
+        impl Agent for Compute {
+            fn next_op(&mut self, _now: u64) -> Op {
+                if self.1 {
+                    Op::Done
+                } else {
+                    self.1 = true;
+                    Op::Compute(1234)
+                }
+            }
+            fn on_result(&mut self, res: &OpResult) {
+                assert_eq!(res.duration, 1234);
+            }
+            fn process(&self) -> ProcessId {
+                self.0
+            }
+        }
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let p = sys.create_process(GpuId::new(0));
+        let mut eng = Engine::new(&mut sys);
+        eng.add_agent(Box::new(Compute(p, false)), 10);
+        let end = eng.run(u64::MAX).unwrap();
+        assert_eq!(end, 10 + 1234);
+        assert_eq!(sys.stats().total().issued_accesses, 0);
+    }
+
+    #[test]
+    fn start_offsets_are_respected() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let p = sys.create_process(GpuId::new(0));
+        let b = sys.malloc_on(p, GpuId::new(0), 4096).unwrap();
+        let a = Toucher {
+            pid: p,
+            vas: vec![b],
+            reps: 1,
+            idx: 0,
+            observed: vec![],
+        };
+        let mut eng = Engine::new(&mut sys);
+        eng.add_agent(Box::new(a), 5_000);
+        let end = eng.run(u64::MAX).unwrap();
+        assert!(end >= 5_000);
+    }
+}

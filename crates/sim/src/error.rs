@@ -1,0 +1,102 @@
+//! Simulator error type.
+
+use crate::address::{GpuId, VirtAddr};
+use std::fmt;
+
+/// Errors returned by the simulator's public API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A virtual address was accessed that no allocation covers.
+    UnmappedAddress(VirtAddr),
+    /// The referenced GPU does not exist in this system.
+    NoSuchGpu(GpuId),
+    /// The referenced process does not exist.
+    NoSuchProcess(u32),
+    /// Peer access to `remote` was attempted before
+    /// [`crate::system::MultiGpuSystem::enable_peer_access`], mirroring the
+    /// CUDA runtime error.
+    PeerAccessNotEnabled {
+        /// The GPU whose memory was touched without peer access.
+        remote: GpuId,
+    },
+    /// Peer access was requested between GPUs with no direct NVLink, which
+    /// the DGX-1 runtime refuses (paper Sec. III-A).
+    PeerAccessUnavailable {
+        /// GPU issuing the request.
+        from: GpuId,
+        /// Target GPU.
+        to: GpuId,
+    },
+    /// The GPU's HBM is exhausted.
+    OutOfMemory(GpuId),
+    /// A kernel launch asked for more resources than the GPU has free
+    /// (used by the Sec. VI mitigation model).
+    InsufficientSmResources,
+    /// An allocation size was zero or not representable.
+    InvalidAllocation(u64),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnmappedAddress(va) => write!(f, "unmapped virtual address {va}"),
+            SimError::NoSuchGpu(g) => write!(f, "no such gpu {g}"),
+            SimError::NoSuchProcess(p) => write!(f, "no such process {p}"),
+            SimError::PeerAccessNotEnabled { remote } => {
+                write!(f, "peer access to {remote} not enabled")
+            }
+            SimError::PeerAccessUnavailable { from, to } => {
+                write!(
+                    f,
+                    "peer access unavailable between {from} and {to} (no direct nvlink)"
+                )
+            }
+            SimError::OutOfMemory(g) => write!(f, "out of memory on {g}"),
+            SimError::InsufficientSmResources => {
+                write!(f, "insufficient sm resources for kernel launch")
+            }
+            SimError::InvalidAllocation(sz) => write!(f, "invalid allocation size {sz}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience result alias used across the simulator.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<SimError> = vec![
+            SimError::UnmappedAddress(VirtAddr(0x10)),
+            SimError::NoSuchGpu(GpuId::new(9)),
+            SimError::NoSuchProcess(3),
+            SimError::PeerAccessNotEnabled {
+                remote: GpuId::new(1),
+            },
+            SimError::PeerAccessUnavailable {
+                from: GpuId::new(0),
+                to: GpuId::new(5),
+            },
+            SimError::OutOfMemory(GpuId::new(0)),
+            SimError::InsufficientSmResources,
+            SimError::InvalidAllocation(0),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

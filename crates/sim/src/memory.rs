@@ -1,0 +1,178 @@
+//! Per-GPU HBM physical memory: frame allocation and backing store.
+//!
+//! Frames are handed out at *random* physical locations. This models the
+//! driver behaviour the paper's attacker fights against: the cache is
+//! physically indexed and the virtual→physical mapping is unknown, so the
+//! set a buffer line lands in cannot be computed — it must be discovered
+//! with the pointer-chase algorithm.
+
+use crate::address::{FrameNumber, GpuId, PhysAddr};
+use crate::error::{SimError, SimResult};
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// One GPU's HBM: a frame allocator plus a sparse word-addressed store.
+#[derive(Debug, Clone)]
+pub struct Hbm {
+    gpu: GpuId,
+    page_size: u64,
+    num_frames: u64,
+    allocated: HashSet<u64>,
+    /// Backing data, one `Vec<u64>` of `page_size/8` words per frame,
+    /// created lazily on first write.
+    data: HashMap<u64, Vec<u64>>,
+}
+
+impl Hbm {
+    /// Creates the HBM of GPU `gpu` with `capacity_bytes / page_size` frames.
+    pub fn new(gpu: GpuId, capacity_bytes: u64, page_size: u64) -> Self {
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        Hbm {
+            gpu,
+            page_size,
+            num_frames: capacity_bytes / page_size,
+            allocated: HashSet::new(),
+            data: HashMap::new(),
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Number of frames currently allocated.
+    pub fn frames_in_use(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// Allocates one frame at a random free physical location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] when no frame is free.
+    pub fn alloc_frame<R: Rng>(&mut self, rng: &mut R) -> SimResult<FrameNumber> {
+        if self.allocated.len() as u64 >= self.num_frames {
+            return Err(SimError::OutOfMemory(self.gpu));
+        }
+        // Rejection-sample a free frame; occupancy in experiments is tiny
+        // relative to 16 GiB so this terminates almost immediately.
+        loop {
+            let f = rng.gen_range(0..self.num_frames);
+            if self.allocated.insert(f) {
+                return Ok(FrameNumber(f));
+            }
+        }
+    }
+
+    /// Releases a frame and drops its contents.
+    pub fn free_frame(&mut self, frame: FrameNumber) {
+        self.allocated.remove(&frame.0);
+        self.data.remove(&frame.0);
+    }
+
+    /// The physical address of byte `offset` within `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= page_size`.
+    pub fn frame_base(&self, frame: FrameNumber) -> PhysAddr {
+        PhysAddr(frame.0 * self.page_size)
+    }
+
+    /// Reads the 8-byte word at physical address `pa` (0 if never written).
+    pub fn read_word(&self, pa: PhysAddr) -> u64 {
+        let frame = pa.0 / self.page_size;
+        let word = (pa.0 % self.page_size) / 8;
+        self.data.get(&frame).map_or(0, |page| page[word as usize])
+    }
+
+    /// Writes the 8-byte word at physical address `pa`.
+    pub fn write_word(&mut self, pa: PhysAddr, value: u64) {
+        let frame = pa.0 / self.page_size;
+        let word = (pa.0 % self.page_size) / 8;
+        let words_per_page = (self.page_size / 8) as usize;
+        let page = self
+            .data
+            .entry(frame)
+            .or_insert_with(|| vec![0; words_per_page]);
+        page[word as usize] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn hbm() -> Hbm {
+        Hbm::new(GpuId::new(0), 1024 * 1024, 4096)
+    }
+
+    #[test]
+    fn alloc_returns_distinct_frames() {
+        let mut h = hbm();
+        let mut r = ChaCha8Rng::seed_from_u64(3);
+        let mut seen = HashSet::new();
+        for _ in 0..100 {
+            let f = h.alloc_frame(&mut r).unwrap();
+            assert!(seen.insert(f.0), "frame {f:?} handed out twice");
+        }
+        assert_eq!(h.frames_in_use(), 100);
+    }
+
+    #[test]
+    fn exhaustion_reports_oom() {
+        let mut h = Hbm::new(GpuId::new(1), 4096 * 4, 4096);
+        let mut r = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..4 {
+            h.alloc_frame(&mut r).unwrap();
+        }
+        assert_eq!(
+            h.alloc_frame(&mut r),
+            Err(SimError::OutOfMemory(GpuId::new(1)))
+        );
+    }
+
+    #[test]
+    fn free_makes_frame_reusable() {
+        let mut h = Hbm::new(GpuId::new(0), 4096, 4096);
+        let mut r = ChaCha8Rng::seed_from_u64(3);
+        let f = h.alloc_frame(&mut r).unwrap();
+        h.free_frame(f);
+        let f2 = h.alloc_frame(&mut r).unwrap();
+        assert_eq!(f, f2, "only one frame exists");
+    }
+
+    #[test]
+    fn words_default_to_zero_and_persist() {
+        let mut h = hbm();
+        let pa = PhysAddr(4096 * 3 + 16);
+        assert_eq!(h.read_word(pa), 0);
+        h.write_word(pa, 0xDEAD_BEEF);
+        assert_eq!(h.read_word(pa), 0xDEAD_BEEF);
+        // Neighbouring word untouched.
+        assert_eq!(h.read_word(PhysAddr(pa.0 + 8)), 0);
+    }
+
+    #[test]
+    fn frame_base_scales_by_page_size() {
+        let h = hbm();
+        assert_eq!(h.frame_base(FrameNumber(5)), PhysAddr(5 * 4096));
+    }
+
+    #[test]
+    fn random_placement_is_scattered() {
+        // Frames from a big HBM should not come out consecutive — that is
+        // the property hiding set indices from the attacker.
+        let mut h = Hbm::new(GpuId::new(0), 256 * 1024 * 1024, 4096);
+        let mut r = ChaCha8Rng::seed_from_u64(11);
+        let frames: Vec<u64> = (0..50).map(|_| h.alloc_frame(&mut r).unwrap().0).collect();
+        let consecutive = frames.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(consecutive < 5, "placement looks sequential: {frames:?}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Background-noise agents (Sec. VI of the paper).
+//!
+//! In a real deployment other tenants' kernels touch the shared L2. A
+//! [`NoiseAgent`] models such a tenant: it sweeps random lines of its own
+//! buffer at a configurable duty cycle, evicting attacker/victim lines and
+//! corrupting channel bits. The mitigation (saturating SM resources so the
+//! noise kernel cannot launch) is modelled in `gpubox-attacks::mitigation`.
+
+use crate::address::VirtAddr;
+use crate::engine::{Agent, Op, OpResult};
+use crate::system::ProcessId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of a background noise tenant.
+#[derive(Debug, Clone)]
+pub struct NoiseConfig {
+    /// Accesses per burst.
+    pub burst_len: u32,
+    /// Idle cycles between bursts (0 = continuous hammering).
+    pub idle_between_bursts: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            burst_len: 32,
+            idle_between_bursts: 20_000,
+            seed: 7,
+        }
+    }
+}
+
+/// An agent that touches random lines of a buffer forever (until the
+/// engine deadline stops it).
+#[derive(Debug)]
+pub struct NoiseAgent {
+    pid: ProcessId,
+    base: VirtAddr,
+    lines: u64,
+    line_size: u64,
+    cfg: NoiseConfig,
+    rng: ChaCha8Rng,
+    in_burst: u32,
+    /// When false, the agent emits only `Compute` ops — the state a
+    /// mitigated (un-launchable) noise kernel is in.
+    active: bool,
+}
+
+impl NoiseAgent {
+    /// Creates a noise tenant over `[base, base + lines*line_size)`.
+    pub fn new(
+        pid: ProcessId,
+        base: VirtAddr,
+        lines: u64,
+        line_size: u64,
+        cfg: NoiseConfig,
+    ) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        NoiseAgent {
+            pid,
+            base,
+            lines,
+            line_size,
+            cfg,
+            rng,
+            in_burst: 0,
+            active: true,
+        }
+    }
+
+    /// Disables memory traffic (the kernel could not launch — Sec. VI
+    /// mitigation in effect).
+    pub fn deactivate(&mut self) {
+        self.active = false;
+    }
+
+    /// Whether the tenant is generating memory traffic.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+}
+
+impl Agent for NoiseAgent {
+    fn next_op(&mut self, _now: u64) -> Op {
+        if !self.active {
+            return Op::Compute(self.cfg.idle_between_bursts.max(1));
+        }
+        if self.in_burst < self.cfg.burst_len {
+            self.in_burst += 1;
+            let line = self.rng.gen_range(0..self.lines);
+            return Op::Load(self.base.offset(line * self.line_size));
+        }
+        self.in_burst = 0;
+        Op::Compute(self.cfg.idle_between_bursts.max(1))
+    }
+
+    fn on_result(&mut self, _res: &OpResult) {}
+
+    fn process(&self) -> ProcessId {
+        self.pid
+    }
+
+    fn label(&self) -> &str {
+        "noise"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::GpuId;
+    use crate::config::SystemConfig;
+    use crate::engine::Engine;
+    use crate::system::MultiGpuSystem;
+
+    #[test]
+    fn noise_generates_l2_traffic() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let p = sys.create_process(GpuId::new(0));
+        let buf = sys.malloc_on(p, GpuId::new(0), 64 * 1024).unwrap();
+        let agent = NoiseAgent::new(p, buf, 512, 128, NoiseConfig::default());
+        let mut eng = Engine::new(&mut sys);
+        eng.add_agent(Box::new(agent), 0);
+        eng.run(2_000_000).unwrap();
+        assert!(sys.stats().total().issued_accesses > 50);
+    }
+
+    #[test]
+    fn deactivated_noise_is_silent() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let p = sys.create_process(GpuId::new(0));
+        let buf = sys.malloc_on(p, GpuId::new(0), 64 * 1024).unwrap();
+        let mut agent = NoiseAgent::new(p, buf, 512, 128, NoiseConfig::default());
+        agent.deactivate();
+        assert!(!agent.is_active());
+        let mut eng = Engine::new(&mut sys);
+        eng.add_agent(Box::new(agent), 0);
+        eng.run(2_000_000).unwrap();
+        assert_eq!(sys.stats().total().issued_accesses, 0);
+    }
+}

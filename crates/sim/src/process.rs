@@ -1,0 +1,193 @@
+//! Ergonomic per-process view with a local clock — the "CUDA kernel" API.
+//!
+//! [`ProcessCtx`] borrows the system and tracks the process's clock, so
+//! single-actor phases (reverse engineering, eviction-set discovery) read
+//! like the paper's pseudo-code: `ldcg` + `clock()` deltas.
+
+use crate::address::{GpuId, VirtAddr};
+use crate::error::SimResult;
+use crate::system::{AgentId, BatchAccess, MultiGpuSystem, ProcessId};
+
+/// A borrowed execution context for one process.
+#[derive(Debug)]
+pub struct ProcessCtx<'a> {
+    sys: &'a mut MultiGpuSystem,
+    pid: ProcessId,
+    agent: AgentId,
+    clock: u64,
+}
+
+impl<'a> ProcessCtx<'a> {
+    /// Wraps a process with a fresh clock starting at `start`.
+    pub fn new(sys: &'a mut MultiGpuSystem, pid: ProcessId, start: u64) -> Self {
+        let agent = sys.default_agent(pid);
+        ProcessCtx {
+            sys,
+            pid,
+            agent,
+            clock: start,
+        }
+    }
+
+    /// The process id.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// The GPU this process's kernels run on.
+    pub fn home(&self) -> GpuId {
+        self.sys.process_home(self.pid)
+    }
+
+    /// Current local clock in cycles (the CUDA `clock()` analogue).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Immutable access to the underlying system.
+    pub fn system(&self) -> &MultiGpuSystem {
+        self.sys
+    }
+
+    /// Mutable access to the underlying system (for oracle calls in tests).
+    pub fn system_mut(&mut self) -> &mut MultiGpuSystem {
+        self.sys
+    }
+
+    /// Allocates device memory on `gpu` (peer access must be enabled for
+    /// remote GPUs).
+    ///
+    /// # Errors
+    ///
+    /// See [`MultiGpuSystem::malloc_on`].
+    pub fn malloc_on(&mut self, gpu: GpuId, bytes: u64) -> SimResult<VirtAddr> {
+        self.sys.malloc_on(self.pid, gpu, bytes)
+    }
+
+    /// Enables peer access to `remote`.
+    ///
+    /// # Errors
+    ///
+    /// See [`MultiGpuSystem::enable_peer_access`].
+    pub fn enable_peer_access(&mut self, remote: GpuId) -> SimResult<()> {
+        self.sys.enable_peer_access(self.pid, remote)
+    }
+
+    /// Timed load bypassing L1 (the paper's `__ldcg()`); returns
+    /// `(value, cycles)` and advances the clock.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped addresses or missing peer access.
+    pub fn ldcg(&mut self, va: VirtAddr) -> SimResult<(u64, u32)> {
+        let acc = self
+            .sys
+            .access(self.pid, self.agent, va, self.clock, None)?;
+        self.clock += u64::from(acc.latency);
+        Ok((acc.value, acc.latency))
+    }
+
+    /// Timed store; returns the latency and advances the clock.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped addresses or missing peer access.
+    pub fn store(&mut self, va: VirtAddr, value: u64) -> SimResult<u32> {
+        let acc = self
+            .sys
+            .access(self.pid, self.agent, va, self.clock, Some(value))?;
+        self.clock += u64::from(acc.latency);
+        Ok(acc.latency)
+    }
+
+    /// Warp-parallel probe of a group of lines; advances the clock by the
+    /// batch duration.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped addresses or missing peer access.
+    pub fn probe_batch(&mut self, vas: &[VirtAddr]) -> SimResult<BatchAccess> {
+        let b = self
+            .sys
+            .access_batch(self.pid, self.agent, vas, self.clock)?;
+        self.clock += b.duration;
+        Ok(b)
+    }
+
+    /// Spends `cycles` on computation (the paper's "dummy operations" /
+    /// trigonometric busy-wait while transmitting a 0).
+    pub fn compute(&mut self, cycles: u64) {
+        self.clock += cycles;
+    }
+
+    /// Host-side (untimed) initialisation of device words.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped addresses.
+    pub fn write_words(&mut self, va: VirtAddr, words: &[u64]) -> SimResult<()> {
+        self.sys.write_words(self.pid, va, words)
+    }
+
+    /// Builds a pointer-chase chain through `offsets` (byte offsets from
+    /// `base`): word at `offsets[i]` holds the *word index* of
+    /// `offsets[(i+1) % len]`, exactly like the paper's Algorithm 1 buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped addresses.
+    pub fn build_chase_chain(&mut self, base: VirtAddr, offsets: &[u64]) -> SimResult<()> {
+        for i in 0..offsets.len() {
+            let next = offsets[(i + 1) % offsets.len()] / 8;
+            self.sys
+                .write_words(self.pid, base.offset(offsets[i]), &[next])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    #[test]
+    fn clock_advances_with_latency() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let pid = sys.create_process(GpuId::new(0));
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        let buf = ctx.malloc_on(GpuId::new(0), 4096).unwrap();
+        let (_, lat) = ctx.ldcg(buf).unwrap();
+        assert_eq!(ctx.clock(), u64::from(lat));
+        ctx.compute(100);
+        assert_eq!(ctx.clock(), u64::from(lat) + 100);
+    }
+
+    #[test]
+    fn chase_chain_links_offsets() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let pid = sys.create_process(GpuId::new(0));
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        let buf = ctx.malloc_on(GpuId::new(0), 4096).unwrap();
+        let offsets = [0u64, 256, 512];
+        ctx.build_chase_chain(buf, &offsets).unwrap();
+        // Follow the chain by value, like the attack kernel does.
+        let (next, _) = ctx.ldcg(buf).unwrap();
+        assert_eq!(next, 256 / 8);
+        let (next, _) = ctx.ldcg(buf.offset(next * 8)).unwrap();
+        assert_eq!(next, 512 / 8);
+        let (next, _) = ctx.ldcg(buf.offset(next * 8)).unwrap();
+        assert_eq!(next, 0, "chain wraps to start");
+    }
+
+    #[test]
+    fn probe_batch_advances_clock_by_duration() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let pid = sys.create_process(GpuId::new(0));
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        let buf = ctx.malloc_on(GpuId::new(0), 64 * 1024).unwrap();
+        let vas: Vec<VirtAddr> = (0..8).map(|i| buf.offset(i * 128)).collect();
+        let b = ctx.probe_batch(&vas).unwrap();
+        assert_eq!(ctx.clock(), b.duration);
+    }
+}

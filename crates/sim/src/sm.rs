@@ -1,0 +1,291 @@
+//! Streaming multiprocessors and the leftover thread-block scheduler.
+//!
+//! Section VI of the paper proposes excluding noisy co-located kernels by
+//! saturating intra-SM resources (shared memory, block slots) with idle
+//! thread blocks: under the *leftover policy*, a new kernel's blocks are
+//! only placed on SMs with spare resources. This module models exactly
+//! those resources so the mitigation can be demonstrated.
+
+use crate::config::SmConfig;
+use crate::error::{SimError, SimResult};
+use serde::{Deserialize, Serialize};
+
+/// Resource request of one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelLaunch {
+    /// Number of thread blocks in the grid.
+    pub blocks: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Dynamic shared memory per block, bytes.
+    pub shared_mem_per_block: u32,
+}
+
+/// Identifier of a resident kernel on one GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KernelId(pub u32);
+
+#[derive(Debug, Clone, Default)]
+struct SmState {
+    blocks: u32,
+    threads: u32,
+    shared_mem: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Resident {
+    id: KernelId,
+    /// (sm index, blocks placed there)
+    placement: Vec<(u32, u32)>,
+    launch: KernelLaunch,
+}
+
+/// The SM array of one GPU with leftover-policy block placement.
+#[derive(Debug, Clone)]
+pub struct SmArray {
+    cfg: SmConfig,
+    sms: Vec<SmState>,
+    resident: Vec<Resident>,
+    next_id: u32,
+}
+
+impl SmArray {
+    /// Creates an idle SM array.
+    pub fn new(cfg: SmConfig) -> Self {
+        let sms = vec![SmState::default(); cfg.num_sms as usize];
+        SmArray {
+            cfg,
+            sms,
+            resident: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    fn fits(&self, sm: &SmState, l: &KernelLaunch) -> bool {
+        sm.blocks < self.cfg.max_blocks_per_sm
+            && sm.threads + l.threads_per_block <= self.cfg.max_threads_per_sm
+            && sm.shared_mem + l.shared_mem_per_block <= self.cfg.shared_mem_per_sm
+    }
+
+    /// Places a kernel's blocks using the leftover policy (round-robin over
+    /// SMs with spare resources).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InsufficientSmResources`] when not every block
+    /// can be placed; the launch is then not resident at all.
+    pub fn launch(&mut self, l: KernelLaunch) -> SimResult<KernelId> {
+        let mut placement: Vec<(u32, u32)> = Vec::new();
+        let mut trial = self.sms.clone();
+        let mut placed = 0;
+        let mut sm = 0usize;
+        let mut stuck = 0usize;
+        while placed < l.blocks {
+            if stuck >= trial.len() {
+                return Err(SimError::InsufficientSmResources);
+            }
+            if self.fits(&trial[sm], &l) {
+                trial[sm].blocks += 1;
+                trial[sm].threads += l.threads_per_block;
+                trial[sm].shared_mem += l.shared_mem_per_block;
+                match placement.last_mut() {
+                    Some((s, n)) if *s == sm as u32 => *n += 1,
+                    _ => placement.push((sm as u32, 1)),
+                }
+                placed += 1;
+                stuck = 0;
+            } else {
+                stuck += 1;
+            }
+            sm = (sm + 1) % trial.len();
+        }
+        self.sms = trial;
+        let id = KernelId(self.next_id);
+        self.next_id += 1;
+        self.resident.push(Resident {
+            id,
+            placement,
+            launch: l,
+        });
+        Ok(id)
+    }
+
+    /// Terminates a kernel, releasing its resources. No-op on unknown ids.
+    pub fn terminate(&mut self, id: KernelId) {
+        if let Some(pos) = self.resident.iter().position(|r| r.id == id) {
+            let r = self.resident.remove(pos);
+            for (sm, n) in r.placement {
+                let s = &mut self.sms[sm as usize];
+                s.blocks -= n;
+                s.threads -= n * r.launch.threads_per_block;
+                s.shared_mem -= n * r.launch.shared_mem_per_block;
+            }
+        }
+    }
+
+    /// Number of SMs with at least one free block slot *and* free shared
+    /// memory for a minimal (1-thread, 0-byte) block.
+    pub fn sms_accepting_blocks(&self) -> usize {
+        let probe = KernelLaunch {
+            blocks: 1,
+            threads_per_block: 1,
+            shared_mem_per_block: 0,
+        };
+        self.sms.iter().filter(|sm| self.fits(sm, &probe)).count()
+    }
+
+    /// Whether a launch with the given shape could currently be placed.
+    pub fn can_launch(&self, l: &KernelLaunch) -> bool {
+        let mut trial = self.sms.clone();
+        let mut placed = 0;
+        let mut sm = 0usize;
+        let mut stuck = 0usize;
+        while placed < l.blocks {
+            if stuck >= trial.len() {
+                return false;
+            }
+            if self.fits(&trial[sm], l) {
+                trial[sm].blocks += 1;
+                trial[sm].threads += l.threads_per_block;
+                trial[sm].shared_mem += l.shared_mem_per_block;
+                placed += 1;
+                stuck = 0;
+            } else {
+                stuck += 1;
+            }
+            sm = (sm + 1) % trial.len();
+        }
+        true
+    }
+
+    /// Total resident kernels.
+    pub fn resident_kernels(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// The SM configuration.
+    pub fn config(&self) -> &SmConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SmArray {
+        SmArray::new(SmConfig {
+            num_sms: 4,
+            shared_mem_per_sm: 64 * 1024,
+            max_blocks_per_sm: 2,
+            max_threads_per_sm: 2048,
+        })
+    }
+
+    #[test]
+    fn blocks_spread_round_robin() {
+        let mut a = small();
+        let id = a
+            .launch(KernelLaunch {
+                blocks: 4,
+                threads_per_block: 32,
+                shared_mem_per_block: 0,
+            })
+            .unwrap();
+        // Each of 4 SMs got 1 block; all still accept one more.
+        assert_eq!(a.sms_accepting_blocks(), 4);
+        a.terminate(id);
+        assert_eq!(a.resident_kernels(), 0);
+    }
+
+    #[test]
+    fn overflow_is_rejected_atomically() {
+        let mut a = small();
+        // Capacity is 4 SMs × 2 blocks = 8.
+        a.launch(KernelLaunch {
+            blocks: 8,
+            threads_per_block: 1,
+            shared_mem_per_block: 0,
+        })
+        .unwrap();
+        let before = a.resident_kernels();
+        let err = a
+            .launch(KernelLaunch {
+                blocks: 1,
+                threads_per_block: 1,
+                shared_mem_per_block: 0,
+            })
+            .unwrap_err();
+        assert_eq!(err, SimError::InsufficientSmResources);
+        assert_eq!(a.resident_kernels(), before, "failed launch must not leak");
+    }
+
+    #[test]
+    fn shared_memory_saturation_blocks_new_kernels() {
+        // The Sec. VI mitigation: one 32 KiB block per SM (the attack) plus
+        // one 32 KiB idle block per SM leaves no shared memory for others.
+        let mut a = small();
+        a.launch(KernelLaunch {
+            blocks: 4,
+            threads_per_block: 32,
+            shared_mem_per_block: 32 * 1024,
+        })
+        .unwrap();
+        a.launch(KernelLaunch {
+            blocks: 4,
+            threads_per_block: 1,
+            shared_mem_per_block: 32 * 1024,
+        })
+        .unwrap();
+        let noise = KernelLaunch {
+            blocks: 1,
+            threads_per_block: 32,
+            shared_mem_per_block: 1024,
+        };
+        assert!(
+            !a.can_launch(&noise),
+            "noise kernel should find no shared memory"
+        );
+    }
+
+    #[test]
+    fn terminate_frees_resources() {
+        let mut a = small();
+        let id = a
+            .launch(KernelLaunch {
+                blocks: 8,
+                threads_per_block: 1,
+                shared_mem_per_block: 0,
+            })
+            .unwrap();
+        assert_eq!(a.sms_accepting_blocks(), 0);
+        a.terminate(id);
+        assert_eq!(a.sms_accepting_blocks(), 4);
+    }
+
+    #[test]
+    fn thread_limit_enforced() {
+        let mut a = small();
+        let big = KernelLaunch {
+            blocks: 8,
+            threads_per_block: 2048,
+            shared_mem_per_block: 0,
+        };
+        // Each SM can hold only 1 such block (2048 threads); 8 blocks need
+        // 8 SM slots but only 4 SMs exist with thread capacity 1 each.
+        assert!(a.launch(big).is_err());
+        let ok = KernelLaunch {
+            blocks: 4,
+            threads_per_block: 2048,
+            shared_mem_per_block: 0,
+        };
+        assert!(a.launch(ok).is_ok());
+    }
+
+    #[test]
+    fn terminate_unknown_id_is_noop() {
+        let mut a = small();
+        a.terminate(KernelId(99));
+        assert_eq!(a.resident_kernels(), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! System-wide statistics counters.
+
+use crate::address::GpuId;
+use serde::{Deserialize, Serialize};
+
+/// Counters for one GPU.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GpuStats {
+    /// L2 hits observed by this GPU's cache (local + remote requesters).
+    pub l2_hits: u64,
+    /// L2 misses (each implies an HBM access).
+    pub l2_misses: u64,
+    /// Accesses issued by kernels running *on* this GPU.
+    pub issued_accesses: u64,
+    /// Accesses served by this GPU's memory for *remote* requesters.
+    pub remote_served: u64,
+    /// Bytes moved over NVLink on behalf of this GPU's requests.
+    pub nvlink_bytes: u64,
+    /// Accesses that crossed PCIe.
+    pub pcie_accesses: u64,
+    /// Congestion episodes triggered on this GPU.
+    pub congestion_episodes: u64,
+}
+
+/// Statistics for the whole box.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SystemStats {
+    per_gpu: Vec<GpuStats>,
+}
+
+impl SystemStats {
+    /// Creates zeroed stats for `n` GPUs.
+    pub fn new(n: u8) -> Self {
+        SystemStats {
+            per_gpu: vec![GpuStats::default(); n as usize],
+        }
+    }
+
+    /// Counters of one GPU.
+    pub fn gpu(&self, g: GpuId) -> &GpuStats {
+        &self.per_gpu[g.index()]
+    }
+
+    /// Mutable counters of one GPU.
+    pub fn gpu_mut(&mut self, g: GpuId) -> &mut GpuStats {
+        &mut self.per_gpu[g.index()]
+    }
+
+    /// Sum of all per-GPU counters.
+    pub fn total(&self) -> GpuStats {
+        let mut t = GpuStats::default();
+        for g in &self.per_gpu {
+            t.l2_hits += g.l2_hits;
+            t.l2_misses += g.l2_misses;
+            t.issued_accesses += g.issued_accesses;
+            t.remote_served += g.remote_served;
+            t.nvlink_bytes += g.nvlink_bytes;
+            t.pcie_accesses += g.pcie_accesses;
+            t.congestion_episodes += g.congestion_episodes;
+        }
+        t
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        for g in &mut self.per_gpu {
+            *g = GpuStats::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_per_gpu() {
+        let mut s = SystemStats::new(2);
+        s.gpu_mut(GpuId::new(0)).l2_hits = 3;
+        s.gpu_mut(GpuId::new(1)).l2_hits = 4;
+        s.gpu_mut(GpuId::new(1)).nvlink_bytes = 256;
+        let t = s.total();
+        assert_eq!(t.l2_hits, 7);
+        assert_eq!(t.nvlink_bytes, 256);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = SystemStats::new(1);
+        s.gpu_mut(GpuId::new(0)).l2_misses = 9;
+        s.reset();
+        assert_eq!(s.gpu(GpuId::new(0)).l2_misses, 0);
+    }
+}

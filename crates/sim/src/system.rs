@@ -1,0 +1,849 @@
+//! The multi-GPU box: processes, the NUMA access path, and ground truth.
+//!
+//! [`MultiGpuSystem`] implements the behaviour the paper reverse engineers
+//! (Sec. III): an access to a virtual address is translated to a physical
+//! frame on its *home* GPU; the request travels over NVLink if the home GPU
+//! differs from the issuing GPU; it is then looked up in **the home GPU's
+//! L2** (never the local one — caching locally would require coherence);
+//! the latency seen by the issuing warp encodes route × hit/miss.
+
+use crate::address::{GpuId, PhysAddr, SetIndex, VirtAddr};
+use crate::cache::L2Cache;
+use crate::config::SystemConfig;
+use crate::error::{SimError, SimResult};
+use crate::memory::Hbm;
+use crate::sm::{KernelId, KernelLaunch, SmArray};
+use crate::stats::SystemStats;
+use crate::timing::LatencyModel;
+use crate::topology::{LinkKind, Route};
+use crate::vm::AddressSpace;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::{HashSet, VecDeque};
+
+/// Handle to a process created on the box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(pub u32);
+
+/// Identifier of an issuing agent (a thread block / concurrent actor) used
+/// for contention accounting. Each process gets a default agent; the event
+/// engine assigns one per concurrent agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AgentId(pub u32);
+
+/// Ground-truth annotation of one access. **Attack code must not consult
+/// this** — it exists for tests, calibration and experiment bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOracle {
+    /// Whether the access hit in the home GPU's L2.
+    pub hit: bool,
+    /// Home GPU that served the access.
+    pub home: GpuId,
+    /// Cache set the line maps to.
+    pub set: SetIndex,
+    /// Route the request took.
+    pub route: Route,
+}
+
+/// Result of one timed memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// The 8-byte word read (for stores, the value written).
+    pub value: u64,
+    /// Latency in cycles as a `clock()`-style measurement would see it.
+    pub latency: u32,
+    /// Ground truth (not available to a real attacker).
+    pub oracle: AccessOracle,
+}
+
+#[derive(Debug)]
+struct Process {
+    home: GpuId,
+    aspace: AddressSpace,
+    peers: HashSet<GpuId>,
+    /// MIG-style L2 partition `(index, count)` this process is confined
+    /// to, if the defence of paper Sec. VII is enabled.
+    partition: Option<(u32, u32)>,
+}
+
+#[derive(Debug)]
+struct GpuDevice {
+    l2: L2Cache,
+    hbm: Hbm,
+    sms: SmArray,
+}
+
+/// Tracks recent accesses per GPU for port-contention pressure.
+#[derive(Debug, Default)]
+struct PressureTracker {
+    recent: VecDeque<(u64, AgentId)>,
+}
+
+impl PressureTracker {
+    fn record(&mut self, now: u64, agent: AgentId, window: u64) {
+        self.recent.push_back((now, agent));
+        let cutoff = now.saturating_sub(window);
+        while matches!(self.recent.front(), Some(&(t, _)) if t < cutoff) {
+            self.recent.pop_front();
+        }
+        // Bound memory even if times go backwards between agents.
+        while self.recent.len() > 4096 {
+            self.recent.pop_front();
+        }
+    }
+
+    fn pressure(&self, now: u64, agent: AgentId, window: u64) -> u32 {
+        let cutoff = now.saturating_sub(window);
+        let mut others: HashSet<u32> = HashSet::new();
+        for &(t, a) in self.recent.iter().rev() {
+            if t < cutoff {
+                break;
+            }
+            if a != agent {
+                others.insert(a.0);
+            }
+        }
+        others.len() as u32
+    }
+}
+
+/// The simulated multi-GPU machine.
+#[derive(Debug)]
+pub struct MultiGpuSystem {
+    cfg: SystemConfig,
+    gpus: Vec<GpuDevice>,
+    processes: Vec<Process>,
+    latency: LatencyModel,
+    pressure: Vec<PressureTracker>,
+    remote_pressure: Vec<PressureTracker>,
+    congested_until: Vec<u64>,
+    stats: SystemStats,
+    rng: ChaCha8Rng,
+    next_agent: u32,
+}
+
+impl MultiGpuSystem {
+    /// Boots a box from a configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gpubox_sim::{MultiGpuSystem, SystemConfig, GpuId};
+    /// let mut sys = MultiGpuSystem::new(SystemConfig::dgx1());
+    /// let pid = sys.create_process(GpuId::new(0));
+    /// let buf = sys.malloc_on(pid, GpuId::new(0), 4096)?;
+    /// let acc = sys.access(pid, sys.default_agent(pid), buf, 0, None)?;
+    /// assert!(!acc.oracle.hit); // cold access misses
+    /// # Ok::<(), gpubox_sim::SimError>(())
+    /// ```
+    pub fn new(cfg: SystemConfig) -> Self {
+        let gpus = (0..cfg.num_gpus)
+            .map(|i| GpuDevice {
+                l2: L2Cache::new(&cfg.cache),
+                hbm: Hbm::new(GpuId::new(i), cfg.hbm_bytes, cfg.page_size),
+                sms: SmArray::new(cfg.sm.clone()),
+            })
+            .collect();
+        let latency = LatencyModel::new(cfg.timing.clone());
+        let pressure = (0..cfg.num_gpus)
+            .map(|_| PressureTracker::default())
+            .collect();
+        let remote_pressure = (0..cfg.num_gpus)
+            .map(|_| PressureTracker::default())
+            .collect();
+        let congested_until = vec![0u64; cfg.num_gpus as usize];
+        let stats = SystemStats::new(cfg.num_gpus);
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        MultiGpuSystem {
+            cfg,
+            gpus,
+            processes: Vec::new(),
+            latency,
+            pressure,
+            remote_pressure,
+            congested_until,
+            stats,
+            rng,
+            next_agent: 0,
+        }
+    }
+
+    /// The configuration this box was booted with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The latency model (for cycle→seconds conversion etc.).
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SystemStats {
+        &self.stats
+    }
+
+    /// Resets statistics counters (cache contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Clears transient timing state (pressure windows, congestion
+    /// episodes). Agent-local clocks restart from zero for every
+    /// [`crate::engine::Engine`] run, so stale timestamps from a previous
+    /// run must not leak into the next one; the engine calls this on
+    /// construction.
+    pub fn reset_timing_state(&mut self) {
+        for t in &mut self.pressure {
+            t.recent.clear();
+        }
+        for t in &mut self.remote_pressure {
+            t.recent.clear();
+        }
+        for c in &mut self.congested_until {
+            *c = 0;
+        }
+    }
+
+    /// Creates a process whose kernels run on `home`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` does not exist.
+    pub fn create_process(&mut self, home: GpuId) -> ProcessId {
+        assert!(home.index() < self.gpus.len(), "no such gpu {home}");
+        let pid = ProcessId(self.processes.len() as u32);
+        self.processes.push(Process {
+            home,
+            aspace: AddressSpace::new(self.cfg.page_size),
+            peers: HashSet::new(),
+            partition: None,
+        });
+        pid
+    }
+
+    /// The default contention agent of a process (one per process).
+    pub fn default_agent(&self, pid: ProcessId) -> AgentId {
+        AgentId(pid.0)
+    }
+
+    /// Allocates a fresh agent id for an additional concurrent actor
+    /// (thread block) — used by the event engine.
+    pub fn new_agent(&mut self) -> AgentId {
+        self.next_agent += 1;
+        AgentId(1_000_000 + self.next_agent)
+    }
+
+    /// The GPU a process's kernels run on.
+    pub fn process_home(&self, pid: ProcessId) -> GpuId {
+        self.processes[pid.0 as usize].home
+    }
+
+    /// Confines a process to MIG-style L2 partition `index` of `count`
+    /// equal slices (the Sec. VII isolation defence). All of the process's
+    /// lines — local or arriving over NVLink — cache only within its
+    /// slice, so processes in different partitions cannot contend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= count` or `count` is 0 or exceeds the set count.
+    pub fn set_cache_partition(&mut self, pid: ProcessId, index: u32, count: u32) {
+        assert!(count > 0 && index < count, "bad partition {index}/{count}");
+        assert!(
+            u64::from(count) <= self.cfg.cache.num_sets(),
+            "more partitions than sets"
+        );
+        self.processes[pid.0 as usize].partition = Some((index, count));
+    }
+
+    fn process(&self, pid: ProcessId) -> SimResult<&Process> {
+        self.processes
+            .get(pid.0 as usize)
+            .ok_or(SimError::NoSuchProcess(pid.0))
+    }
+
+    /// Mirrors `cudaDeviceEnablePeerAccess`: allows `pid` to map and access
+    /// memory on `remote`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PeerAccessUnavailable`] when the GPUs share no
+    /// direct NVLink (the DGX-1 runtime behaviour the paper reports) unless
+    /// [`SystemConfig::allow_indirect_peer`] is set.
+    pub fn enable_peer_access(&mut self, pid: ProcessId, remote: GpuId) -> SimResult<()> {
+        if remote.index() >= self.gpus.len() {
+            return Err(SimError::NoSuchGpu(remote));
+        }
+        let home = self.process(pid)?.home;
+        if home != remote
+            && !self.cfg.topology.direct_nvlink(home, remote)
+            && !self.cfg.allow_indirect_peer
+        {
+            return Err(SimError::PeerAccessUnavailable {
+                from: home,
+                to: remote,
+            });
+        }
+        self.processes[pid.0 as usize].peers.insert(remote);
+        Ok(())
+    }
+
+    /// Allocates `bytes` of device memory homed on `gpu` and returns the
+    /// virtual base address. Pages get random physical frames.
+    ///
+    /// # Errors
+    ///
+    /// - [`SimError::InvalidAllocation`] for zero-size requests.
+    /// - [`SimError::PeerAccessNotEnabled`] when allocating on a GPU other
+    ///   than the process home without peer access.
+    /// - [`SimError::OutOfMemory`] when the target HBM is full.
+    pub fn malloc_on(&mut self, pid: ProcessId, gpu: GpuId, bytes: u64) -> SimResult<VirtAddr> {
+        if bytes == 0 {
+            return Err(SimError::InvalidAllocation(bytes));
+        }
+        if gpu.index() >= self.gpus.len() {
+            return Err(SimError::NoSuchGpu(gpu));
+        }
+        let home = self.process(pid)?.home;
+        if gpu != home && !self.process(pid)?.peers.contains(&gpu) {
+            return Err(SimError::PeerAccessNotEnabled { remote: gpu });
+        }
+        let pages = bytes.div_ceil(self.cfg.page_size);
+        let mut frames = Vec::with_capacity(pages as usize);
+        for _ in 0..pages {
+            let f = self.gpus[gpu.index()].hbm.alloc_frame(&mut self.rng)?;
+            let base = self.gpus[gpu.index()].hbm.frame_base(f);
+            frames.push((gpu, base));
+        }
+        Ok(self.processes[pid.0 as usize].aspace.map_region(&frames))
+    }
+
+    /// Performs one timed access. `write` carries the value for a store
+    /// (the L2 is write-allocate, so loads and stores behave identically
+    /// for cache state). `now` is the issuing agent's current clock.
+    ///
+    /// This is the simulator's analogue of the paper's `__ldcg()` loads:
+    /// L1 is bypassed and everything is cached in the home GPU's L2.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and peer-access errors.
+    pub fn access(
+        &mut self,
+        pid: ProcessId,
+        agent: AgentId,
+        va: VirtAddr,
+        now: u64,
+        write: Option<u64>,
+    ) -> SimResult<MemAccess> {
+        let (home, issuer, partition) = {
+            let p = self.process(pid)?;
+            let loc = p.aspace.translate(va)?;
+            if loc.gpu != p.home && !p.peers.contains(&loc.gpu) {
+                return Err(SimError::PeerAccessNotEnabled { remote: loc.gpu });
+            }
+            (loc, p.home, p.partition)
+        };
+        let route = self.cfg.topology.route(issuer, home.gpu);
+        let window = self.cfg.timing.contention_window;
+
+        // Cache lookup on the HOME GPU's L2 — the paper's key finding.
+        let dev = &mut self.gpus[home.gpu.index()];
+        let outcome = dev
+            .l2
+            .access_partitioned(home.addr, &mut self.rng, partition);
+        let hit = outcome.is_hit();
+
+        // Backing store.
+        let value = match write {
+            Some(v) => {
+                dev.hbm.write_word(home.addr, v);
+                v
+            }
+            None => dev.hbm.read_word(home.addr),
+        };
+
+        // Contention pressure on the home GPU's L2/ports.
+        let tracker = &mut self.pressure[home.gpu.index()];
+        let pressure = tracker.pressure(now, agent, window);
+        tracker.record(now, agent, window);
+
+        let mut latency = self
+            .latency
+            .access_latency(route, hit, pressure, &mut self.rng);
+        // NVLink serialisation: concurrent remote requesters to the same
+        // home GPU queue on the link.
+        if home.gpu != issuer {
+            let rt = &mut self.remote_pressure[home.gpu.index()];
+            let rp = rt.pressure(now, agent, window);
+            rt.record(now, agent, window);
+            latency += self.cfg.timing.nvlink_queue_per_req * rp;
+        }
+        // Bursty congestion episodes: under pressure, an access can tip the
+        // home GPU's ports into a congested burst during which every access
+        // pays a penalty. Whole-slot corruption of the covert channel (the
+        // Fig. 9 error growth) comes from these episodes.
+        let t = &self.cfg.timing;
+        if now < self.congested_until[home.gpu.index()] {
+            latency += t.contention_spike_cycles
+                + (self.rng.gen::<u32>() % (t.contention_spike_cycles / 2 + 1));
+        } else if pressure > 0
+            && t.contention_spike_prob > 0.0
+            && self
+                .rng
+                .gen_bool((t.contention_spike_prob * f64::from(pressure)).min(1.0))
+        {
+            self.congested_until[home.gpu.index()] = now + t.congestion_cycles;
+            self.stats.gpu_mut(home.gpu).congestion_episodes += 1;
+            latency += t.contention_spike_cycles;
+        }
+
+        // Statistics.
+        let st = self.stats.gpu_mut(home.gpu);
+        if hit {
+            st.l2_hits += 1;
+        } else {
+            st.l2_misses += 1;
+        }
+        if home.gpu != issuer {
+            st.remote_served += 1;
+            match route.kind {
+                LinkKind::NvLink => {
+                    self.stats.gpu_mut(issuer).nvlink_bytes += self.cfg.cache.line_size
+                }
+                LinkKind::Pcie => self.stats.gpu_mut(issuer).pcie_accesses += 1,
+            }
+        }
+        self.stats.gpu_mut(issuer).issued_accesses += 1;
+
+        Ok(MemAccess {
+            value,
+            latency,
+            oracle: AccessOracle {
+                hit,
+                home: home.gpu,
+                set: self.gpus[home.gpu.index()]
+                    .l2
+                    .set_of_partitioned(home.addr, partition),
+                route,
+            },
+        })
+    }
+
+    /// Issues a warp-parallel batch of loads (all 32 threads of a block
+    /// issuing together, as the covert channel's probe does). Returns the
+    /// per-line latencies and the total duration: loads overlap, separated
+    /// by the issue gap, so the batch completes much faster than a serial
+    /// pointer chase.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first address that does not translate.
+    pub fn access_batch(
+        &mut self,
+        pid: ProcessId,
+        agent: AgentId,
+        vas: &[VirtAddr],
+        now: u64,
+    ) -> SimResult<BatchAccess> {
+        let gap = self.latency.issue_gap() as u64;
+        let mut latencies = Vec::with_capacity(vas.len());
+        let mut duration = 0u64;
+        let mut hits = 0u32;
+        for (i, &va) in vas.iter().enumerate() {
+            let issue_at = now + gap * i as u64;
+            let acc = self.access(pid, agent, va, issue_at, None)?;
+            if acc.oracle.hit {
+                hits += 1;
+            }
+            duration = duration.max(gap * i as u64 + u64::from(acc.latency));
+            latencies.push(acc.latency);
+        }
+        Ok(BatchAccess {
+            latencies,
+            duration,
+            hits,
+        })
+    }
+
+    /// Host-side initialisation of device memory (`cudaMemcpy`-style DMA):
+    /// writes words starting at `va` without touching the L2 or the clock.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any address in the range does not translate.
+    pub fn write_words(&mut self, pid: ProcessId, va: VirtAddr, words: &[u64]) -> SimResult<()> {
+        for (i, &w) in words.iter().enumerate() {
+            let loc = self
+                .process(pid)?
+                .aspace
+                .translate(va.offset(8 * i as u64))?;
+            self.gpus[loc.gpu.index()].hbm.write_word(loc.addr, w);
+        }
+        Ok(())
+    }
+
+    /// Host-side read of one device word (no timing, no cache effect).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address does not translate.
+    pub fn read_word(&self, pid: ProcessId, va: VirtAddr) -> SimResult<u64> {
+        let loc = self.process(pid)?.aspace.translate(va)?;
+        Ok(self.gpus[loc.gpu.index()].hbm.read_word(loc.addr))
+    }
+
+    /// Ground truth: the physical cache set a virtual address maps to.
+    /// Attack code must not call this; experiments use it for validation.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address does not translate.
+    pub fn oracle_set_of(&self, pid: ProcessId, va: VirtAddr) -> SimResult<(GpuId, SetIndex)> {
+        let p = self.process(pid)?;
+        let loc = p.aspace.translate(va)?;
+        Ok((
+            loc.gpu,
+            self.gpus[loc.gpu.index()]
+                .l2
+                .set_of_partitioned(loc.addr, p.partition),
+        ))
+    }
+
+    /// Ground truth: whether the line containing `va` is resident in its
+    /// home L2.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address does not translate.
+    pub fn oracle_resident(&self, pid: ProcessId, va: VirtAddr) -> SimResult<bool> {
+        let p = self.process(pid)?;
+        let loc = p.aspace.translate(va)?;
+        Ok(self.gpus[loc.gpu.index()]
+            .l2
+            .probe_resident_partitioned(loc.addr, p.partition))
+    }
+
+    /// Ground-truth per-set `(hits, misses)` of one GPU's L2.
+    pub fn oracle_set_stats(&self, gpu: GpuId, set: SetIndex) -> (u64, u64) {
+        self.gpus[gpu.index()].l2.set_stats(set)
+    }
+
+    /// Flushes one GPU's L2 (between experiment repetitions).
+    pub fn flush_l2(&mut self, gpu: GpuId) {
+        self.gpus[gpu.index()].l2.flush();
+    }
+
+    /// Launches a kernel on a GPU's SM array (resource accounting only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InsufficientSmResources`] when it does not fit.
+    pub fn launch_kernel(&mut self, gpu: GpuId, launch: KernelLaunch) -> SimResult<KernelId> {
+        self.gpus[gpu.index()].sms.launch(launch)
+    }
+
+    /// Terminates a resident kernel.
+    pub fn terminate_kernel(&mut self, gpu: GpuId, id: KernelId) {
+        self.gpus[gpu.index()].sms.terminate(id);
+    }
+
+    /// Whether a kernel of the given shape could launch right now.
+    pub fn can_launch(&self, gpu: GpuId, launch: &KernelLaunch) -> bool {
+        self.gpus[gpu.index()].sms.can_launch(launch)
+    }
+
+    /// The SM array of one GPU (read-only).
+    pub fn sm_array(&self, gpu: GpuId) -> &SmArray {
+        &self.gpus[gpu.index()].sms
+    }
+
+    /// Physical address of `va` — for experiment bookkeeping only.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address does not translate.
+    pub fn oracle_translate(&self, pid: ProcessId, va: VirtAddr) -> SimResult<(GpuId, PhysAddr)> {
+        let loc = self.process(pid)?.aspace.translate(va)?;
+        Ok((loc.gpu, loc.addr))
+    }
+
+    /// Draws from the system RNG (for experiment helpers needing
+    /// reproducible randomness tied to the system seed).
+    pub fn rng_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+}
+
+/// Result of a warp-parallel batch access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchAccess {
+    /// Per-line latency as each thread's `clock()` pair would report.
+    pub latencies: Vec<u32>,
+    /// Cycles until the whole batch completed (with issue-gap overlap).
+    pub duration: u64,
+    /// Ground truth: how many lines hit.
+    pub hits: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    fn boot() -> MultiGpuSystem {
+        MultiGpuSystem::new(SystemConfig::small_test().noiseless())
+    }
+
+    #[test]
+    fn local_access_miss_then_hit_timing() {
+        let mut sys = boot();
+        let p = sys.create_process(GpuId::new(0));
+        let a = sys.default_agent(p);
+        let buf = sys.malloc_on(p, GpuId::new(0), 4096).unwrap();
+        let cold = sys.access(p, a, buf, 0, None).unwrap();
+        let warm = sys.access(p, a, buf, 1000, None).unwrap();
+        assert!(!cold.oracle.hit);
+        assert!(warm.oracle.hit);
+        assert_eq!(cold.latency, 450);
+        assert_eq!(warm.latency, 270);
+    }
+
+    #[test]
+    fn remote_access_cached_on_home_gpu() {
+        let mut sys = boot();
+        let spy = sys.create_process(GpuId::new(1));
+        sys.enable_peer_access(spy, GpuId::new(0)).unwrap();
+        let buf = sys.malloc_on(spy, GpuId::new(0), 4096).unwrap();
+        let cold = sys
+            .access(spy, sys.default_agent(spy), buf, 0, None)
+            .unwrap();
+        let warm = sys
+            .access(spy, sys.default_agent(spy), buf, 2000, None)
+            .unwrap();
+        // Served by GPU0 (home), over one NVLink hop.
+        assert_eq!(cold.oracle.home, GpuId::new(0));
+        assert_eq!(cold.latency, 950);
+        assert_eq!(warm.latency, 630);
+        // The line is resident in GPU0's L2 — visible to a GPU0 process too.
+        let local = sys.create_process(GpuId::new(0));
+        assert_eq!(sys.stats().gpu(GpuId::new(0)).remote_served, 2);
+        let _ = local;
+    }
+
+    #[test]
+    fn peer_access_required_for_remote_malloc() {
+        let mut sys = boot();
+        let p = sys.create_process(GpuId::new(1));
+        let err = sys.malloc_on(p, GpuId::new(0), 4096).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::PeerAccessNotEnabled {
+                remote: GpuId::new(0)
+            }
+        );
+    }
+
+    #[test]
+    fn non_nvlink_peer_access_refused() {
+        // On a DGX-1, GPU0 and GPU5 are two hops apart — the runtime
+        // refuses peer access (paper Sec. III-A).
+        let mut sys = MultiGpuSystem::new(SystemConfig::dgx1().noiseless());
+        let p = sys.create_process(GpuId::new(0));
+        let err = sys.enable_peer_access(p, GpuId::new(5)).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::PeerAccessUnavailable {
+                from: GpuId::new(0),
+                to: GpuId::new(5)
+            }
+        );
+        assert!(sys.enable_peer_access(p, GpuId::new(1)).is_ok());
+    }
+
+    #[test]
+    fn cross_process_contention_on_shared_home_cache() {
+        // Trojan on GPU0, spy on GPU1; both buffers homed on GPU0. Trojan
+        // filling a set evicts the spy's lines there — the covert channel's
+        // physical mechanism.
+        let mut sys = boot();
+        let trojan = sys.create_process(GpuId::new(0));
+        let spy = sys.create_process(GpuId::new(1));
+        sys.enable_peer_access(spy, GpuId::new(0)).unwrap();
+        // Big allocations so both cover many sets.
+        let tb = sys.malloc_on(trojan, GpuId::new(0), 1 << 20).unwrap();
+        let sb = sys.malloc_on(spy, GpuId::new(0), 1 << 20).unwrap();
+
+        // Find a spy line and a trojan line in the same set (via oracle).
+        let (_, target_set) = sys.oracle_set_of(spy, sb).unwrap();
+        let line = sys.config().cache.line_size;
+        let ways = sys.config().cache.ways as u64;
+        let mut trojan_same_set = Vec::new();
+        for k in 0..(1u64 << 20) / line {
+            let va = tb.offset(k * line);
+            if sys.oracle_set_of(trojan, va).unwrap().1 == target_set {
+                trojan_same_set.push(va);
+            }
+            if trojan_same_set.len() as u64 > ways {
+                break;
+            }
+        }
+        assert!(
+            trojan_same_set.len() as u64 > ways,
+            "need >16 conflicting lines"
+        );
+
+        // Spy caches its line; trojan fills the set; spy must now miss.
+        sys.access(spy, sys.default_agent(spy), sb, 0, None)
+            .unwrap();
+        assert!(sys.oracle_resident(spy, sb).unwrap());
+        for (i, &va) in trojan_same_set.iter().enumerate() {
+            sys.access(trojan, sys.default_agent(trojan), va, 100 + i as u64, None)
+                .unwrap();
+        }
+        assert!(
+            !sys.oracle_resident(spy, sb).unwrap(),
+            "trojan must evict spy line"
+        );
+        let probe = sys
+            .access(spy, sys.default_agent(spy), sb, 10_000, None)
+            .unwrap();
+        assert_eq!(probe.latency, 950, "spy sees a remote miss = bit 1");
+    }
+
+    #[test]
+    fn write_words_then_timed_reads() {
+        let mut sys = boot();
+        let p = sys.create_process(GpuId::new(0));
+        let a = sys.default_agent(p);
+        let buf = sys.malloc_on(p, GpuId::new(0), 4096).unwrap();
+        sys.write_words(p, buf, &[7, 8, 9]).unwrap();
+        assert_eq!(sys.access(p, a, buf.offset(8), 0, None).unwrap().value, 8);
+        assert_eq!(sys.read_word(p, buf.offset(16)).unwrap(), 9);
+    }
+
+    #[test]
+    fn batch_access_overlaps_latencies() {
+        let mut sys = boot();
+        let p = sys.create_process(GpuId::new(0));
+        let a = sys.default_agent(p);
+        let buf = sys.malloc_on(p, GpuId::new(0), 64 * 1024).unwrap();
+        let line = sys.config().cache.line_size;
+        let vas: Vec<VirtAddr> = (0..16).map(|i| buf.offset(i * line)).collect();
+        let b = sys.access_batch(p, a, &vas, 0).unwrap();
+        assert_eq!(b.latencies.len(), 16);
+        let serial: u64 = b.latencies.iter().map(|&l| u64::from(l)).sum();
+        assert!(
+            b.duration < serial,
+            "batch should overlap: {} vs {serial}",
+            b.duration
+        );
+    }
+
+    #[test]
+    fn zero_byte_malloc_rejected() {
+        let mut sys = boot();
+        let p = sys.create_process(GpuId::new(0));
+        assert_eq!(
+            sys.malloc_on(p, GpuId::new(0), 0),
+            Err(SimError::InvalidAllocation(0))
+        );
+    }
+
+    #[test]
+    fn stats_track_issued_and_nvlink() {
+        let mut sys = boot();
+        let spy = sys.create_process(GpuId::new(1));
+        sys.enable_peer_access(spy, GpuId::new(0)).unwrap();
+        let buf = sys.malloc_on(spy, GpuId::new(0), 4096).unwrap();
+        sys.access(spy, sys.default_agent(spy), buf, 0, None)
+            .unwrap();
+        assert_eq!(sys.stats().gpu(GpuId::new(1)).issued_accesses, 1);
+        assert_eq!(sys.stats().gpu(GpuId::new(1)).nvlink_bytes, 128);
+        assert_eq!(sys.stats().gpu(GpuId::new(0)).l2_misses, 1);
+    }
+
+    #[test]
+    fn flush_l2_restores_cold_state() {
+        let mut sys = boot();
+        let p = sys.create_process(GpuId::new(0));
+        let a = sys.default_agent(p);
+        let buf = sys.malloc_on(p, GpuId::new(0), 4096).unwrap();
+        sys.access(p, a, buf, 0, None).unwrap();
+        sys.flush_l2(GpuId::new(0));
+        let acc = sys.access(p, a, buf, 100, None).unwrap();
+        assert!(!acc.oracle.hit);
+    }
+
+    #[test]
+    fn partitioned_processes_cannot_contend() {
+        // Sec. VII defence: disjoint L2 slices isolate the processes.
+        let mut sys = boot();
+        let a = sys.create_process(GpuId::new(0));
+        let b = sys.create_process(GpuId::new(0));
+        sys.set_cache_partition(a, 0, 2);
+        sys.set_cache_partition(b, 1, 2);
+        let abuf = sys.malloc_on(a, GpuId::new(0), 4096).unwrap();
+        let bbuf = sys.malloc_on(b, GpuId::new(0), 256 * 1024).unwrap();
+        sys.access(a, sys.default_agent(a), abuf, 0, None).unwrap();
+        assert!(sys.oracle_resident(a, abuf).unwrap());
+        // b sweeps its whole buffer — with only 32 sets per slice this
+        // floods b's slice completely.
+        for k in 0..(256 * 1024 / 128) {
+            sys.access(b, sys.default_agent(b), bbuf.offset(k * 128), 100 + k, None)
+                .unwrap();
+        }
+        assert!(
+            sys.oracle_resident(a, abuf).unwrap(),
+            "a's line must survive b's flood in the other slice"
+        );
+    }
+
+    #[test]
+    fn same_partition_processes_still_contend() {
+        let mut sys = boot();
+        let a = sys.create_process(GpuId::new(0));
+        let b = sys.create_process(GpuId::new(0));
+        sys.set_cache_partition(a, 1, 2);
+        sys.set_cache_partition(b, 1, 2);
+        let abuf = sys.malloc_on(a, GpuId::new(0), 4096).unwrap();
+        let bbuf = sys.malloc_on(b, GpuId::new(0), 512 * 1024).unwrap();
+        sys.access(a, sys.default_agent(a), abuf, 0, None).unwrap();
+        for k in 0..(512 * 1024 / 128) {
+            sys.access(b, sys.default_agent(b), bbuf.offset(k * 128), 100 + k, None)
+                .unwrap();
+        }
+        assert!(
+            !sys.oracle_resident(a, abuf).unwrap(),
+            "co-partitioned flood must evict a's line"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad partition")]
+    fn invalid_partition_rejected() {
+        let mut sys = boot();
+        let p = sys.create_process(GpuId::new(0));
+        sys.set_cache_partition(p, 2, 2);
+    }
+
+    #[test]
+    fn pressure_raises_latency_for_concurrent_agents() {
+        let mut cfg = SystemConfig::small_test();
+        cfg.timing.jitter_sigma = 0.0;
+        cfg.timing.contention_spike_prob = 0.0;
+        let mut sys = MultiGpuSystem::new(cfg);
+        let p = sys.create_process(GpuId::new(0));
+        let buf = sys.malloc_on(p, GpuId::new(0), 4096).unwrap();
+        let a1 = sys.default_agent(p);
+        let a2 = sys.new_agent();
+        sys.access(p, a1, buf, 0, None).unwrap();
+        // a2 accesses at the same time window: sees pressure from a1.
+        let acc = sys.access(p, a2, buf, 100, None).unwrap();
+        assert!(
+            acc.latency > 270,
+            "contended hit should exceed 270: {}",
+            acc.latency
+        );
+    }
+}

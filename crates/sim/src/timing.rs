@@ -1,0 +1,186 @@
+//! Latency model: turns (route, hit/miss, contention pressure) into cycles.
+//!
+//! Calibrated against the paper's Fig. 4 clusters — local hit ≈ 270,
+//! local miss ≈ 450, remote (1 NVLink hop) hit ≈ 630, remote miss ≈ 950 —
+//! plus Gaussian jitter and a port-contention term that grows with the
+//! number of concurrently active agents on a GPU (the Fig. 9 error driver).
+
+use crate::config::TimingConfig;
+use crate::topology::{LinkKind, Route};
+use rand::Rng;
+
+/// Stateless latency calculator.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    cfg: TimingConfig,
+}
+
+impl LatencyModel {
+    /// Creates a model from timing constants.
+    pub fn new(cfg: TimingConfig) -> Self {
+        LatencyModel { cfg }
+    }
+
+    /// The timing constants in use.
+    pub fn config(&self) -> &TimingConfig {
+        &self.cfg
+    }
+
+    /// Latency in cycles of one memory access.
+    ///
+    /// `pressure` counts other agents that recently touched the same GPU;
+    /// each adds [`TimingConfig::contention_per_actor`] cycles (saturating
+    /// at the pressure cap). Bursty congestion episodes are layered on top
+    /// by [`crate::system::MultiGpuSystem`], which owns the persistent
+    /// per-GPU congestion state.
+    pub fn access_latency<R: Rng>(
+        &self,
+        route: Route,
+        hit: bool,
+        pressure: u32,
+        rng: &mut R,
+    ) -> u32 {
+        let base = match (route.kind, hit) {
+            (LinkKind::NvLink, true) => self.cfg.expected_hit(route.hops),
+            (LinkKind::NvLink, false) => self.cfg.expected_miss(route.hops),
+            (LinkKind::Pcie, true) => self.cfg.l2_hit + self.cfg.pcie_round_trip,
+            (LinkKind::Pcie, false) => {
+                self.cfg.l2_hit + self.cfg.dram_penalty + self.cfg.pcie_round_trip
+            }
+        };
+        // The linear term saturates (ports pipeline; beyond the cap extra
+        // requesters queue rather than slowing every access), but queueing
+        // spikes keep scaling with the true number of contenders.
+        let shift = pressure.min(self.cfg.contention_pressure_cap);
+        let mut cycles = base as f64;
+        cycles += self.cfg.contention_per_actor as f64 * f64::from(shift);
+        if self.cfg.jitter_sigma > 0.0 {
+            cycles += gaussian(rng) * self.cfg.jitter_sigma;
+        }
+        cycles.max(1.0) as u32
+    }
+
+    /// Additional cycles between issuing consecutive loads of one warp
+    /// (models memory-level parallelism within a 16-line probe).
+    pub fn issue_gap(&self) -> u32 {
+        self.cfg.issue_gap
+    }
+
+    /// Converts a cycle count to seconds at the configured core clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.cfg.clock_hz
+    }
+}
+
+/// Standard normal sample via Box–Muller (avoids a rand_distr dependency).
+pub(crate) fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn model_noiseless() -> LatencyModel {
+        let mut cfg = TimingConfig::p100();
+        cfg.jitter_sigma = 0.0;
+        cfg.contention_spike_prob = 0.0;
+        LatencyModel::new(cfg)
+    }
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn four_clusters_match_paper() {
+        let m = model_noiseless();
+        let mut r = rng();
+        let local = Route {
+            kind: LinkKind::NvLink,
+            hops: 0,
+        };
+        let remote = Route {
+            kind: LinkKind::NvLink,
+            hops: 1,
+        };
+        assert_eq!(m.access_latency(local, true, 0, &mut r), 270);
+        assert_eq!(m.access_latency(local, false, 0, &mut r), 450);
+        assert_eq!(m.access_latency(remote, true, 0, &mut r), 630);
+        assert_eq!(m.access_latency(remote, false, 0, &mut r), 950);
+    }
+
+    #[test]
+    fn pressure_increases_latency() {
+        let m = model_noiseless();
+        let mut r = rng();
+        let local = Route {
+            kind: LinkKind::NvLink,
+            hops: 0,
+        };
+        let quiet = m.access_latency(local, true, 0, &mut r);
+        let busy = m.access_latency(local, true, 8, &mut r);
+        assert!(busy > quiet);
+    }
+
+    #[test]
+    fn pcie_is_much_slower_than_nvlink() {
+        let m = model_noiseless();
+        let mut r = rng();
+        let pcie = Route {
+            kind: LinkKind::Pcie,
+            hops: 0,
+        };
+        let nv = Route {
+            kind: LinkKind::NvLink,
+            hops: 1,
+        };
+        assert!(m.access_latency(pcie, true, 0, &mut r) > m.access_latency(nv, true, 0, &mut r));
+    }
+
+    #[test]
+    fn jitter_varies_but_stays_near_mean() {
+        let mut cfg = TimingConfig::p100();
+        cfg.jitter_sigma = 9.0;
+        cfg.contention_spike_prob = 0.0;
+        let m = LatencyModel::new(cfg);
+        let mut r = rng();
+        let local = Route {
+            kind: LinkKind::NvLink,
+            hops: 0,
+        };
+        let samples: Vec<u32> = (0..2000)
+            .map(|_| m.access_latency(local, true, 0, &mut r))
+            .collect();
+        let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 270.0).abs() < 3.0, "mean {mean}");
+        assert!(samples.iter().any(|&s| s != samples[0]), "no variation");
+        // Hit and miss clusters must remain separable (4 sigma apart).
+        assert!(
+            samples.iter().all(|&s| s < 400),
+            "hit sample leaked into miss range"
+        );
+    }
+
+    #[test]
+    fn gaussian_is_roughly_standard() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| gaussian(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_clock() {
+        let m = model_noiseless();
+        let s = m.cycles_to_seconds(1_480_000_000);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,228 @@
+//! NVLink/PCIe interconnect topology and routing.
+//!
+//! The DGX-1 connects its eight P100s in a *hybrid cube-mesh* (paper
+//! Fig. 1): two fully connected quads `{0,1,2,3}` and `{4,5,6,7}`, plus one
+//! NVLink between corresponding members of each quad (`i ↔ i+4`). Every
+//! GPU additionally reaches every other GPU through PCIe via the host.
+
+use crate::address::GpuId;
+use serde::{Deserialize, Serialize};
+
+/// Kind of link a route uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Direct NVLink connection (possibly multi-hop through peers).
+    NvLink,
+    /// PCIe through the host root complex.
+    Pcie,
+}
+
+/// A resolved route between two GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// Transport used.
+    pub kind: LinkKind,
+    /// Number of NVLink hops (0 for a local access, meaningless for PCIe).
+    pub hops: u32,
+}
+
+impl Route {
+    /// The trivial local route (same GPU).
+    pub fn local() -> Self {
+        Route {
+            kind: LinkKind::NvLink,
+            hops: 0,
+        }
+    }
+}
+
+/// An undirected multi-GPU interconnect graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    n: u8,
+    /// Adjacency matrix of direct NVLink edges.
+    adj: Vec<Vec<bool>>,
+    /// All-pairs NVLink hop distance (`u32::MAX` when unreachable).
+    dist: Vec<Vec<u32>>,
+}
+
+impl Topology {
+    /// Builds a topology from a node count and an undirected edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node `>= n`.
+    pub fn from_edges(n: u8, edges: &[(u8, u8)]) -> Self {
+        let nn = n as usize;
+        let mut adj = vec![vec![false; nn]; nn];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range for {n} GPUs");
+            adj[a as usize][b as usize] = true;
+            adj[b as usize][a as usize] = true;
+        }
+        let dist = Self::all_pairs(&adj);
+        Topology { n, adj, dist }
+    }
+
+    /// The DGX-1 hybrid cube-mesh over 8 GPUs (paper Fig. 1).
+    pub fn dgx1() -> Self {
+        let mut edges = Vec::new();
+        // Two fully connected quads.
+        for base in [0u8, 4u8] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        // Cross links between the quads.
+        for i in 0..4u8 {
+            edges.push((i, i + 4));
+        }
+        Topology::from_edges(8, &edges)
+    }
+
+    /// A fully connected NVLink clique over `n` GPUs (useful for tests and
+    /// for modelling NVSwitch-style boxes).
+    pub fn fully_connected(n: u8) -> Self {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                edges.push((i, j));
+            }
+        }
+        Topology::from_edges(n, &edges)
+    }
+
+    fn all_pairs(adj: &[Vec<bool>]) -> Vec<Vec<u32>> {
+        let n = adj.len();
+        let mut dist = vec![vec![u32::MAX; n]; n];
+        for (s, row) in dist.iter_mut().enumerate() {
+            // BFS from s.
+            row[s] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                for v in 0..n {
+                    if adj[u][v] && row[v] == u32::MAX {
+                        row[v] = row[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Number of GPUs in the topology.
+    pub fn num_gpus(&self) -> u8 {
+        self.n
+    }
+
+    /// Whether `a` and `b` share a direct NVLink.
+    pub fn direct_nvlink(&self, a: GpuId, b: GpuId) -> bool {
+        a != b && self.adj[a.index()][b.index()]
+    }
+
+    /// NVLink hop distance between two GPUs, if reachable over NVLink.
+    pub fn nvlink_hops(&self, a: GpuId, b: GpuId) -> Option<u32> {
+        let d = self.dist[a.index()][b.index()];
+        (d != u32::MAX).then_some(d)
+    }
+
+    /// Resolves the route used for an access from `src` to memory homed on
+    /// `dst`: NVLink if reachable, PCIe otherwise.
+    pub fn route(&self, src: GpuId, dst: GpuId) -> Route {
+        if src == dst {
+            return Route::local();
+        }
+        match self.nvlink_hops(src, dst) {
+            Some(h) => Route {
+                kind: LinkKind::NvLink,
+                hops: h,
+            },
+            None => Route {
+                kind: LinkKind::Pcie,
+                hops: 0,
+            },
+        }
+    }
+
+    /// Iterates over the direct NVLink peers of `g`.
+    pub fn peers(&self, g: GpuId) -> impl Iterator<Item = GpuId> + '_ {
+        let gi = g.index();
+        (0..self.n)
+            .filter(move |&j| self.adj[gi][j as usize])
+            .map(GpuId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dgx1_every_gpu_has_four_links() {
+        let t = Topology::dgx1();
+        for g in 0..8u8 {
+            let deg = t.peers(GpuId::new(g)).count();
+            assert_eq!(deg, 4, "GPU{g} should have 4 NVLinks");
+        }
+    }
+
+    #[test]
+    fn dgx1_intra_quad_is_one_hop() {
+        let t = Topology::dgx1();
+        assert_eq!(t.nvlink_hops(GpuId::new(0), GpuId::new(3)), Some(1));
+        assert_eq!(t.nvlink_hops(GpuId::new(5), GpuId::new(7)), Some(1));
+    }
+
+    #[test]
+    fn dgx1_cross_quad_corresponding_is_one_hop() {
+        let t = Topology::dgx1();
+        for i in 0..4u8 {
+            assert_eq!(t.nvlink_hops(GpuId::new(i), GpuId::new(i + 4)), Some(1));
+        }
+    }
+
+    #[test]
+    fn dgx1_cross_quad_non_corresponding_is_two_hops() {
+        let t = Topology::dgx1();
+        // 0 and 5 are in different quads and not corresponding: 0-1-5 or 0-4-5.
+        assert_eq!(t.nvlink_hops(GpuId::new(0), GpuId::new(5)), Some(2));
+        assert!(!t.direct_nvlink(GpuId::new(0), GpuId::new(5)));
+    }
+
+    #[test]
+    fn local_route_is_zero_hops() {
+        let t = Topology::dgx1();
+        let r = t.route(GpuId::new(2), GpuId::new(2));
+        assert_eq!(r, Route::local());
+    }
+
+    #[test]
+    fn disconnected_gpus_fall_back_to_pcie() {
+        // Two GPUs, no NVLink edges at all.
+        let t = Topology::from_edges(2, &[]);
+        let r = t.route(GpuId::new(0), GpuId::new(1));
+        assert_eq!(r.kind, LinkKind::Pcie);
+        assert_eq!(t.nvlink_hops(GpuId::new(0), GpuId::new(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        let _ = Topology::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn fully_connected_is_all_one_hop() {
+        let t = Topology::fully_connected(4);
+        for i in 0..4u8 {
+            for j in 0..4u8 {
+                if i != j {
+                    assert_eq!(t.nvlink_hops(GpuId::new(i), GpuId::new(j)), Some(1));
+                }
+            }
+        }
+    }
+}

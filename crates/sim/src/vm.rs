@@ -1,0 +1,156 @@
+//! Per-process virtual address spaces and NUMA page placement.
+//!
+//! The DGX-1 presents a unified address space in which any virtual page may
+//! be backed by any GPU's HBM (paper Sec. III-A). A process allocates a
+//! buffer *on* a chosen GPU (`cudaMalloc` on that device, or a peer
+//! allocation); each page gets a random frame in that GPU's memory.
+
+use crate::address::{GpuId, PageNumber, PhysAddr, PhysLoc, VirtAddr};
+use crate::error::{SimError, SimResult};
+use std::collections::HashMap;
+
+/// Where one virtual page lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mapping {
+    /// Home GPU (whose L2 caches this page).
+    pub gpu: GpuId,
+    /// Physical frame base address within that GPU's HBM.
+    pub frame_base: PhysAddr,
+}
+
+/// One process's page table and VA allocator.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    page_size: u64,
+    next_va: u64,
+    table: HashMap<u64, Mapping>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space with the driver's page size.
+    pub fn new(page_size: u64) -> Self {
+        // Start away from 0 so a null VirtAddr is always unmapped.
+        AddressSpace {
+            page_size,
+            next_va: page_size,
+            table: HashMap::new(),
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Reserves `num_pages` contiguous virtual pages and returns the base
+    /// address. The caller supplies the physical frames (one per page).
+    pub fn map_region(&mut self, frames: &[(GpuId, PhysAddr)]) -> VirtAddr {
+        let base = self.next_va;
+        for (i, &(gpu, frame_base)) in frames.iter().enumerate() {
+            let vpn = base / self.page_size + i as u64;
+            self.table.insert(vpn, Mapping { gpu, frame_base });
+        }
+        self.next_va += frames.len() as u64 * self.page_size;
+        VirtAddr(base)
+    }
+
+    /// Translates a virtual address to its physical location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnmappedAddress`] for addresses outside any
+    /// allocation.
+    pub fn translate(&self, va: VirtAddr) -> SimResult<PhysLoc> {
+        let vpn = va.0 / self.page_size;
+        let off = va.0 % self.page_size;
+        let m = self.table.get(&vpn).ok_or(SimError::UnmappedAddress(va))?;
+        Ok(PhysLoc {
+            gpu: m.gpu,
+            addr: PhysAddr(m.frame_base.0 + off),
+        })
+    }
+
+    /// The page number containing `va`.
+    pub fn page_of(&self, va: VirtAddr) -> PageNumber {
+        PageNumber(va.0 / self.page_size)
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Iterates over all mappings as `(page, mapping)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PageNumber, Mapping)> + '_ {
+        self.table.iter().map(|(&vpn, &m)| (PageNumber(vpn), m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(4096)
+    }
+
+    #[test]
+    fn translate_round_trips_offsets() {
+        let mut s = space();
+        let base = s.map_region(&[(GpuId::new(0), PhysAddr(0x8000))]);
+        let loc = s.translate(base.offset(136)).unwrap();
+        assert_eq!(loc.gpu, GpuId::new(0));
+        assert_eq!(loc.addr, PhysAddr(0x8000 + 136));
+    }
+
+    #[test]
+    fn unmapped_address_errors() {
+        let s = space();
+        assert!(matches!(
+            s.translate(VirtAddr(0x100)),
+            Err(SimError::UnmappedAddress(_))
+        ));
+    }
+
+    #[test]
+    fn regions_are_va_contiguous_but_pa_scattered() {
+        let mut s = space();
+        let frames = vec![
+            (GpuId::new(1), PhysAddr(0x10_0000)),
+            (GpuId::new(1), PhysAddr(0x42_0000)),
+        ];
+        let base = s.map_region(&frames);
+        let a = s.translate(base).unwrap();
+        let b = s.translate(base.offset(4096)).unwrap();
+        assert_eq!(a.addr, PhysAddr(0x10_0000));
+        assert_eq!(b.addr, PhysAddr(0x42_0000));
+        assert_eq!(s.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn successive_regions_do_not_overlap() {
+        let mut s = space();
+        let a = s.map_region(&[(GpuId::new(0), PhysAddr(0))]);
+        let b = s.map_region(&[(GpuId::new(0), PhysAddr(4096))]);
+        assert_ne!(a, b);
+        assert_eq!(b.0 - a.0, 4096);
+    }
+
+    #[test]
+    fn pages_can_home_on_different_gpus() {
+        let mut s = space();
+        let base = s.map_region(&[
+            (GpuId::new(0), PhysAddr(0x1000)),
+            (GpuId::new(3), PhysAddr(0x2000)),
+        ]);
+        assert_eq!(s.translate(base).unwrap().gpu, GpuId::new(0));
+        assert_eq!(s.translate(base.offset(4096)).unwrap().gpu, GpuId::new(3));
+    }
+
+    #[test]
+    fn null_va_is_unmapped() {
+        let mut s = space();
+        s.map_region(&[(GpuId::new(0), PhysAddr(0))]);
+        assert!(s.translate(VirtAddr(0)).is_err());
+    }
+}

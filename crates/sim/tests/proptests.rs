@@ -1,0 +1,189 @@
+//! Property-based tests for the simulator's core invariants.
+
+use gpubox_sim::{
+    CacheConfig, GpuId, L2Cache, MultiGpuSystem, PhysAddr, ReplacementKind, SystemConfig, Topology,
+    VirtAddr,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+/// Reference LRU cache model: per-set recency queue of line addresses.
+struct RefLru {
+    sets: Vec<VecDeque<u64>>,
+    ways: usize,
+    line: u64,
+}
+
+impl RefLru {
+    fn new(num_sets: usize, ways: usize, line: u64) -> Self {
+        RefLru {
+            sets: (0..num_sets).map(|_| VecDeque::new()).collect(),
+            ways,
+            line,
+        }
+    }
+
+    /// Returns whether the access hit.
+    fn access(&mut self, pa: u64) -> bool {
+        let line_addr = pa / self.line;
+        let set = (line_addr % self.sets.len() as u64) as usize;
+        let q = &mut self.sets[set];
+        if let Some(pos) = q.iter().position(|&l| l == line_addr) {
+            q.remove(pos);
+            q.push_front(line_addr);
+            true
+        } else {
+            q.push_front(line_addr);
+            if q.len() > self.ways {
+                q.pop_back();
+            }
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The L2 model must agree access-for-access with a reference LRU.
+    #[test]
+    fn cache_matches_reference_lru(
+        addrs in prop::collection::vec(0u64..(128 * 8 * 64), 1..400)
+    ) {
+        // 8 sets x 4 ways of 128 B lines.
+        let cfg = CacheConfig {
+            size_bytes: 8 * 128 * 4,
+            line_size: 128,
+            ways: 4,
+            replacement: ReplacementKind::Lru,
+        };
+        let mut dut = L2Cache::new(&cfg);
+        let num_sets = cfg.num_sets() as usize;
+        let mut reference = RefLru::new(num_sets, 4, 128);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for &a in &addrs {
+            let hit = dut.access(PhysAddr(a), &mut rng).is_hit();
+            let ref_hit = reference.access(a);
+            prop_assert_eq!(hit, ref_hit, "divergence at address {}", a);
+        }
+    }
+
+    /// Occupancy of a set never exceeds the associativity, and statistics
+    /// add up.
+    #[test]
+    fn cache_occupancy_and_stats_invariants(
+        addrs in prop::collection::vec(0u64..(1 << 20), 1..300)
+    ) {
+        let cfg = CacheConfig::p100_l2();
+        let mut c = L2Cache::new(&cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for &a in &addrs {
+            c.access(PhysAddr(a), &mut rng);
+        }
+        let (h, m) = c.totals();
+        prop_assert_eq!(h + m, addrs.len() as u64);
+        for s in 0..cfg.num_sets() {
+            let occ = c.set_occupancy(gpubox_sim::SetIndex(s as u32));
+            prop_assert!(occ <= cfg.ways as usize);
+        }
+    }
+
+    /// Routing is symmetric and bounded by the cube-mesh diameter (2).
+    #[test]
+    fn dgx1_routing_symmetric_and_bounded(a in 0u8..8, b in 0u8..8) {
+        let t = Topology::dgx1();
+        let (ga, gb) = (GpuId::new(a), GpuId::new(b));
+        prop_assert_eq!(t.nvlink_hops(ga, gb), t.nvlink_hops(gb, ga));
+        if a != b {
+            let h = t.nvlink_hops(ga, gb).expect("connected");
+            prop_assert!((1..=2).contains(&h), "hops {} out of range", h);
+        }
+    }
+
+    /// Device memory is read-your-writes through the timed access path.
+    #[test]
+    fn read_your_writes(
+        writes in prop::collection::vec((0u64..512, 0u64..u64::MAX), 1..40)
+    ) {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test());
+        let pid = sys.create_process(GpuId::new(0));
+        let agent = sys.default_agent(pid);
+        let buf = sys.malloc_on(pid, GpuId::new(0), 4096).unwrap();
+        let mut model = std::collections::HashMap::new();
+        let mut t = 0u64;
+        for &(word, val) in &writes {
+            t += 500;
+            sys.access(pid, agent, buf.offset(word * 8), t, Some(val)).unwrap();
+            model.insert(word, val);
+        }
+        for (&word, &val) in &model {
+            t += 500;
+            let acc = sys.access(pid, agent, buf.offset(word * 8), t, None).unwrap();
+            prop_assert_eq!(acc.value, val);
+        }
+    }
+
+    /// Latency classes are always separable: a warm re-access is strictly
+    /// faster than the cold access that filled it (quiet system).
+    #[test]
+    fn cold_slower_than_warm(seed in 0u64..5000) {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().with_seed(seed));
+        let pid = sys.create_process(GpuId::new(0));
+        let agent = sys.default_agent(pid);
+        let buf = sys.malloc_on(pid, GpuId::new(0), 4096).unwrap();
+        let cold = sys.access(pid, agent, buf, 0, None).unwrap();
+        let warm = sys.access(pid, agent, buf, 2000, None).unwrap();
+        prop_assert!(cold.latency > warm.latency,
+            "cold {} vs warm {}", cold.latency, warm.latency);
+    }
+
+    /// Page placement is a bijection: distinct virtual pages never share a
+    /// physical frame.
+    #[test]
+    fn frame_assignment_is_injective(pages in 1u64..64, seed in 0u64..1000) {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().with_seed(seed));
+        let pid = sys.create_process(GpuId::new(0));
+        let buf = sys.malloc_on(pid, GpuId::new(0), pages * 4096).unwrap();
+        let mut frames = std::collections::HashSet::new();
+        for p in 0..pages {
+            let (g, pa) = sys.oracle_translate(pid, buf.offset(p * 4096)).unwrap();
+            prop_assert_eq!(g, GpuId::new(0));
+            prop_assert!(frames.insert(pa.raw() / 4096), "duplicate frame");
+        }
+    }
+
+    /// The virtual address space never hands out overlapping regions.
+    #[test]
+    fn allocations_never_overlap(sizes in prop::collection::vec(1u64..40_000, 1..20)) {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test());
+        let pid = sys.create_process(GpuId::new(0));
+        let mut regions: Vec<(u64, u64)> = Vec::new();
+        for &sz in &sizes {
+            let base = sys.malloc_on(pid, GpuId::new(0), sz).unwrap();
+            let end = base.raw() + sz;
+            for &(b, e) in &regions {
+                prop_assert!(end <= b || base.raw() >= e, "overlap");
+            }
+            regions.push((base.raw(), end));
+        }
+    }
+
+    /// Batch accesses report one latency per line and a duration at least
+    /// the maximum line latency.
+    #[test]
+    fn batch_duration_bounds(n in 1usize..32) {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test());
+        let pid = sys.create_process(GpuId::new(0));
+        let agent = sys.default_agent(pid);
+        let buf = sys.malloc_on(pid, GpuId::new(0), 64 * 1024).unwrap();
+        let vas: Vec<VirtAddr> = (0..n as u64).map(|i| buf.offset(i * 128)).collect();
+        let b = sys.access_batch(pid, agent, &vas, 0).unwrap();
+        prop_assert_eq!(b.latencies.len(), n);
+        let max = *b.latencies.iter().max().unwrap() as u64;
+        let sum: u64 = b.latencies.iter().map(|&l| u64::from(l)).sum();
+        prop_assert!(b.duration >= max);
+        prop_assert!(n == 1 || b.duration <= sum, "no overlap at all?");
+    }
+}

@@ -1,0 +1,72 @@
+//! Synthetic input-data generation shared by the workloads.
+//!
+//! Substitutes for the datasets the paper's victims consume (random option
+//! parameters, input vectors, and an MNIST-like digit set for the MLP —
+//! the real MNIST files are not redistributable here; the access patterns
+//! only depend on shapes, not pixel values).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic RNG for a workload run.
+pub fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Uniform floats in `[lo, hi)`.
+pub fn uniform_vec(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(lo..hi)).collect()
+}
+
+/// A synthetic "digit" dataset: `n` images of `dim` features in `[0,1]`
+/// with `classes` labels; images of one class share a class-dependent
+/// blob pattern plus noise, so a small MLP can actually learn them.
+pub fn synthetic_digits(
+    n: usize,
+    dim: usize,
+    classes: usize,
+    seed: u64,
+) -> (Vec<Vec<f32>>, Vec<usize>) {
+    let mut r = rng(seed);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = i % classes;
+        let x: Vec<f32> = (0..dim)
+            .map(|d| {
+                let hot = (d * classes / dim) == label;
+                let base: f32 = if hot { 0.8 } else { 0.1 };
+                (base + r.gen_range(-0.1..0.1f32)).clamp(0.0, 1.0)
+            })
+            .collect();
+        xs.push(x);
+        ys.push(label);
+    }
+    (xs, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_bounds_and_seed() {
+        let a = uniform_vec(100, 1.0, 2.0, 7);
+        let b = uniform_vec(100, 1.0, 2.0, 7);
+        assert_eq!(a, b, "deterministic per seed");
+        assert!(a.iter().all(|&v| (1.0..2.0).contains(&v)));
+    }
+
+    #[test]
+    fn digits_are_balanced_and_learnable_shaped() {
+        let (xs, ys) = synthetic_digits(100, 64, 10, 3);
+        assert_eq!(xs.len(), 100);
+        assert_eq!(ys.iter().filter(|&&y| y == 0).count(), 10);
+        // Hot region must actually be hotter.
+        let x0 = &xs[0]; // label 0 -> features [0, 6) hot
+        let hot: f32 = x0[..6].iter().sum::<f32>() / 6.0;
+        let cold: f32 = x0[32..].iter().sum::<f32>() / 32.0;
+        assert!(hot > cold + 0.3);
+    }
+}

@@ -1,0 +1,161 @@
+//! Memory-access traces and their replay agent.
+
+use gpubox_sim::{Agent, MultiGpuSystem, Op, OpResult, ProcessCtx, ProcessId, SimResult, VirtAddr};
+
+/// One step of a workload's memory trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Load one word (the line containing it is what matters to the L2).
+    Load(VirtAddr),
+    /// Store one word.
+    Store(VirtAddr, u64),
+    /// ALU/SFU work for the given cycles.
+    Compute(u64),
+}
+
+/// Replays a workload trace as an engine agent.
+#[derive(Debug)]
+pub struct TraceAgent {
+    pid: ProcessId,
+    trace: Vec<TraceOp>,
+    idx: usize,
+}
+
+impl TraceAgent {
+    /// Wraps a prebuilt trace.
+    pub fn new(pid: ProcessId, trace: Vec<TraceOp>) -> Self {
+        TraceAgent { pid, trace, idx: 0 }
+    }
+
+    /// Operations left to replay.
+    pub fn remaining_ops(&self) -> usize {
+        self.trace.len() - self.idx
+    }
+}
+
+impl Agent for TraceAgent {
+    fn next_op(&mut self, _now: u64) -> Op {
+        let Some(op) = self.trace.get(self.idx) else {
+            return Op::Done;
+        };
+        self.idx += 1;
+        match *op {
+            TraceOp::Load(va) => Op::Load(va),
+            TraceOp::Store(va, v) => Op::Store(va, v),
+            TraceOp::Compute(c) => Op::Compute(c),
+        }
+    }
+
+    fn on_result(&mut self, _res: &OpResult) {}
+
+    fn process(&self) -> ProcessId {
+        self.pid
+    }
+
+    fn label(&self) -> &str {
+        "victim"
+    }
+}
+
+/// Builds a workload's trace inside `sys` (allocating its buffers on the
+/// process home GPU) and wraps it in a replay agent.
+///
+/// # Errors
+///
+/// Propagates allocation failures.
+pub fn agent_for(
+    sys: &mut MultiGpuSystem,
+    pid: ProcessId,
+    workload: &dyn crate::Workload,
+) -> SimResult<TraceAgent> {
+    let mut ctx = ProcessCtx::new(sys, pid, 0);
+    let trace = workload.build(&mut ctx)?;
+    Ok(TraceAgent::new(pid, trace))
+}
+
+/// Trace-building helper shared by the workloads: element-granular loads
+/// and stores over word arrays, with per-element compute interleaved.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    ops: Vec<TraceOp>,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TraceBuilder { ops: Vec::new() }
+    }
+
+    /// Records a load of element `idx` (8-byte words) of `base`.
+    pub fn load(&mut self, base: VirtAddr, idx: u64) {
+        self.ops.push(TraceOp::Load(base.offset(idx * 8)));
+    }
+
+    /// Records a store to element `idx` of `base`.
+    pub fn store(&mut self, base: VirtAddr, idx: u64, value: u64) {
+        self.ops.push(TraceOp::Store(base.offset(idx * 8), value));
+    }
+
+    /// Records `cycles` of computation, merging adjacent compute ops.
+    pub fn compute(&mut self, cycles: u64) {
+        if let Some(TraceOp::Compute(c)) = self.ops.last_mut() {
+            *c += cycles;
+        } else {
+            self.ops.push(TraceOp::Compute(cycles));
+        }
+    }
+
+    /// Finishes the trace.
+    pub fn finish(self) -> Vec<TraceOp> {
+        self.ops
+    }
+
+    /// Number of ops so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no ops were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl Default for TraceBuilder {
+    fn default() -> Self {
+        TraceBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_merges_compute() {
+        let mut b = TraceBuilder::new();
+        b.compute(10);
+        b.compute(5);
+        b.load(VirtAddr(4096), 0);
+        b.compute(3);
+        let t = b.finish();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0], TraceOp::Compute(15));
+    }
+
+    #[test]
+    fn agent_replays_in_order_then_finishes() {
+        let trace = vec![
+            TraceOp::Load(VirtAddr(4096)),
+            TraceOp::Compute(7),
+            TraceOp::Store(VirtAddr(4104), 9),
+        ];
+        let mut a = TraceAgent::new(ProcessId(0), trace);
+        assert_eq!(a.remaining_ops(), 3);
+        assert_eq!(a.next_op(0), Op::Load(VirtAddr(4096)));
+        assert_eq!(a.next_op(0), Op::Compute(7));
+        assert_eq!(a.next_op(0), Op::Store(VirtAddr(4104), 9));
+        assert_eq!(a.next_op(0), Op::Done);
+        assert_eq!(a.remaining_ops(), 0);
+    }
+}

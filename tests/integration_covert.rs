@@ -1,0 +1,165 @@
+//! End-to-end covert-channel integration: the full paper pipeline at
+//! DGX-1 scale — timing RE → page classification → alignment →
+//! transmission — across crate boundaries.
+
+use gpubox_attacks::covert::{bits_from_bytes, bytes_from_bits};
+use gpubox_attacks::{transmit, ChannelParams};
+use gpubox_bench::AttackSetup;
+
+#[test]
+fn full_pipeline_transfers_text_across_gpus() {
+    let mut setup = AttackSetup::prepare(90210);
+    let pairs = setup.aligned_pairs(2);
+    let message = b"integration test message";
+    let report = transmit(
+        &mut setup.sys,
+        setup.trojan,
+        setup.spy,
+        &pairs,
+        &bits_from_bytes(message),
+        &ChannelParams::default(),
+        setup.thresholds,
+    )
+    .expect("transmission");
+    assert!(
+        report.error_rate < 0.02,
+        "error rate too high: {} ({} errors)",
+        report.error_rate,
+        report.bit_errors
+    );
+    // With <2% errors the text should still be largely intact; with 0 it
+    // round-trips exactly.
+    if report.bit_errors == 0 {
+        assert_eq!(bytes_from_bits(&report.received), message);
+    }
+}
+
+#[test]
+fn bandwidth_scales_and_error_stays_bounded_at_four_sets() {
+    // The paper's headline operating point: 4 parallel sets, ~1.3% error.
+    let mut setup = AttackSetup::prepare(90211);
+    let pairs = setup.aligned_pairs(4);
+    let payload = bits_from_bytes(&[0xA5u8; 192]);
+    let params = ChannelParams::default();
+    let r4 = transmit(
+        &mut setup.sys,
+        setup.trojan,
+        setup.spy,
+        &pairs,
+        &payload,
+        &params,
+        setup.thresholds,
+    )
+    .unwrap();
+    let r1 = transmit(
+        &mut setup.sys,
+        setup.trojan,
+        setup.spy,
+        &pairs[..1],
+        &payload,
+        &params,
+        setup.thresholds,
+    )
+    .unwrap();
+    assert!(
+        r4.bandwidth_bytes_per_sec > 3.0 * r1.bandwidth_bytes_per_sec,
+        "4-set bandwidth {} should be ~4x 1-set {}",
+        r4.bandwidth_bytes_per_sec,
+        r1.bandwidth_bytes_per_sec
+    );
+    assert!(r4.error_rate < 0.05, "4-set error {}", r4.error_rate);
+}
+
+#[test]
+fn channel_works_between_other_gpu_pairs() {
+    // The attack is not specific to GPUs 0/1: any NVLink-adjacent pair
+    // works (here: 2 and 6, cross-quad neighbours on the cube mesh).
+    use gpubox_attacks::timing_re::measure_timing;
+    use gpubox_attacks::{
+        align_classes, classify_pages, paired_sets, AlignmentConfig, Locality, SetPair,
+    };
+    use gpubox_sim::{GpuId, MultiGpuSystem, ProcessCtx, SystemConfig};
+
+    let mut sys = MultiGpuSystem::new(SystemConfig::dgx1().with_seed(31337));
+    let timing = measure_timing(&mut sys, GpuId::new(2), GpuId::new(6), 48).unwrap();
+    let trojan = sys.create_process(GpuId::new(2));
+    let spy = sys.create_process(GpuId::new(6));
+    sys.enable_peer_access(spy, GpuId::new(2)).unwrap();
+    let bytes = 16 * 1024 * 1024u64;
+    let page = sys.config().page_size;
+    let tclasses = {
+        let mut ctx = ProcessCtx::new(&mut sys, trojan, 0);
+        let b = ctx.malloc_on(GpuId::new(2), bytes).unwrap();
+        classify_pages(
+            &mut ctx,
+            b,
+            bytes,
+            page,
+            128,
+            16,
+            &timing.thresholds,
+            Locality::Local,
+        )
+        .unwrap()
+    };
+    let sclasses = {
+        let mut ctx = ProcessCtx::new(&mut sys, spy, 0);
+        let b = ctx.malloc_on(GpuId::new(2), bytes).unwrap();
+        classify_pages(
+            &mut ctx,
+            b,
+            bytes,
+            page,
+            128,
+            16,
+            &timing.thresholds,
+            Locality::Remote,
+        )
+        .unwrap()
+    };
+    let matches = align_classes(
+        &mut sys,
+        trojan,
+        &tclasses,
+        spy,
+        &sclasses,
+        16,
+        &AlignmentConfig::default(),
+    )
+    .unwrap();
+    let pairs: Vec<SetPair> = paired_sets(&tclasses, &sclasses, &matches, 1, 16)
+        .into_iter()
+        .map(|(t, s)| SetPair { trojan: t, spy: s })
+        .collect();
+    let report = transmit(
+        &mut sys,
+        trojan,
+        spy,
+        &pairs,
+        &bits_from_bytes(b"gpu2 to gpu6"),
+        &ChannelParams::default(),
+        timing.thresholds,
+    )
+    .unwrap();
+    assert!(report.error_rate < 0.02, "error {}", report.error_rate);
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let run = |seed: u64| {
+        let mut setup = AttackSetup::prepare(seed);
+        let pairs = setup.aligned_pairs(1);
+        transmit(
+            &mut setup.sys,
+            setup.trojan,
+            setup.spy,
+            &pairs,
+            &bits_from_bytes(b"determinism"),
+            &ChannelParams::default(),
+            setup.thresholds,
+        )
+        .unwrap()
+        .received
+    };
+    assert_eq!(run(5150), run(5150), "same seed must reproduce bit-exactly");
+}

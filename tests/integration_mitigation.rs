@@ -1,0 +1,74 @@
+//! Integration tests for the Sec. VI mitigation and the defensive
+//! observations of Sec. VII.
+
+use gpubox_attacks::mitigation::{typical_noise_kernel, ExclusiveOccupancy};
+use gpubox_sim::{GpuId, KernelLaunch, MultiGpuSystem, SystemConfig};
+
+#[test]
+fn mitigation_blocks_noise_on_every_gpu() {
+    let mut sys = MultiGpuSystem::new(SystemConfig::dgx1());
+    for g in 0..8u8 {
+        let gpu = GpuId::new(g);
+        let occ = ExclusiveOccupancy::establish(&mut sys, gpu, 32).unwrap();
+        assert!(
+            occ.excludes(&sys, &typical_noise_kernel()),
+            "GPU{g} not saturated"
+        );
+        occ.release(&mut sys);
+        assert!(
+            sys.can_launch(gpu, &typical_noise_kernel()),
+            "GPU{g} not restored"
+        );
+    }
+}
+
+#[test]
+fn mitigation_does_not_interfere_across_gpus() {
+    // Saturating GPU0 leaves GPU1 fully available.
+    let mut sys = MultiGpuSystem::new(SystemConfig::dgx1());
+    let occ = ExclusiveOccupancy::establish(&mut sys, GpuId::new(0), 32).unwrap();
+    assert!(sys.can_launch(GpuId::new(1), &typical_noise_kernel()));
+    occ.release(&mut sys);
+}
+
+#[test]
+fn detection_signal_nvlink_traffic_of_remote_attacks() {
+    // Sec. VII: cross-GPU attacks are detectable by monitoring NVLink
+    // traffic — the simulator's counters expose exactly that signal.
+    let mut sys = MultiGpuSystem::new(SystemConfig::dgx1());
+    let spy = sys.create_process(GpuId::new(1));
+    sys.enable_peer_access(spy, GpuId::new(0)).unwrap();
+    let buf = sys.malloc_on(spy, GpuId::new(0), 1 << 20).unwrap();
+    let before = sys.stats().gpu(GpuId::new(1)).nvlink_bytes;
+    for i in 0..1000u64 {
+        sys.access(
+            spy,
+            sys.default_agent(spy),
+            buf.offset((i % 512) * 128),
+            i * 700,
+            None,
+        )
+        .unwrap();
+    }
+    let after = sys.stats().gpu(GpuId::new(1)).nvlink_bytes;
+    assert_eq!(
+        after - before,
+        1000 * 128,
+        "probe traffic is visible on the link"
+    );
+}
+
+#[test]
+fn leftover_policy_places_partial_kernels_only_when_whole_grid_fits() {
+    let mut sys = MultiGpuSystem::new(SystemConfig::dgx1());
+    let gpu = GpuId::new(3);
+    // 56 SMs x 2 blocks of 32 KiB fit; a third layer does not.
+    let full = KernelLaunch {
+        blocks: 56,
+        threads_per_block: 32,
+        shared_mem_per_block: 32 * 1024,
+    };
+    sys.launch_kernel(gpu, full).unwrap();
+    sys.launch_kernel(gpu, full).unwrap();
+    assert!(sys.launch_kernel(gpu, full).is_err());
+}

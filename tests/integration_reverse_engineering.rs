@@ -1,0 +1,127 @@
+//! Integration tests for the offline reverse-engineering phase at
+//! DGX-1 scale (paper Sec. III, Table I, Fig. 4/5).
+
+use gpubox_attacks::cache_re::{derive_cache_architecture, DetectedPolicy};
+use gpubox_attacks::timing_re::measure_timing;
+use gpubox_attacks::{sets_alias, validation_sweep, Locality};
+use gpubox_bench::AttackSetup;
+use gpubox_sim::{GpuId, MultiGpuSystem, ProcessCtx, SystemConfig};
+
+#[test]
+fn timing_clusters_recovered_between_all_adjacent_pairs() {
+    // Every directly connected pair shows the same four clusters.
+    for (a, b) in [(0u8, 1u8), (4, 7), (3, 7)] {
+        let mut sys = MultiGpuSystem::new(SystemConfig::dgx1().with_seed(u64::from(a) * 100));
+        let rep = measure_timing(&mut sys, GpuId::new(a), GpuId::new(b), 48).unwrap();
+        let expect = [270.0, 450.0, 630.0, 950.0];
+        for (c, e) in rep.centers.iter().zip(expect) {
+            assert!((c - e).abs() < 40.0, "pair ({a},{b}): centre {c} vs {e}");
+        }
+    }
+}
+
+#[test]
+fn table1_derivation_at_dgx_scale() {
+    let mut setup = AttackSetup::prepare(424242);
+    let thr = setup.thresholds;
+    let class0 = &setup.trojan_classes.classes[0];
+    let base = setup.trojan_classes.base;
+    let page = setup.trojan_classes.page_size;
+    let conflicts: Vec<_> = class0[..20]
+        .iter()
+        .map(|&p| base.offset(p * page))
+        .collect();
+    let target = base.offset(class0[20] * page);
+    let mut ctx = ProcessCtx::new(&mut setup.sys, setup.trojan, 0);
+    let fresh = ctx.malloc_on(GpuId::new(0), 1024 * 1024).unwrap();
+    let rep = derive_cache_architecture(
+        &mut ctx,
+        fresh,
+        target,
+        &conflicts,
+        4 * 1024 * 1024,
+        &thr,
+        Locality::Local,
+    )
+    .unwrap();
+    assert_eq!(rep.line_size, 128);
+    assert_eq!(rep.ways, 16);
+    assert_eq!(rep.num_sets, 2048);
+    assert_eq!(rep.replacement, DetectedPolicy::Lru);
+}
+
+#[test]
+fn page_classes_partition_the_buffer_and_cover_the_cache() {
+    let setup = AttackSetup::prepare(555);
+    let classes = &setup.trojan_classes;
+    // 64 KiB pages, 2048 sets, 128 B lines: 512 lines/page -> 4 classes.
+    assert_eq!(classes.lines_per_page(), 512);
+    assert_eq!(classes.classes.len(), 4, "expected 4 alignment classes");
+    let total: usize = classes.classes.iter().map(Vec::len).sum();
+    assert_eq!(total as u64, gpubox_bench::ATTACK_BUFFER_BYTES / 65536);
+    assert_eq!(
+        classes.distinct_sets(),
+        2048,
+        "buffer reaches the whole cache"
+    );
+}
+
+#[test]
+fn remote_validation_sweep_steps_at_16() {
+    let mut setup = AttackSetup::prepare(556);
+    let thr = setup.thresholds;
+    let classes = setup.spy_classes.clone();
+    let class0 = &classes.classes[0];
+    let conflicts: Vec<_> = class0[..24]
+        .iter()
+        .map(|&p| classes.base.offset(p * classes.page_size))
+        .collect();
+    let target = classes.base.offset(class0[24] * classes.page_size);
+    let mut ctx = ProcessCtx::new(&mut setup.sys, setup.spy, 0);
+    let sweep = validation_sweep(&mut ctx, target, &conflicts, 24).unwrap();
+    for (n, t) in sweep {
+        assert_eq!(
+            thr.is_remote_miss(t),
+            n >= 16,
+            "remote sweep wrong at n={n} ({t} cycles)"
+        );
+    }
+}
+
+#[test]
+fn aliasing_detected_between_duplicate_sets() {
+    let mut setup = AttackSetup::prepare(557);
+    let thr = setup.thresholds;
+    let classes = setup.trojan_classes.clone();
+    let pages = &classes.classes[0];
+    assert!(pages.len() >= 32);
+    let a = classes.eviction_set(0, 7, 16);
+    // Same (class, offset) from different pages -> same physical set.
+    let dup = gpubox_attacks::EvictionSet::new(
+        pages[16..32]
+            .iter()
+            .map(|&p| classes.base.offset(p * classes.page_size + 7 * 128))
+            .collect(),
+    );
+    let distinct = classes.eviction_set(0, 8, 16);
+    let mut ctx = ProcessCtx::new(&mut setup.sys, setup.trojan, 0);
+    assert!(sets_alias(&mut ctx, &a, &dup, 16, &thr, Locality::Local).unwrap());
+    assert!(!sets_alias(&mut ctx, &a, &distinct, 16, &thr, Locality::Local).unwrap());
+}
+
+#[test]
+fn eviction_sets_survive_reruns_with_same_allocation() {
+    // Paper: "derived eviction sets remain valid over application runs as
+    // long as the memory allocation size of the process remains
+    // unchanged" — in the simulator, allocations persist per process, so
+    // repeated probing of a discovered set stays consistent.
+    let mut setup = AttackSetup::prepare(558);
+    let thr = setup.thresholds;
+    let es = setup.trojan_classes.eviction_set(1, 3, 16);
+    for _ in 0..5 {
+        let mut ctx = ProcessCtx::new(&mut setup.sys, setup.trojan, 0);
+        es.prime(&mut ctx).unwrap();
+        let probe = es.probe(&mut ctx, &thr, Locality::Local).unwrap();
+        assert_eq!(probe.misses, 0, "freshly primed set must hit");
+    }
+}
