@@ -7,7 +7,7 @@
 //! shape — see EXPERIMENTS.md for the absolute-scale discussion).
 
 use gpubox_attacks::covert::bits_from_bytes;
-use gpubox_attacks::{transmit, ChannelParams};
+use gpubox_attacks::{transmit, ChannelParams, TrialRunner};
 use gpubox_bench::{report, AttackSetup};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -25,8 +25,6 @@ fn main() {
         "Fig. 9 — bandwidth and error rate vs. number of cache sets",
         "Sec. IV-C: bandwidth rises with sets, error rises too; paper best 3.95 MB/s @ 4 sets, 1.3% error",
     );
-    let mut setup = AttackSetup::prepare(909);
-    let pairs = setup.aligned_pairs(16);
     let params = ChannelParams::default();
 
     // Pseudo-random payload (repeatable); scaled-down stand-in for the
@@ -35,8 +33,12 @@ fn main() {
     let payload_bytes: Vec<u8> = (0..1500).map(|_| rng.gen()).collect();
     let payload = bits_from_bytes(&payload_bytes);
 
-    let mut points = Vec::new();
-    for &k in &[1usize, 2, 4, 8, 16] {
+    // One independent machine per sweep point, fanned out in parallel by
+    // the trial runner (bit-identical to a serial run of the same seed).
+    let set_counts = vec![1usize, 2, 4, 8, 16];
+    let points: Vec<Point> = TrialRunner::new(909).run_over(set_counts, |trial, k| {
+        let mut setup = AttackSetup::prepare(trial.seed);
+        let pairs = setup.aligned_pairs(k);
         let rep = transmit(
             &mut setup.sys,
             setup.trojan,
@@ -47,12 +49,12 @@ fn main() {
             setup.thresholds,
         )
         .expect("transmission");
-        points.push(Point {
+        Point {
             sets: k,
             bandwidth_mb_s: rep.bandwidth_bytes_per_sec / 1e6,
             error_rate_pct: rep.error_rate * 100.0,
-        });
-    }
+        }
+    });
 
     println!(
         "\n{:>6} | {:>16} | {:>12}",

@@ -5,9 +5,14 @@
 //! notes), trains the classifier, and evaluates on a held-out test set.
 //! Paper: 99.91% accuracy over 7200 test samples.
 //!
-//! Usage: `fig12_confusion_matrix [samples_per_class] [threads]`
+//! Usage: `fig12_confusion_matrix [samples_per_class] [shards]`
+//!
+//! Capture fans out over `shards` independent spy setups via
+//! [`TrialRunner`]; the dataset depends on the shard count (each shard is
+//! its own machine) but not on how many threads execute the shards.
 
 use gpubox_attacks::side::{record_memorygram, FingerprintDataset, RecorderConfig};
+use gpubox_attacks::TrialRunner;
 use gpubox_bench::{report, setup::victim_with_duration, SideChannelSetup};
 use gpubox_classify::Memorygram;
 use gpubox_sim::GpuId;
@@ -48,7 +53,7 @@ fn capture(setup: &mut SideChannelSetup, class: usize, seed: u64) -> Memorygram 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let per_class: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(40);
-    let threads: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+    let shards: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
@@ -58,40 +63,34 @@ fn main() {
         "Fig. 12 — fingerprinting confusion matrix",
         "Sec. V-A: 99.91% accuracy over 6 applications",
     );
-    println!("collecting {per_class} samples/class on {threads} threads ...");
+    println!("collecting {per_class} samples/class over {shards} parallel shards ...");
 
     let labels = gpubox_workloads::standard_labels();
     let jobs: Vec<(usize, u64)> = (0..6usize)
         .flat_map(|c| (0..per_class as u64).map(move |s| (c, s)))
         .collect();
 
-    let collected: Vec<(Memorygram, usize)> = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let my_jobs: Vec<(usize, u64)> =
-                jobs.iter().skip(t).step_by(threads).copied().collect();
-            handles.push(scope.spawn(move |_| {
-                let mut setup = SideChannelSetup::prepare(7000 + t as u64, 256);
-                my_jobs
-                    .into_iter()
-                    .map(|(class, seed)| {
-                        (
-                            capture(&mut setup, class, 100 + seed * 7 + class as u64),
-                            class,
-                        )
-                    })
-                    .collect::<Vec<_>>()
-            }));
-        }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker"))
-            .collect()
-    })
-    .expect("thread scope");
+    // One spy setup per shard, each shard owning a strided slice of the
+    // jobs; shards run in parallel with deterministic per-shard seeds.
+    let shard_jobs: Vec<Vec<(usize, u64)>> = (0..shards)
+        .map(|t| jobs.iter().skip(t).step_by(shards).copied().collect())
+        .collect();
+    let collected: Vec<Vec<(Memorygram, usize)>> =
+        TrialRunner::new(7000).run_over(shard_jobs, |trial, my_jobs| {
+            let mut setup = SideChannelSetup::prepare(trial.seed, 256);
+            my_jobs
+                .into_iter()
+                .map(|(class, seed)| {
+                    (
+                        capture(&mut setup, class, 100 + seed * 7 + class as u64),
+                        class,
+                    )
+                })
+                .collect()
+        });
 
     let mut ds = FingerprintDataset::new(labels.clone());
-    for (gram, class) in collected {
+    for (gram, class) in collected.into_iter().flatten() {
         ds.push(gram, class);
     }
     println!("collected {} samples; training classifier ...", ds.len());

@@ -20,6 +20,10 @@ impl KnnClassifier {
     }
 
     /// Majority label among the k nearest stored vectors.
+    ///
+    /// Ties are broken deterministically: among equally voted labels the
+    /// one with the nearer closest neighbour wins (then the smaller
+    /// label), so predictions do not depend on hash-map iteration order.
     pub fn predict(&self, x: &[f32]) -> usize {
         let mut dists: Vec<(f32, usize)> = self
             .data
@@ -29,16 +33,28 @@ impl KnnClassifier {
                 (d, *y)
             })
             .collect();
-        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        let mut votes = std::collections::HashMap::new();
-        for &(_, y) in dists.iter().take(self.k) {
-            *votes.entry(y).or_insert(0usize) += 1;
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut votes = std::collections::BTreeMap::new();
+        for &(d, y) in dists.iter().take(self.k) {
+            // `dists` is sorted, so the first insertion per label already
+            // carries that label's nearest-neighbour distance.
+            votes.entry(y).or_insert((0usize, d)).0 += 1;
         }
         votes
             .into_iter()
-            .max_by_key(|&(_, n)| n)
+            .min_by(|a, b| {
+                // Most votes first, then nearest representative, then label.
+                b.1 .0.cmp(&a.1 .0).then(a.1 .1.total_cmp(&b.1 .1))
+            })
             .map(|(y, _)| y)
             .unwrap_or(0)
+    }
+
+    /// Predicts a batch of feature vectors in parallel (deterministic:
+    /// output order matches input order and each prediction is pure).
+    pub fn predict_batch(&self, xs: &[Vec<f32>]) -> Vec<usize> {
+        use rayon::prelude::*;
+        xs.par_iter().map(|x| self.predict(x)).collect()
     }
 }
 

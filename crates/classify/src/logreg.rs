@@ -157,7 +157,10 @@ mod tests {
         let mut data = Vec::new();
         for (label, c) in centers.iter().enumerate() {
             for _ in 0..n_per_class {
-                let x: Vec<f32> = c.iter().map(|&v| v + rng.gen_range(-0.15..0.15)).collect();
+                let x: Vec<f32> = c
+                    .iter()
+                    .map(|&v| v + rng.gen_range(-0.15f32..0.15))
+                    .collect();
                 data.push((x, label));
             }
         }

@@ -46,6 +46,7 @@ pub mod cache_re;
 pub mod covert;
 pub mod eviction;
 pub mod mitigation;
+pub mod runner;
 pub mod side;
 pub mod thresholds;
 pub mod timing_re;
@@ -58,6 +59,7 @@ pub use eviction::{
     Locality, PageClasses, ScanConfig,
 };
 pub use mitigation::ExclusiveOccupancy;
+pub use runner::{trial_seed, Trial, TrialRunner};
 pub use side::{record_memorygram, FingerprintDataset, RecorderConfig};
 pub use thresholds::Thresholds;
 pub use timing_re::{measure_timing, TimingReport};

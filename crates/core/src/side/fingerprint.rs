@@ -8,16 +8,91 @@
 use gpubox_classify::{
     stratified_split, ConfusionMatrix, KnnClassifier, LogisticClassifier, Memorygram, TrainConfig,
 };
+use rayon::iter::{IntoParallelRefIterator, ParallelIterator};
 use serde::{Deserialize, Serialize};
 
 /// Downsampled feature image size (rows × cols) fed to the classifier.
 pub const FEATURE_ROWS: usize = 24;
 /// Feature image columns.
 pub const FEATURE_COLS: usize = 24;
+/// Weight of the raw image block relative to the placement-invariant
+/// block in the combined feature vector.
+const IMAGE_WEIGHT: f32 = 0.15;
 
-/// Converts a memorygram to a normalised feature vector.
+/// Averages `v` into `out` equal-width bins.
+fn resample(v: &[f64], out: usize) -> Vec<f32> {
+    if v.is_empty() {
+        return vec![0.0; out];
+    }
+    (0..out)
+        .map(|i| {
+            let lo = i * v.len() / out;
+            let hi = ((i + 1) * v.len() / out).max(lo + 1).min(v.len());
+            (v[lo..hi].iter().sum::<f64>() / (hi - lo) as f64) as f32
+        })
+        .collect()
+}
+
+/// Placement-invariant signature of a memorygram.
+///
+/// Victim buffers get fresh random physical frames on every run, so the
+/// paper notes that footprints *shift across cache sets* between
+/// captures of the same application. Features that depend on which set a
+/// column landed in therefore do not transfer between samples. This
+/// block is invariant to that shift:
+///
+/// - the **sorted** per-set mean-miss profile (a spatial activity
+///   histogram — how many sets are how hot, not which ones);
+/// - the temporal activity profile relative to its own mean (epoch
+///   bands, bursts), resampled to a fixed width;
+/// - scalar aggregates: overall activity level, active-set fraction,
+///   temporal variance, and capture length.
+fn invariant_features(g: &Memorygram) -> Vec<f32> {
+    let sweeps = g.num_sweeps().max(1) as f64;
+    let mut per_set: Vec<f64> = g
+        .misses_per_set()
+        .iter()
+        .map(|&m| m as f64 / sweeps)
+        .collect();
+    per_set.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let spatial = resample(&per_set, 16);
+    let per_sweep: Vec<f64> = g
+        .misses_per_sweep()
+        .iter()
+        .skip(1) // the first sweep is the spy's own cold fill
+        .map(|&m| m as f64)
+        .collect();
+    let mean = (per_sweep.iter().sum::<f64>() / per_sweep.len().max(1) as f64).max(1e-9);
+    let temporal_rel: Vec<f64> = per_sweep.iter().map(|&m| m / mean).collect();
+    let temporal = resample(&temporal_rel, 24);
+
+    let mut f = Vec::with_capacity(16 + 24 + 4);
+    let peak = per_set.first().copied().unwrap_or(0.0).max(1e-9) as f32;
+    f.extend(spatial.iter().map(|&s| (s / peak).min(1.0)));
+    f.extend(temporal.iter().map(|&t| (t / 4.0).min(1.0)));
+    f.push(((mean / 16.0) as f32).min(1.0));
+    let active =
+        per_set.iter().filter(|&&m| m > 0.5).count() as f32 / per_set.len().max(1) as f32;
+    f.push(active);
+    let var = temporal_rel
+        .iter()
+        .map(|&t| (t - 1.0) * (t - 1.0))
+        .sum::<f64>()
+        / per_sweep.len().max(1) as f64;
+    f.push((var as f32).min(4.0) / 4.0);
+    f.push(((per_sweep.len() as f32) / 256.0).min(1.0));
+    f
+}
+
+/// Converts a memorygram to a normalised feature vector: the
+/// placement-invariant signature block followed by the down-weighted
+/// [`FEATURE_ROWS`]`×`[`FEATURE_COLS`] image (which still carries raw
+/// spatio-temporal structure for captures that share a placement).
 pub fn gram_features(gram: &Memorygram) -> Vec<f32> {
-    gram.downsample(FEATURE_ROWS, FEATURE_COLS, 16.0)
+    let mut f = invariant_features(gram);
+    let img = gram.downsample(FEATURE_ROWS, FEATURE_COLS, 16.0);
+    f.extend(img.iter().map(|&v| v * IMAGE_WEIGHT));
+    f
 }
 
 /// A labelled memorygram collection.
@@ -72,9 +147,12 @@ impl FingerprintDataset {
         seed: u64,
     ) -> FingerprintReport {
         assert!(!self.is_empty(), "no samples collected");
+        // Feature extraction is a pure per-sample map — fan it out.
+        // Results come back in sample order, so the split stays
+        // deterministic regardless of thread count.
         let data: Vec<(Vec<f32>, usize)> = self
             .samples
-            .iter()
+            .par_iter()
             .map(|(g, y)| (gram_features(g), *y))
             .collect();
         let classes = self.labels.len();
@@ -83,9 +161,15 @@ impl FingerprintDataset {
         let val_cm = ConfusionMatrix::evaluate(&split.val, classes, |x| model.predict(x));
         let test_cm = ConfusionMatrix::evaluate(&split.test, classes, |x| model.predict(x));
         // k-NN baseline on the same split (a sanity anchor: if k-NN beats
-        // the trained model badly, training failed).
+        // the trained model badly, training failed). Predictions fan out
+        // across threads; the result is order-preserving.
         let knn = KnnClassifier::new(split.train.clone(), 3);
-        let knn_cm = ConfusionMatrix::evaluate(&split.test, classes, |x| knn.predict(x));
+        let test_xs: Vec<Vec<f32>> = split.test.iter().map(|(x, _)| x.clone()).collect();
+        let knn_preds = knn.predict_batch(&test_xs);
+        let mut knn_cm = ConfusionMatrix::new(classes);
+        for ((_, y), p) in split.test.iter().zip(knn_preds) {
+            knn_cm.record(*y, p);
+        }
         FingerprintReport {
             labels: self.labels.clone(),
             val_accuracy: val_cm.accuracy(),

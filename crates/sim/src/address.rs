@@ -23,11 +23,13 @@ pub struct GpuId(u8);
 
 impl GpuId {
     /// Creates a new GPU identifier.
+    #[inline]
     pub fn new(index: u8) -> Self {
         GpuId(index)
     }
 
     /// Returns the 0-based index of this GPU.
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -58,11 +60,13 @@ pub struct VirtAddr(pub u64);
 impl VirtAddr {
     /// Byte offset addition.
     #[must_use]
+    #[inline]
     pub fn offset(self, bytes: u64) -> Self {
         VirtAddr(self.0 + bytes)
     }
 
     /// The raw address value.
+    #[inline]
     pub fn raw(self) -> u64 {
         self.0
     }
@@ -85,6 +89,7 @@ pub struct PhysAddr(pub u64);
 
 impl PhysAddr {
     /// The raw address value.
+    #[inline]
     pub fn raw(self) -> u64 {
         self.0
     }
@@ -120,6 +125,7 @@ pub struct SetIndex(pub u32);
 
 impl SetIndex {
     /// The raw set number.
+    #[inline]
     pub fn raw(self) -> usize {
         self.0 as usize
     }
@@ -143,6 +149,53 @@ pub struct FrameNumber(pub u64);
 )]
 pub struct PageNumber(pub u64);
 
+/// Precomputed shift/mask geometry for the physical-address → line/set
+/// mapping.
+///
+/// The hot path runs this on every simulated access, so the power-of-two
+/// division and modulo are folded into a shift and a mask once at cache
+/// construction instead of being re-derived per access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetMapper {
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl SetMapper {
+    /// Builds the mapper for a cache with `line_size`-byte lines and
+    /// `num_sets` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are powers of two.
+    pub fn new(line_size: u64, num_sets: u64) -> Self {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        SetMapper {
+            line_shift: line_size.trailing_zeros(),
+            set_mask: num_sets - 1,
+        }
+    }
+
+    /// The line address (tag key) of `pa`.
+    #[inline(always)]
+    pub fn line_of(self, pa: PhysAddr) -> u64 {
+        pa.0 >> self.line_shift
+    }
+
+    /// The set index of `pa`.
+    #[inline(always)]
+    pub fn set_of(self, pa: PhysAddr) -> SetIndex {
+        SetIndex((self.line_of(pa) & self.set_mask) as u32)
+    }
+
+    /// The set index of the line address `line` (already shifted).
+    #[inline(always)]
+    pub fn set_of_line(self, line: u64) -> SetIndex {
+        SetIndex((line & self.set_mask) as u32)
+    }
+}
+
 /// Computes the cache-set index for a physical address.
 ///
 /// The mapping uses the bits directly above the line offset, i.e.
@@ -151,16 +204,22 @@ pub struct PageNumber(pub u64);
 /// consecutive sets in the physical cache"* (Sec. V-A): lines of one page
 /// land in consecutive sets, while the page's *frame* placement (and hence
 /// the base set) is unknown to the user.
+///
+/// Hot code that already knows the cache geometry should hold a
+/// [`SetMapper`] instead of calling this per access.
+#[inline]
 pub fn set_index(pa: PhysAddr, line_size: u64, num_sets: u64) -> SetIndex {
     debug_assert!(line_size.is_power_of_two());
     debug_assert!(num_sets.is_power_of_two());
-    SetIndex(((pa.0 / line_size) & (num_sets - 1)) as u32)
+    SetIndex(((pa.0 >> line_size.trailing_zeros()) & (num_sets - 1)) as u32)
 }
 
 /// Computes the cache line address (physical address with the line offset
 /// stripped) used as the tag key.
+#[inline]
 pub fn line_address(pa: PhysAddr, line_size: u64) -> u64 {
-    pa.0 / line_size
+    debug_assert!(line_size.is_power_of_two());
+    pa.0 >> line_size.trailing_zeros()
 }
 
 #[cfg(test)]

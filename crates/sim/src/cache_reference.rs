@@ -1,0 +1,101 @@
+//! The pre-optimisation cache layout, kept as a reference model.
+//!
+//! This is a faithful copy of the original `L2Cache`: one
+//! `Vec<Option<u64>>` tag row plus a boxed [`SetPolicy`] per set, with
+//! div/mod set math. It exists for two consumers only — the
+//! observational-equivalence property tests
+//! (`tests/flat_cache_equivalence.rs`) and the `sim_benches` baseline —
+//! so both certify and measure the *same* model. Not part of the public
+//! API surface; hidden from docs.
+
+use crate::address::PhysAddr;
+use crate::cache::AccessOutcome;
+use crate::config::CacheConfig;
+use crate::replacement::SetPolicy;
+use rand::Rng;
+
+/// The original per-set cache layout (see module docs).
+#[derive(Debug, Clone)]
+pub struct ReferenceCache {
+    sets: Vec<ReferenceSet>,
+    line_size: u64,
+    num_sets: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ReferenceSet {
+    ways: Vec<Option<u64>>,
+    policy: SetPolicy,
+    hits: u64,
+    misses: u64,
+}
+
+impl ReferenceCache {
+    /// Builds an empty reference cache.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let num_sets = cfg.num_sets();
+        ReferenceCache {
+            sets: (0..num_sets)
+                .map(|_| ReferenceSet {
+                    ways: vec![None; cfg.ways as usize],
+                    policy: SetPolicy::new(cfg.replacement, cfg.ways),
+                    hits: 0,
+                    misses: 0,
+                })
+                .collect(),
+            line_size: cfg.line_size,
+            num_sets,
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.num_sets
+    }
+
+    /// One access with the original two-scan + policy-object logic and
+    /// the original RNG consumption (random replacement draws once per
+    /// eviction; nothing else draws).
+    pub fn access<R: Rng>(&mut self, pa: PhysAddr, rng: &mut R) -> AccessOutcome {
+        let line = pa.0 / self.line_size;
+        let set = &mut self.sets[(line % self.num_sets) as usize];
+        if let Some(way) = set.ways.iter().position(|w| *w == Some(line)) {
+            set.policy.touch(way as u8);
+            set.hits += 1;
+            return AccessOutcome::Hit;
+        }
+        set.misses += 1;
+        if let Some(free) = set.ways.iter().position(Option::is_none) {
+            set.ways[free] = Some(line);
+            set.policy.touch(free as u8);
+            return AccessOutcome::Miss { evicted: None };
+        }
+        let victim_way = set.policy.evict(rng) as usize;
+        let evicted = set.ways[victim_way];
+        set.ways[victim_way] = Some(line);
+        AccessOutcome::Miss { evicted }
+    }
+
+    /// Whether the line holding `pa` is resident.
+    pub fn probe_resident(&self, pa: PhysAddr) -> bool {
+        let line = pa.0 / self.line_size;
+        self.sets[(line % self.num_sets) as usize]
+            .ways
+            .contains(&Some(line))
+    }
+
+    /// Hit/miss counters of one set.
+    pub fn set_stats(&self, set: usize) -> (u64, u64) {
+        (self.sets[set].hits, self.sets[set].misses)
+    }
+
+    /// Number of occupied ways in a set.
+    pub fn set_occupancy(&self, set: usize) -> usize {
+        self.sets[set].ways.iter().filter(|w| w.is_some()).count()
+    }
+}

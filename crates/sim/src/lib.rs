@@ -47,6 +47,8 @@
 
 pub mod address;
 pub mod cache;
+#[doc(hidden)]
+pub mod cache_reference;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -61,8 +63,8 @@ pub mod timing;
 pub mod topology;
 pub mod vm;
 
-pub use address::{FrameNumber, GpuId, PageNumber, PhysAddr, PhysLoc, SetIndex, VirtAddr};
-pub use cache::{AccessOutcome, L2Cache};
+pub use address::{FrameNumber, GpuId, PageNumber, PhysAddr, PhysLoc, SetIndex, SetMapper, VirtAddr};
+pub use cache::{AccessOutcome, L2Cache, EMPTY_TAG};
 pub use config::{CacheConfig, ReplacementKind, SmConfig, SystemConfig, TimingConfig};
 pub use engine::{Agent, Engine, Op, OpResult};
 pub use error::{SimError, SimResult};
@@ -70,6 +72,8 @@ pub use noise::{NoiseAgent, NoiseConfig};
 pub use process::ProcessCtx;
 pub use sm::{KernelId, KernelLaunch, SmArray};
 pub use stats::{GpuStats, SystemStats};
-pub use system::{AccessOracle, AgentId, BatchAccess, MemAccess, MultiGpuSystem, ProcessId};
+pub use system::{
+    AccessOracle, AgentId, BatchAccess, BatchSummary, MemAccess, MultiGpuSystem, ProcessId,
+};
 pub use timing::LatencyModel;
 pub use topology::{LinkKind, Route, Topology};

@@ -7,7 +7,7 @@
 //! L2** (never the local one — caching locally would require coherence);
 //! the latency seen by the issuing warp encodes route × hit/miss.
 
-use crate::address::{GpuId, PhysAddr, SetIndex, VirtAddr};
+use crate::address::{GpuId, PhysAddr, PhysLoc, SetIndex, VirtAddr};
 use crate::cache::L2Cache;
 use crate::config::SystemConfig;
 use crate::error::{SimError, SimResult};
@@ -16,7 +16,7 @@ use crate::sm::{KernelId, KernelLaunch, SmArray};
 use crate::stats::SystemStats;
 use crate::timing::LatencyModel;
 use crate::topology::{LinkKind, Route};
-use crate::vm::AddressSpace;
+use crate::vm::{AddressSpace, Mapping};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::{HashSet, VecDeque};
@@ -64,6 +64,38 @@ struct Process {
     /// MIG-style L2 partition `(index, count)` this process is confined
     /// to, if the defence of paper Sec. VII is enabled.
     partition: Option<(u32, u32)>,
+    /// One-entry TLB over the page table: probe loops walk lines within a
+    /// page, so the scalar access path almost never pays the full
+    /// page-table lookup. Mappings are immutable once created and peer
+    /// grants are never revoked, so a cached entry never goes stale.
+    /// `u64::MAX` = empty.
+    tlb_vpn: u64,
+    tlb_map: Mapping,
+}
+
+impl Process {
+    /// TLB-cached page translation with the peer-access check — the
+    /// single source of truth for both the scalar and the batched access
+    /// paths. Entries are cached only after passing the peer check, so a
+    /// TLB hit needs no re-check (grants are never revoked).
+    ///
+    /// `va` is only used to name the faulting address in errors.
+    #[inline]
+    fn translate_page(&mut self, vpn: u64, va: VirtAddr) -> SimResult<Mapping> {
+        if self.tlb_vpn == vpn {
+            return Ok(self.tlb_map);
+        }
+        let m = self
+            .aspace
+            .lookup_page(vpn)
+            .ok_or(SimError::UnmappedAddress(va))?;
+        if m.gpu != self.home && !self.peers.contains(&m.gpu) {
+            return Err(SimError::PeerAccessNotEnabled { remote: m.gpu });
+        }
+        self.tlb_vpn = vpn;
+        self.tlb_map = m;
+        Ok(m)
+    }
 }
 
 #[derive(Debug)]
@@ -74,14 +106,27 @@ struct GpuDevice {
 }
 
 /// Tracks recent accesses per GPU for port-contention pressure.
+///
+/// Same observable semantics as the original implementation (a rear scan
+/// of the window that stops at the first stale entry — exact even when
+/// agent-local clocks make timestamps non-monotonic), but allocation-free
+/// on the hot path: the distinct-agent set is collected into a reusable
+/// scratch buffer instead of a fresh `HashSet` per access.
 #[derive(Debug, Default)]
 struct PressureTracker {
-    recent: VecDeque<(u64, AgentId)>,
+    recent: VecDeque<(u64, u32)>,
+    /// Scratch for the distinct-agent scan; cleared per query, never
+    /// shrunk, so steady state performs no allocation.
+    scratch: Vec<u32>,
 }
 
 impl PressureTracker {
+    fn clear(&mut self) {
+        self.recent.clear();
+    }
+
     fn record(&mut self, now: u64, agent: AgentId, window: u64) {
-        self.recent.push_back((now, agent));
+        self.recent.push_back((now, agent.0));
         let cutoff = now.saturating_sub(window);
         while matches!(self.recent.front(), Some(&(t, _)) if t < cutoff) {
             self.recent.pop_front();
@@ -92,18 +137,18 @@ impl PressureTracker {
         }
     }
 
-    fn pressure(&self, now: u64, agent: AgentId, window: u64) -> u32 {
+    fn pressure(&mut self, now: u64, agent: AgentId, window: u64) -> u32 {
         let cutoff = now.saturating_sub(window);
-        let mut others: HashSet<u32> = HashSet::new();
+        self.scratch.clear();
         for &(t, a) in self.recent.iter().rev() {
             if t < cutoff {
                 break;
             }
-            if a != agent {
-                others.insert(a.0);
+            if a != agent.0 && !self.scratch.contains(&a) {
+                self.scratch.push(a);
             }
         }
-        others.len() as u32
+        self.scratch.len() as u32
     }
 }
 
@@ -195,10 +240,10 @@ impl MultiGpuSystem {
     /// construction.
     pub fn reset_timing_state(&mut self) {
         for t in &mut self.pressure {
-            t.recent.clear();
+            t.clear();
         }
         for t in &mut self.remote_pressure {
-            t.recent.clear();
+            t.clear();
         }
         for c in &mut self.congested_until {
             *c = 0;
@@ -218,6 +263,11 @@ impl MultiGpuSystem {
             aspace: AddressSpace::new(self.cfg.page_size),
             peers: HashSet::new(),
             partition: None,
+            tlb_vpn: u64::MAX,
+            tlb_map: Mapping {
+                gpu: home,
+                frame_base: PhysAddr(0),
+            },
         });
         pid
     }
@@ -336,25 +386,31 @@ impl MultiGpuSystem {
         now: u64,
         write: Option<u64>,
     ) -> SimResult<MemAccess> {
+        debug_assert!(self.cfg.page_size.is_power_of_two());
+        let page_shift = self.cfg.page_size.trailing_zeros();
+        let page_mask = self.cfg.page_size - 1;
         let (home, issuer, partition) = {
-            let p = self.process(pid)?;
-            let loc = p.aspace.translate(va)?;
-            if loc.gpu != p.home && !p.peers.contains(&loc.gpu) {
-                return Err(SimError::PeerAccessNotEnabled { remote: loc.gpu });
-            }
-            (loc, p.home, p.partition)
+            let p = self
+                .processes
+                .get_mut(pid.0 as usize)
+                .ok_or(SimError::NoSuchProcess(pid.0))?;
+            let m = p.translate_page(va.0 >> page_shift, va)?;
+            (
+                PhysLoc {
+                    gpu: m.gpu,
+                    addr: PhysAddr(m.frame_base.0 + (va.0 & page_mask)),
+                },
+                p.home,
+                p.partition,
+            )
         };
         let route = self.cfg.topology.route(issuer, home.gpu);
-        let window = self.cfg.timing.contention_window;
+        let (hit, set, latency) =
+            self.access_resolved(issuer, home.gpu, home.addr, partition, agent, now, route);
 
-        // Cache lookup on the HOME GPU's L2 — the paper's key finding.
+        // Backing store (no RNG, no timing effect — order relative to the
+        // timing pass is unobservable).
         let dev = &mut self.gpus[home.gpu.index()];
-        let outcome = dev
-            .l2
-            .access_partitioned(home.addr, &mut self.rng, partition);
-        let hit = outcome.is_hit();
-
-        // Backing store.
         let value = match write {
             Some(v) => {
                 dev.hbm.write_word(home.addr, v);
@@ -363,8 +419,48 @@ impl MultiGpuSystem {
             None => dev.hbm.read_word(home.addr),
         };
 
+        Ok(MemAccess {
+            value,
+            latency,
+            oracle: AccessOracle {
+                hit,
+                home: home.gpu,
+                set,
+                route,
+            },
+        })
+    }
+
+    /// The shared access core once the physical location is known: cache
+    /// lookup (counters and replacement metadata update in the same pass,
+    /// and the landing set comes back with the outcome — no second set
+    /// lookup), contention pressure, latency, congestion episodes and
+    /// statistics.
+    ///
+    /// RNG consumption order is identical to the original scalar path:
+    /// cache (random replacement only) → jitter → congestion draws.
+    #[allow(clippy::too_many_arguments)] // flat parameter list keeps the hot path monomorphic
+    fn access_resolved(
+        &mut self,
+        issuer: GpuId,
+        home: GpuId,
+        pa: PhysAddr,
+        partition: Option<(u32, u32)>,
+        agent: AgentId,
+        now: u64,
+        route: Route,
+    ) -> (bool, SetIndex, u32) {
+        let window = self.cfg.timing.contention_window;
+
+        // Cache lookup on the HOME GPU's L2 — the paper's key finding.
+        let (outcome, set) =
+            self.gpus[home.index()]
+                .l2
+                .access_located(pa, &mut self.rng, partition);
+        let hit = outcome.is_hit();
+
         // Contention pressure on the home GPU's L2/ports.
-        let tracker = &mut self.pressure[home.gpu.index()];
+        let tracker = &mut self.pressure[home.index()];
         let pressure = tracker.pressure(now, agent, window);
         tracker.record(now, agent, window);
 
@@ -373,8 +469,8 @@ impl MultiGpuSystem {
             .access_latency(route, hit, pressure, &mut self.rng);
         // NVLink serialisation: concurrent remote requesters to the same
         // home GPU queue on the link.
-        if home.gpu != issuer {
-            let rt = &mut self.remote_pressure[home.gpu.index()];
+        if home != issuer {
+            let rt = &mut self.remote_pressure[home.index()];
             let rp = rt.pressure(now, agent, window);
             rt.record(now, agent, window);
             latency += self.cfg.timing.nvlink_queue_per_req * rp;
@@ -384,7 +480,7 @@ impl MultiGpuSystem {
         // pays a penalty. Whole-slot corruption of the covert channel (the
         // Fig. 9 error growth) comes from these episodes.
         let t = &self.cfg.timing;
-        if now < self.congested_until[home.gpu.index()] {
+        if now < self.congested_until[home.index()] {
             latency += t.contention_spike_cycles
                 + (self.rng.gen::<u32>() % (t.contention_spike_cycles / 2 + 1));
         } else if pressure > 0
@@ -393,19 +489,19 @@ impl MultiGpuSystem {
                 .rng
                 .gen_bool((t.contention_spike_prob * f64::from(pressure)).min(1.0))
         {
-            self.congested_until[home.gpu.index()] = now + t.congestion_cycles;
-            self.stats.gpu_mut(home.gpu).congestion_episodes += 1;
+            self.congested_until[home.index()] = now + t.congestion_cycles;
+            self.stats.gpu_mut(home).congestion_episodes += 1;
             latency += t.contention_spike_cycles;
         }
 
         // Statistics.
-        let st = self.stats.gpu_mut(home.gpu);
+        let st = self.stats.gpu_mut(home);
         if hit {
             st.l2_hits += 1;
         } else {
             st.l2_misses += 1;
         }
-        if home.gpu != issuer {
+        if home != issuer {
             st.remote_served += 1;
             match route.kind {
                 LinkKind::NvLink => {
@@ -416,18 +512,7 @@ impl MultiGpuSystem {
         }
         self.stats.gpu_mut(issuer).issued_accesses += 1;
 
-        Ok(MemAccess {
-            value,
-            latency,
-            oracle: AccessOracle {
-                hit,
-                home: home.gpu,
-                set: self.gpus[home.gpu.index()]
-                    .l2
-                    .set_of_partitioned(home.addr, partition),
-                route,
-            },
-        })
+        (hit, set, latency)
     }
 
     /// Issues a warp-parallel batch of loads (all 32 threads of a block
@@ -435,6 +520,10 @@ impl MultiGpuSystem {
     /// per-line latencies and the total duration: loads overlap, separated
     /// by the issue gap, so the batch completes much faster than a serial
     /// pointer chase.
+    ///
+    /// Convenience wrapper over [`MultiGpuSystem::access_batch_into`] that
+    /// allocates the latency buffer; hot loops that probe repeatedly
+    /// should hold a buffer and call `access_batch_into` directly.
     ///
     /// # Errors
     ///
@@ -446,24 +535,75 @@ impl MultiGpuSystem {
         vas: &[VirtAddr],
         now: u64,
     ) -> SimResult<BatchAccess> {
-        let gap = self.latency.issue_gap() as u64;
         let mut latencies = Vec::with_capacity(vas.len());
-        let mut duration = 0u64;
-        let mut hits = 0u32;
-        for (i, &va) in vas.iter().enumerate() {
-            let issue_at = now + gap * i as u64;
-            let acc = self.access(pid, agent, va, issue_at, None)?;
-            if acc.oracle.hit {
-                hits += 1;
-            }
-            duration = duration.max(gap * i as u64 + u64::from(acc.latency));
-            latencies.push(acc.latency);
-        }
+        let summary = self.access_batch_into(pid, agent, vas, now, &mut latencies)?;
         Ok(BatchAccess {
             latencies,
-            duration,
-            hits,
+            duration: summary.duration,
+            hits: summary.hits,
         })
+    }
+
+    /// The true batched access path: translates once per virtual page and
+    /// streams line accesses, appending one latency per line to the
+    /// caller-provided buffer with no per-access allocation or page-table
+    /// lookup.
+    ///
+    /// Consecutive probe addresses overwhelmingly stay within one GPU
+    /// page (eviction sets are built from page-class lines), so the
+    /// translation cache hits almost always; on a page change the mapping
+    /// and route are recomputed once.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first address whose page does not translate or whose
+    /// home GPU lacks peer access.
+    pub fn access_batch_into(
+        &mut self,
+        pid: ProcessId,
+        agent: AgentId,
+        vas: &[VirtAddr],
+        now: u64,
+        latencies: &mut Vec<u32>,
+    ) -> SimResult<BatchSummary> {
+        let (issuer, partition) = {
+            let p = self.process(pid)?;
+            (p.home, p.partition)
+        };
+        let page_size = self.cfg.page_size;
+        debug_assert!(page_size.is_power_of_two(), "page size is a power of two");
+        let page_shift = page_size.trailing_zeros();
+        let page_mask = page_size - 1;
+        let gap = self.latency.issue_gap() as u64;
+
+        let mut duration = 0u64;
+        let mut hits = 0u32;
+        // Page-translation cache: `u64::MAX` is unreachable as a VPN.
+        let mut cached_vpn = u64::MAX;
+        let mut cached = Mapping {
+            gpu: issuer,
+            frame_base: PhysAddr(0),
+        };
+        let mut route = Route::local();
+        latencies.reserve(vas.len());
+
+        for (i, &va) in vas.iter().enumerate() {
+            let vpn = va.0 >> page_shift;
+            if vpn != cached_vpn {
+                let m = self.processes[pid.0 as usize].translate_page(vpn, va)?;
+                route = self.cfg.topology.route(issuer, m.gpu);
+                cached_vpn = vpn;
+                cached = m;
+            }
+            let pa = PhysAddr(cached.frame_base.0 + (va.0 & page_mask));
+            let issue_at = now + gap * i as u64;
+            let (hit, _set, latency) =
+                self.access_resolved(issuer, cached.gpu, pa, partition, agent, issue_at, route);
+            hits += u32::from(hit);
+            duration = duration.max(gap * i as u64 + u64::from(latency));
+            latencies.push(latency);
+        }
+        Ok(BatchSummary { duration, hits })
     }
 
     /// Host-side initialisation of device memory (`cudaMemcpy`-style DMA):
@@ -580,6 +720,16 @@ impl MultiGpuSystem {
 pub struct BatchAccess {
     /// Per-line latency as each thread's `clock()` pair would report.
     pub latencies: Vec<u32>,
+    /// Cycles until the whole batch completed (with issue-gap overlap).
+    pub duration: u64,
+    /// Ground truth: how many lines hit.
+    pub hits: u32,
+}
+
+/// Aggregate result of [`MultiGpuSystem::access_batch_into`]; per-line
+/// latencies land in the caller's buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchSummary {
     /// Cycles until the whole batch completed (with issue-gap overlap).
     pub duration: u64,
     /// Ground truth: how many lines hit.

@@ -60,6 +60,7 @@ impl AddressSpace {
     ///
     /// Returns [`SimError::UnmappedAddress`] for addresses outside any
     /// allocation.
+    #[inline]
     pub fn translate(&self, va: VirtAddr) -> SimResult<PhysLoc> {
         let vpn = va.0 / self.page_size;
         let off = va.0 % self.page_size;
@@ -68,6 +69,15 @@ impl AddressSpace {
             gpu: m.gpu,
             addr: PhysAddr(m.frame_base.0 + off),
         })
+    }
+
+    /// Looks up the mapping of one virtual page number directly.
+    ///
+    /// Batched access paths translate once per page and derive line
+    /// addresses by offset instead of paying a table lookup per access.
+    #[inline]
+    pub fn lookup_page(&self, vpn: u64) -> Option<Mapping> {
+        self.table.get(&vpn).copied()
     }
 
     /// The page number containing `va`.

@@ -1,0 +1,137 @@
+//! Observational equivalence of the flat structure-of-arrays [`L2Cache`]
+//! against the original per-set `Vec<Option<u64>>` + `SetPolicy` layout.
+//!
+//! The reference model (`gpubox_sim::cache_reference`) is a faithful copy of the pre-optimisation
+//! cache (including its exact RNG consumption: random replacement draws
+//! one `gen_range(0..ways)` per eviction, nothing else draws). Every
+//! property runs both models over the same random trace from the same
+//! RNG seed and requires identical hit/miss/eviction sequences, counters,
+//! occupancy and residency — under LRU, tree-PLRU and random replacement.
+
+use gpubox_sim::cache_reference::ReferenceCache;
+use gpubox_sim::{CacheConfig, L2Cache, PhysAddr, ReplacementKind, SetIndex};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn small_cfg(replacement: ReplacementKind, ways: u32) -> CacheConfig {
+    // 8 sets keeps conflict pressure high so traces evict constantly.
+    CacheConfig {
+        size_bytes: 8 * 128 * u64::from(ways),
+        line_size: 128,
+        ways,
+        replacement,
+    }
+}
+
+/// Drives both models over `addrs` and asserts identical observations.
+fn assert_equivalent(
+    cfg: &CacheConfig,
+    addrs: &[u64],
+    seed: u64,
+) -> Result<(), String> {
+    let mut flat = L2Cache::new(cfg);
+    let mut reference = ReferenceCache::new(cfg);
+    // Two RNGs from the same seed: both models must consume draws
+    // identically or the streams diverge and the trace comparison fails.
+    let mut rng_flat = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng_ref = ChaCha8Rng::seed_from_u64(seed);
+    for (i, &a) in addrs.iter().enumerate() {
+        let pa = PhysAddr(a);
+        let got = flat.access(pa, &mut rng_flat);
+        let want = reference.access(pa, &mut rng_ref);
+        if got != want {
+            return Err(format!("access {i} to {a:#x}: flat {got:?} vs reference {want:?}"));
+        }
+        if flat.probe_resident(pa) != reference.probe_resident(pa) {
+            return Err(format!("residency after access {i} to {a:#x} diverged"));
+        }
+    }
+    // The RNG streams must end in the same state (same number of draws).
+    if rng_flat.gen::<u64>() != rng_ref.gen::<u64>() {
+        return Err("RNG consumption diverged".into());
+    }
+    for s in 0..cfg.num_sets() {
+        if flat.set_stats(SetIndex(s as u32)) != reference.set_stats(s as usize) {
+            return Err(format!("set {s} stats diverged"));
+        }
+        if flat.set_occupancy(SetIndex(s as u32)) != reference.set_occupancy(s as usize) {
+            return Err(format!("set {s} occupancy diverged"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Flat LRU == reference LRU, access for access.
+    #[test]
+    fn lru_equivalent(
+        addrs in prop::collection::vec(0u64..(128 * 8 * 64), 1..600),
+        seed in 0u64..1000,
+    ) {
+        let cfg = small_cfg(ReplacementKind::Lru, 16);
+        if let Err(e) = assert_equivalent(&cfg, &addrs, seed) {
+            return Err(format!("LRU: {e}"));
+        }
+    }
+
+    /// Flat tree-PLRU == reference tree-PLRU, access for access.
+    #[test]
+    fn tree_plru_equivalent(
+        addrs in prop::collection::vec(0u64..(128 * 8 * 64), 1..600),
+        seed in 0u64..1000,
+    ) {
+        let cfg = small_cfg(ReplacementKind::TreePlru, 8);
+        if let Err(e) = assert_equivalent(&cfg, &addrs, seed) {
+            return Err(format!("tree-PLRU: {e}"));
+        }
+    }
+
+    /// Flat random == reference random: identical victims because both
+    /// consume the same single `gen_range(0..ways)` per eviction.
+    #[test]
+    fn random_equivalent(
+        addrs in prop::collection::vec(0u64..(128 * 8 * 64), 1..600),
+        seed in 0u64..1000,
+    ) {
+        let cfg = small_cfg(ReplacementKind::Random, 4);
+        if let Err(e) = assert_equivalent(&cfg, &addrs, seed) {
+            return Err(format!("random: {e}"));
+        }
+    }
+
+    /// Narrow caches (2-way) stress the eviction path hardest.
+    #[test]
+    fn lru_two_way_equivalent(
+        addrs in prop::collection::vec(0u64..(128 * 8 * 16), 1..400),
+        seed in 0u64..1000,
+    ) {
+        let cfg = small_cfg(ReplacementKind::Lru, 2);
+        if let Err(e) = assert_equivalent(&cfg, &addrs, seed) {
+            return Err(format!("2-way LRU: {e}"));
+        }
+    }
+
+    /// Signature collisions: distinct same-set lines share a 7-bit tag
+    /// signature whenever their line numbers differ by a multiple of
+    /// 128 × num_sets, forcing the flat cache's multi-candidate verify
+    /// path (a signature match that fails the full-tag check must not
+    /// end the scan). `k` and `k + 128` collide under the 8-set config.
+    #[test]
+    fn lru_with_signature_collisions_equivalent(
+        picks in prop::collection::vec((0u64..8, 0u64..512), 1..600),
+        seed in 0u64..1000,
+    ) {
+        let cfg = small_cfg(ReplacementKind::Lru, 16);
+        let span = cfg.line_size * cfg.num_sets();
+        let addrs: Vec<u64> = picks
+            .iter()
+            .map(|&(set, k)| set * cfg.line_size + k * span)
+            .collect();
+        if let Err(e) = assert_equivalent(&cfg, &addrs, seed) {
+            return Err(format!("LRU sig-collision: {e}"));
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the GPU-box reproduction workspace.
+//!
+//! Hosts the repository-level integration tests (`tests/`) and runnable
+//! examples (`examples/`); the substance lives in the member crates:
+//!
+//! - [`gpubox_sim`] — the multi-GPU DGX-1 simulator.
+//! - [`gpubox_attacks`] — covert/side channel attack implementations.
+//! - [`gpubox_workloads`] — victim workloads (MLP training, kernels).
+//! - [`gpubox_classify`] — memorygram classifiers.
+//! - [`gpubox_bench`] — experiment binaries and shared setup.
+
+pub use gpubox_attacks as attacks;
+pub use gpubox_bench as bench;
+pub use gpubox_classify as classify;
+pub use gpubox_sim as sim;
+pub use gpubox_workloads as workloads;

@@ -1,0 +1,309 @@
+//! Vendored, offline subset of `rayon` built on `std::thread::scope`.
+//!
+//! Supplies `join`, `scope`, `current_num_threads` and a minimal parallel
+//! iterator surface (`par_iter` over slices, `into_par_iter` over `Vec`
+//! and `Range<usize>`, with `map` + `collect`/`for_each`). Work is split
+//! into one contiguous chunk per worker thread; results preserve input
+//! order, so `collect()` is deterministic regardless of scheduling.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(fa: A, fb: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(fb);
+        let ra = fa();
+        let rb = hb.join().expect("rayon shim: join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// A scope for spawning borrowed parallel work.
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task in the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Creates a scope in which borrowed tasks can be spawned; returns once
+/// all spawned tasks complete.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Parallel iterator traits and adaptors.
+pub mod iter {
+    use super::current_num_threads;
+
+    /// Executes `f` over `items`, one contiguous chunk per worker, and
+    /// returns the results in input order.
+    fn par_map_vec<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = current_num_threads().min(n);
+        if workers == 1 {
+            return items.into_iter().map(f).collect();
+        }
+        // Split into contiguous chunks, keeping order.
+        let chunk = n.div_ceil(workers);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+        let mut items = items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk));
+            // split_off leaves the head in `items`; push head, continue on rest.
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("rayon shim: map worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
+
+    /// A parallel iterator: a materialized work list plus an execution plan.
+    pub trait ParallelIterator: Sized {
+        /// The element type produced.
+        type Item: Send;
+
+        /// Runs the pipeline, yielding all items in order.
+        fn run(self) -> Vec<Self::Item>;
+
+        /// Maps every item through `f` in parallel.
+        fn map<U, F>(self, f: F) -> MapIter<Self, F>
+        where
+            U: Send,
+            F: Fn(Self::Item) -> U + Sync,
+        {
+            MapIter { base: self, f }
+        }
+
+        /// Collects the results. `Vec<Item>` is the supported target.
+        fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+            C::from_ordered_vec(self.run())
+        }
+
+        /// Runs `f` for every item (parallel, order of side effects
+        /// unspecified).
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            let _ = self.map(&f).run();
+        }
+
+        /// Sums the items.
+        fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+            self.run().into_iter().sum()
+        }
+    }
+
+    /// Conversion into a parallel iterator, by value.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// Conversion into a borrowing parallel iterator.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type (a reference).
+        type Item: Send + 'a;
+        /// Iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Borrows `self` as a parallel iterator.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    /// Collection targets for [`ParallelIterator::collect`].
+    pub trait FromParallelIterator<T> {
+        /// Builds the collection from in-order results.
+        fn from_ordered_vec(v: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_ordered_vec(v: Vec<T>) -> Self {
+            v
+        }
+    }
+
+    impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+        fn from_ordered_vec(v: Vec<Result<T, E>>) -> Self {
+            v.into_iter().collect()
+        }
+    }
+
+    /// Base parallel iterator over owned items.
+    #[derive(Debug)]
+    pub struct VecIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for VecIter<T> {
+        type Item = T;
+        fn run(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    /// See [`ParallelIterator::map`].
+    #[derive(Debug)]
+    pub struct MapIter<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, U, F> ParallelIterator for MapIter<B, F>
+    where
+        B: ParallelIterator,
+        U: Send,
+        F: Fn(B::Item) -> U + Sync,
+    {
+        type Item = U;
+        fn run(self) -> Vec<U> {
+            par_map_vec(self.base.run(), &self.f)
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecIter<T>;
+        fn into_par_iter(self) -> VecIter<T> {
+            VecIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = VecIter<usize>;
+        fn into_par_iter(self) -> VecIter<usize> {
+            VecIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u64> {
+        type Item = u64;
+        type Iter = VecIter<u64>;
+        fn into_par_iter(self) -> VecIter<u64> {
+            VecIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = VecIter<&'a T>;
+        fn par_iter(&'a self) -> VecIter<&'a T> {
+            VecIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = VecIter<&'a T>;
+        fn par_iter(&'a self) -> VecIter<&'a T> {
+            VecIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+}
+
+/// Common imports, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000u64).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000u64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn scope_spawns_and_waits() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    n.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(n.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+}

@@ -1,0 +1,340 @@
+//! Vendored, offline stand-in for `serde`.
+//!
+//! Offers the same import surface the workspace uses (`Serialize` /
+//! `Deserialize` traits plus derive macros of the same names) but with a
+//! much simpler design: values serialize into a JSON-like [`Value`] tree,
+//! and deserialize back out of one. `serde_json` (also vendored) renders
+//! and parses that tree. Not wire- or API-compatible with real serde
+//! beyond this subset.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object: ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Builds an error with a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl Value {
+    /// Looks up a field of an object.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
+            other => Err(Error::msg(format!(
+                "expected object with field `{name}`, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Interprets the value as an array of exactly `n` elements.
+    pub fn tuple(&self, n: usize) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) if items.len() == n => Ok(items),
+            other => Err(Error::msg(format!("expected {n}-tuple, got {other:?}"))),
+        }
+    }
+
+    /// The value as `u64`, if numeric and exactly representable.
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        match *self {
+            Value::U64(v) => Ok(v),
+            Value::I64(v) if v >= 0 => Ok(v as u64),
+            Value::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Ok(v as u64),
+            ref other => Err(Error::msg(format!("expected unsigned integer, got {other:?}"))),
+        }
+    }
+
+    /// The value as `i64`, if numeric and exactly representable.
+    pub fn as_i64(&self) -> Result<i64, Error> {
+        match *self {
+            Value::I64(v) => Ok(v),
+            Value::U64(v) if v <= i64::MAX as u64 => Ok(v as i64),
+            Value::F64(v) if v.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&v) => {
+                Ok(v as i64)
+            }
+            ref other => Err(Error::msg(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match *self {
+            Value::F64(v) => Ok(v),
+            Value::U64(v) => Ok(v as f64),
+            Value::I64(v) => Ok(v as f64),
+            ref other => Err(Error::msg(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Result<bool, Error> {
+        match *self {
+            Value::Bool(b) => Ok(b),
+            ref other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+/// Types renderable into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on shape or type mismatch.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u64()?;
+                <$t>::try_from(raw).map_err(|_| Error::msg(format!(
+                    "{} out of range for {}", raw, stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 { Value::I64(v) } else { Value::U64(v as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_i64()?;
+                <$t>::try_from(raw).map_err(|_| Error::msg(format!(
+                    "{} out of range for {}", raw, stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_str()?.to_string())
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($n:expr; $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.tuple($n)?;
+                Ok(($($t::from_value(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+impl_tuple!(1; A.0);
+impl_tuple!(2; A.0, B.1);
+impl_tuple!(3; A.0, B.1, C.2);
+impl_tuple!(4; A.0, B.1, C.2, D.3);
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
