@@ -1,0 +1,169 @@
+//! Extension — multi-tenant noise scaling on the heap-scheduled engine.
+//!
+//! The paper's experiments run two malicious agents (trojan + spy) and at
+//! most a handful of background tenants. A production multi-GPU box hosts
+//! *many* tenants: this sweep runs a spy probing a monitored set while
+//! 8–32 concurrent tenants (workload trace replays + bursty noise
+//! kernels) contend on the same L2 — the regime the engine's binary-heap
+//! event queue and zero-allocation op protocol were built for (the old
+//! per-op-allocating engine made the 32-tenant sweep impractical).
+//!
+//! Every configuration is executed twice, once forced onto the cached-min
+//! linear scheduler and once onto the heap event queue, on identically
+//! seeded systems; the run asserts the two interleavings are
+//! **bit-identical** (same spy samples, same statistics, same final
+//! clock) and reports host-side throughput for both, so the scheduler is
+//! a pure performance choice, never a semantics choice.
+//!
+//! Usage: `ext_multi_tenant_noise [tenant counts...] [--cycles=N]`
+//! (defaults: `8 16 24 32`, 3,000,000 cycles; CI smoke passes `8
+//! --cycles=400000`).
+
+use gpubox_attacks::covert::SpyProbeAgent;
+use gpubox_attacks::{ChannelParams, EvictionSet, Thresholds};
+use gpubox_bench::report;
+use gpubox_sim::{
+    Agent, Engine, GpuId, GpuStats, MultiGpuSystem, NoiseAgent, NoiseConfig, SchedulerKind,
+    SystemConfig, VirtAddr,
+};
+use gpubox_workloads::{agent_for, Histogram, VectorAdd, Workload};
+use std::time::Instant;
+
+/// Outcome of one scheduler run, compared bit-for-bit across schedulers.
+#[derive(Debug, PartialEq)]
+struct RunFingerprint {
+    end_clock: u64,
+    totals: GpuStats,
+    spy_samples: Vec<(u64, u32, u32, u32)>,
+}
+
+struct RunOutcome {
+    fingerprint: RunFingerprint,
+    wall_secs: f64,
+}
+
+/// Builds the shared scenario (spy + `tenants` background agents) on a
+/// fresh seeded system and runs it to `cycles` under `kind`.
+fn run_once(tenants: usize, cycles: u64, kind: SchedulerKind, seed: u64) -> RunOutcome {
+    let mut sys = MultiGpuSystem::new(SystemConfig::small_test().with_seed(seed));
+
+    // Spy on GPU1 probes 16 lines of a remote GPU0 buffer warp-parallel.
+    let spy_pid = sys.create_process(GpuId::new(1));
+    sys.enable_peer_access(spy_pid, GpuId::new(0)).unwrap();
+    let spy_buf = sys.malloc_on(spy_pid, GpuId::new(0), 64 * 4096).unwrap();
+    let spy_lines: Vec<VirtAddr> = (0..16).map(|i| spy_buf.offset(i * 4096)).collect();
+    let spy = SpyProbeAgent::new(
+        spy_pid,
+        &EvictionSet::new(spy_lines),
+        Thresholds::paper_defaults(),
+        &ChannelParams::default(),
+        cycles,
+    );
+    let trace = spy.trace();
+
+    // Tenants alternate between genuine workload replays (vectoradd /
+    // histogram traces) and bursty noise kernels, all homed on GPU0 so
+    // every access lands in the contended L2.
+    let mut agents: Vec<Box<dyn Agent>> = Vec::new();
+    for t in 0..tenants {
+        let pid = sys.create_process(GpuId::new(0));
+        match t % 4 {
+            0 => {
+                let w = VectorAdd::new(256 + 32 * t);
+                agents.push(Box::new(agent_for(&mut sys, pid, &w as &dyn Workload).unwrap()));
+            }
+            1 => {
+                let w = Histogram::new(256 + 32 * t, 32);
+                agents.push(Box::new(agent_for(&mut sys, pid, &w as &dyn Workload).unwrap()));
+            }
+            _ => {
+                let buf = sys.malloc_on(pid, GpuId::new(0), 128 * 1024).unwrap();
+                agents.push(Box::new(NoiseAgent::new(
+                    pid,
+                    buf,
+                    1024,
+                    128,
+                    NoiseConfig {
+                        burst_len: 48,
+                        idle_between_bursts: 2_000 + 173 * t as u64,
+                        seed: 11 + t as u64,
+                    },
+                )));
+            }
+        }
+    }
+
+    let start = Instant::now();
+    let mut eng = Engine::with_scheduler(&mut sys, kind);
+    eng.add_agent(Box::new(spy), 0);
+    for (i, a) in agents.into_iter().enumerate() {
+        eng.add_agent(a, 53 * i as u64);
+    }
+    let end_clock = eng.run(cycles).unwrap();
+    drop(eng);
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let spy_samples = trace
+        .samples()
+        .iter()
+        .map(|s| (s.at, s.misses, s.lines, s.mean_latency))
+        .collect();
+    RunOutcome {
+        fingerprint: RunFingerprint {
+            end_clock,
+            totals: sys.stats().total(),
+            spy_samples,
+        },
+        wall_secs,
+    }
+}
+
+fn main() {
+    let mut counts: Vec<usize> = Vec::new();
+    let mut cycles: u64 = 3_000_000;
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--cycles=") {
+            cycles = v.parse().expect("--cycles=N");
+        } else {
+            counts.push(arg.parse().expect("tenant count"));
+        }
+    }
+    if counts.is_empty() {
+        counts = vec![8, 16, 24, 32];
+    }
+
+    report::header(
+        "Extension — multi-tenant noise sweep (heap vs linear scheduler)",
+        "8-32 tenants contending with a probing spy; interleavings asserted bit-identical",
+    );
+
+    let mut rows = Vec::new();
+    for &n in &counts {
+        let heap = run_once(n, cycles, SchedulerKind::Heap, 7_000 + n as u64);
+        let linear = run_once(n, cycles, SchedulerKind::Linear, 7_000 + n as u64);
+        assert_eq!(
+            heap.fingerprint, linear.fingerprint,
+            "heap and linear schedulers diverged at {n} tenants"
+        );
+        let accesses = heap.fingerprint.totals.issued_accesses;
+        let heap_rate = accesses as f64 / heap.wall_secs / 1e6;
+        let lin_rate = accesses as f64 / linear.wall_secs / 1e6;
+        rows.push((
+            format!("{n} tenants, {accesses} accesses"),
+            format!("{heap_rate:.1} M/s"),
+            format!("{lin_rate:.1} M/s"),
+        ));
+    }
+    report::table3(
+        ("configuration", "heap sched", "linear sched"),
+        &rows
+            .iter()
+            .map(|(a, b, c)| (a.as_str(), b.as_str(), c.as_str()))
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nheap and linear interleavings are bit-identical (asserted above);\n\
+         the heap's O(log n) pop/push replaces an O(n) scan per op, and the\n\
+         zero-allocation op protocol keeps per-op cost flat as tenants grow."
+    );
+}

@@ -14,7 +14,9 @@
 //! per class instead of once per set.
 
 use crate::eviction::{EvictionSet, PageClasses};
-use gpubox_sim::{Agent, Engine, MultiGpuSystem, Op, OpResult, ProcessId, SimResult, VirtAddr};
+use gpubox_sim::{
+    Agent, Engine, MultiGpuSystem, Op, OpResult, ProbeStage, ProcessId, SimResult, VirtAddr,
+};
 
 /// Tuning for the alignment protocol.
 #[derive(Debug, Clone)]
@@ -63,7 +65,7 @@ struct HammerAgent {
 }
 
 impl Agent for HammerAgent {
-    fn next_op(&mut self, _now: u64) -> Op {
+    fn next_op(&mut self, _now: u64, _stage: &mut ProbeStage) -> Op {
         if self.remaining == 0 {
             return Op::Done;
         }
@@ -73,7 +75,7 @@ impl Agent for HammerAgent {
         Op::Load(va)
     }
 
-    fn on_result(&mut self, _res: &OpResult) {}
+    fn on_result(&mut self, _res: &OpResult<'_>) {}
 
     fn process(&self) -> ProcessId {
         self.pid
@@ -173,7 +175,7 @@ impl OwnedAvgProbe {
 }
 
 impl Agent for OwnedAvgProbe {
-    fn next_op(&mut self, _now: u64) -> Op {
+    fn next_op(&mut self, _now: u64, _stage: &mut ProbeStage) -> Op {
         if self.done {
             return Op::Done;
         }
@@ -195,7 +197,7 @@ impl Agent for OwnedAvgProbe {
         Op::Load(va)
     }
 
-    fn on_result(&mut self, res: &OpResult) {
+    fn on_result(&mut self, res: &OpResult<'_>) {
         let mut sums = self.sums.borrow_mut();
         let e = &mut sums[self.pending_owner];
         e.0 += res.duration;

@@ -3,7 +3,7 @@
 use super::protocol::{ChannelParams, ProbeSample};
 use crate::eviction::EvictionSet;
 use crate::thresholds::Thresholds;
-use gpubox_sim::{Agent, Op, OpResult, ProcessId, VirtAddr};
+use gpubox_sim::{Agent, Op, OpResult, ProbeStage, ProcessId, VirtAddr};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -39,7 +39,7 @@ impl TrojanAgent {
 }
 
 impl Agent for TrojanAgent {
-    fn next_op(&mut self, now: u64) -> Op {
+    fn next_op(&mut self, now: u64, stage: &mut ProbeStage) -> Op {
         let start = *self.start.get_or_insert(now);
         if self.bit_idx >= self.frame.len() {
             return Op::Done;
@@ -47,7 +47,7 @@ impl Agent for TrojanAgent {
         let slot_end = start + (self.bit_idx as u64 + 1) * self.slot_cycles;
         if now >= slot_end {
             self.bit_idx += 1;
-            return self.next_op(now);
+            return self.next_op(now, stage);
         }
         let remaining = slot_end - now;
         if self.frame[self.bit_idx] == 1 {
@@ -55,7 +55,10 @@ impl Agent for TrojanAgent {
                 // Not enough room for a full prime; idle to the boundary.
                 Op::Compute(remaining)
             } else {
-                Op::LoadBatch(self.lines.clone())
+                // Re-prime warp-parallel: stage the eviction set into the
+                // engine's reusable probe buffer (no per-op allocation).
+                stage.extend_from_slice(&self.lines);
+                Op::LoadBatch
             }
         } else {
             // Dummy computation sized like a prime so 0/1 slots take the
@@ -64,7 +67,7 @@ impl Agent for TrojanAgent {
         }
     }
 
-    fn on_result(&mut self, res: &OpResult) {
+    fn on_result(&mut self, res: &OpResult<'_>) {
         if !res.latencies.is_empty() {
             // Track the real prime duration so pacing stays calibrated.
             self.prime_estimate = (self.prime_estimate + res.duration) / 2;
@@ -135,7 +138,7 @@ impl SpyProbeAgent {
 }
 
 impl Agent for SpyProbeAgent {
-    fn next_op(&mut self, now: u64) -> Op {
+    fn next_op(&mut self, now: u64, stage: &mut ProbeStage) -> Op {
         if now >= self.stop_after {
             return Op::Done;
         }
@@ -145,14 +148,15 @@ impl Agent for SpyProbeAgent {
         }
         self.gap_next = true;
         self.pending_probe_at = now;
-        Op::LoadBatch(self.lines.clone())
+        stage.extend_from_slice(&self.lines);
+        Op::LoadBatch
     }
 
-    fn on_result(&mut self, res: &OpResult) {
+    fn on_result(&mut self, res: &OpResult<'_>) {
         if res.latencies.is_empty() {
             return;
         }
-        let misses = self.thresholds.count_remote_misses(&res.latencies) as u32;
+        let misses = self.thresholds.count_remote_misses(res.latencies) as u32;
         let mean =
             res.latencies.iter().map(|&l| u64::from(l)).sum::<u64>() / res.latencies.len() as u64;
         self.trace.0.borrow_mut().push(ProbeSample {
@@ -184,13 +188,14 @@ mod tests {
         };
         let set = EvictionSet::new(vec![VirtAddr(4096)]);
         let mut t = TrojanAgent::new(ProcessId(0), &set, vec![0, 0], &params);
+        let mut stage = ProbeStage::new();
         // First op at now=0 inside slot 0 (a '0' bit): compute.
-        match t.next_op(0) {
+        match t.next_op(0, &mut stage) {
             Op::Compute(c) => assert!(c <= 1000),
             other => panic!("expected compute, got {other:?}"),
         }
         // At now=2000 both slots are over.
-        assert_eq!(t.next_op(2000), Op::Done);
+        assert_eq!(t.next_op(2000, &mut stage), Op::Done);
     }
 
     #[test]
@@ -201,8 +206,9 @@ mod tests {
         };
         let set = EvictionSet::new(vec![VirtAddr(4096), VirtAddr(8192)]);
         let mut t = TrojanAgent::new(ProcessId(0), &set, vec![1], &params);
-        match t.next_op(0) {
-            Op::LoadBatch(v) => assert_eq!(v.len(), 2),
+        let mut stage = ProbeStage::new();
+        match t.next_op(0, &mut stage) {
+            Op::LoadBatch => assert_eq!(stage.len(), 2, "both lines staged"),
             other => panic!("expected prime batch, got {other:?}"),
         }
     }
@@ -219,17 +225,20 @@ mod tests {
             10_000,
         );
         let trace = s.trace();
-        let op = s.next_op(0);
-        assert!(matches!(op, Op::LoadBatch(_)));
+        let mut stage = ProbeStage::new();
+        let op = s.next_op(0, &mut stage);
+        assert!(matches!(op, Op::LoadBatch));
+        assert_eq!(stage.len(), 1);
         s.on_result(&OpResult {
             started_at: 0,
             duration: 900,
             value: 0,
-            latencies: vec![950],
+            latencies: &[950],
         });
         let samples = trace.samples();
         assert_eq!(samples.len(), 1);
         assert_eq!(samples[0].misses, 1);
-        assert_eq!(s.next_op(20_000), Op::Done);
+        stage.clear();
+        assert_eq!(s.next_op(20_000, &mut stage), Op::Done);
     }
 }

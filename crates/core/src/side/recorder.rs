@@ -3,7 +3,9 @@
 use crate::eviction::EvictionSet;
 use crate::thresholds::Thresholds;
 use gpubox_classify::Memorygram;
-use gpubox_sim::{Agent, Engine, MultiGpuSystem, Op, OpResult, ProcessId, SimResult, VirtAddr};
+use gpubox_sim::{
+    Agent, Engine, MultiGpuSystem, Op, OpResult, ProbeStage, ProcessId, SimResult, VirtAddr,
+};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -39,7 +41,7 @@ struct RecorderAgent {
 }
 
 impl Agent for RecorderAgent {
-    fn next_op(&mut self, now: u64) -> Op {
+    fn next_op(&mut self, now: u64, stage: &mut ProbeStage) -> Op {
         if now >= self.cfg.duration {
             return Op::Done;
         }
@@ -47,14 +49,15 @@ impl Agent for RecorderAgent {
             self.gap_next = false;
             return Op::Compute(self.cfg.sweep_gap.max(1));
         }
-        Op::LoadBatch(self.sets[self.cur_set].clone())
+        stage.extend_from_slice(&self.sets[self.cur_set]);
+        Op::LoadBatch
     }
 
-    fn on_result(&mut self, res: &OpResult) {
+    fn on_result(&mut self, res: &OpResult<'_>) {
         if res.latencies.is_empty() {
             return;
         }
-        let misses = self.thresholds.count_remote_misses(&res.latencies) as u8;
+        let misses = self.thresholds.count_remote_misses(res.latencies) as u8;
         self.row.push(misses);
         self.cur_set += 1;
         if self.cur_set >= self.sets.len() {

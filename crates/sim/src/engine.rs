@@ -6,50 +6,159 @@
 //! steps the agent whose local clock is furthest behind, so accesses hit
 //! the shared caches in true time order.
 //!
+//! # The scratch-buffer op protocol
+//!
 //! Agents express their programs as a stream of [`Op`]s and receive an
 //! [`OpResult`] per op — mirroring how a GPU kernel only observes its own
-//! loads and `clock()` values.
+//! loads and `clock()` values. The protocol is designed so the steady-state
+//! simulation loop performs **zero heap allocations**:
+//!
+//! - A warp-parallel probe is issued by *filling the engine's reusable
+//!   [`ProbeStage`]* (handed to [`Agent::next_op`]) with the probe
+//!   addresses and returning [`Op::LoadBatch`]. The staging buffer is
+//!   cleared by the engine before every `next_op` call and its capacity is
+//!   kept across ops, so an agent re-probing the same eviction set never
+//!   allocates — the GoFetch-harness idiom of probe buffers owned by the
+//!   driver and reused across every iteration.
+//! - All batches are routed through
+//!   [`MultiGpuSystem::access_batch_into`] with an engine-owned latency
+//!   scratch buffer, and [`OpResult::latencies`] *borrows* from that
+//!   scratch (`&[u32]`) instead of handing the agent an owned `Vec`.
+//!   Scalar loads and stores reuse the same one-element scratch.
+//!
+//! The allocation-freedom of the warm loop is asserted by a
+//! counting-allocator integration test (`tests/alloc_free.rs`).
+//!
+//! # Scheduler selection
+//!
+//! Picking the next agent is the engine's own hot path. Two schedulers
+//! implement the same policy — *run the live agent with the smallest
+//! `(clock, slot index)` key* — and are chosen per [`Engine::run`] call:
+//!
+//! - **Cached-min linear scan** for up to 4 live agents (the paper's
+//!   trojan/spy regime): the minimum and runner-up are cached, so an agent
+//!   issuing consecutive ops that stay below the runner-up's clock is
+//!   re-picked in O(1) without a rescan.
+//! - **Binary-heap event queue** beyond 4 agents (multi-tenant scenarios:
+//!   many background/noise tenants contending with the trojan/spy pair):
+//!   pop-min / push-updated in O(log n).
+//!
+//! Ties on the clock are broken towards the **lowest slot index** (the
+//! order agents were added). Both schedulers encode the tie-break in the
+//! comparison key itself and the engine `debug_assert`s every pick against
+//! the policy, so heap and linear interleavings are bit-identical — a
+//! property test (`tests/scheduler_equivalence.rs`) checks this on
+//! randomized agent mixes. [`Engine::with_scheduler`] forces a choice;
+//! [`Engine::new`] uses [`SchedulerKind::Auto`].
 
 use crate::address::VirtAddr;
 use crate::error::SimResult;
 use crate::system::{AgentId, MultiGpuSystem, ProcessId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// One operation an agent asks the machine to perform.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     /// A single (dependent) load, e.g. one pointer-chase step.
     Load(VirtAddr),
-    /// A warp-parallel batch of loads (the covert-channel probe).
-    LoadBatch(Vec<VirtAddr>),
+    /// A warp-parallel batch of loads (the covert-channel probe). The
+    /// probe addresses are the ones the agent staged into the
+    /// [`ProbeStage`] passed to [`Agent::next_op`]; an empty stage
+    /// touches no memory and is charged one cycle (issuing an empty warp
+    /// still takes a cycle — and a misbehaving agent must not be able to
+    /// stall the global clock below the deadline forever).
+    LoadBatch,
     /// A store.
     Store(VirtAddr, u64),
     /// Busy computation for the given cycles (dummy ops / trigonometric
-    /// wait while sending a "0").
+    /// wait while sending a "0"). `Compute(0)` does not advance the clock;
+    /// an agent must not emit it unboundedly.
     Compute(u64),
     /// The agent is finished.
     Done,
 }
 
 /// What the machine reports back for one op.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct OpResult {
+///
+/// Borrows the engine's latency scratch buffer — valid only for the
+/// duration of the [`Agent::on_result`] call; agents that need the
+/// latencies later copy what they derive from them (a miss count, a mean),
+/// which is what every attack agent does anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpResult<'a> {
     /// Agent-local time when the op started.
     pub started_at: u64,
     /// Cycles the op took.
     pub duration: u64,
     /// Value loaded (single loads) or 0.
     pub value: u64,
-    /// Per-line latencies (one entry for `Load`, n for `LoadBatch`).
-    pub latencies: Vec<u32>,
+    /// Per-line latencies (one entry for `Load`/`Store`, n for
+    /// `LoadBatch`, empty for `Compute`).
+    pub latencies: &'a [u32],
+}
+
+/// Reusable probe-address staging buffer owned by the engine.
+///
+/// Handed to [`Agent::next_op`]; an agent issuing [`Op::LoadBatch`] writes
+/// its probe addresses here (typically via
+/// [`ProbeStage::extend_from_slice`] from a prebuilt eviction-set line
+/// list). The engine clears it before every `next_op` call; capacity is
+/// retained, so steady-state probing never allocates.
+#[derive(Debug, Default)]
+pub struct ProbeStage {
+    addrs: Vec<VirtAddr>,
+}
+
+impl ProbeStage {
+    /// Creates an empty stage (for driving agents manually in tests).
+    pub fn new() -> Self {
+        ProbeStage::default()
+    }
+
+    /// Appends one probe address.
+    #[inline]
+    pub fn push(&mut self, va: VirtAddr) {
+        self.addrs.push(va);
+    }
+
+    /// Appends a prebuilt address list (the common eviction-set case).
+    #[inline]
+    pub fn extend_from_slice(&mut self, vas: &[VirtAddr]) {
+        self.addrs.extend_from_slice(vas);
+    }
+
+    /// Empties the stage (the engine does this before every `next_op`).
+    pub fn clear(&mut self) {
+        self.addrs.clear();
+    }
+
+    /// Number of staged addresses.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// The staged addresses.
+    pub fn as_slice(&self) -> &[VirtAddr] {
+        &self.addrs
+    }
 }
 
 /// A concurrent actor driven by the engine.
 pub trait Agent {
-    /// Returns the next operation. `now` is the agent's local clock.
-    fn next_op(&mut self, now: u64) -> Op;
+    /// Returns the next operation. `now` is the agent's local clock. To
+    /// issue a warp-parallel probe, fill `stage` (cleared by the engine
+    /// beforehand) and return [`Op::LoadBatch`].
+    fn next_op(&mut self, now: u64, stage: &mut ProbeStage) -> Op;
 
-    /// Receives the result of the op previously returned.
-    fn on_result(&mut self, res: &OpResult);
+    /// Receives the result of the op previously returned. The borrowed
+    /// latencies are only valid during this call.
+    fn on_result(&mut self, res: &OpResult<'_>);
 
     /// The process this agent issues memory operations as.
     fn process(&self) -> ProcessId;
@@ -60,6 +169,24 @@ pub trait Agent {
     }
 }
 
+/// Which next-agent scheduler [`Engine::run`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Cached-min linear scan while at most [`LINEAR_SCHED_MAX_AGENTS`]
+    /// agents are live at the start of a run, binary heap beyond.
+    #[default]
+    Auto,
+    /// Always the cached-min linear scan.
+    Linear,
+    /// Always the binary-heap event queue.
+    Heap,
+}
+
+/// Live-agent count up to which [`SchedulerKind::Auto`] stays on the
+/// linear scan (the paper's two-agent setup plus a victim and one noise
+/// tenant); beyond it the heap's O(log n) pop/push wins.
+pub const LINEAR_SCHED_MAX_AGENTS: usize = 4;
+
 struct Slot {
     agent: Box<dyn Agent>,
     agent_id: AgentId,
@@ -67,21 +194,60 @@ struct Slot {
     done: bool,
 }
 
+/// Cached linear-scan state: the current minimum slot and the runner-up
+/// key. Stepping the minimum only invalidates the cache when its new key
+/// passes the runner-up.
+#[derive(Debug, Clone, Copy)]
+struct CachedMin {
+    idx: usize,
+    runner_clock: u64,
+    runner_idx: usize,
+}
+
 /// Runs agents against a shared [`MultiGpuSystem`] in timestamp order.
 pub struct Engine<'a> {
     sys: &'a mut MultiGpuSystem,
     slots: Vec<Slot>,
+    /// Agent-fills-engine-scratch staging buffer for probe batches.
+    stage: ProbeStage,
+    /// Engine-owned latency scratch; `OpResult::latencies` borrows it.
+    lat: Vec<u32>,
+    kind: SchedulerKind,
+    /// Resolved per run: whether the heap scheduler is active.
+    use_heap: bool,
+    /// Event queue of `Reverse((clock, slot index))` for live agents.
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    cached_min: Option<CachedMin>,
 }
 
 impl<'a> Engine<'a> {
-    /// Creates an engine over the system. Clears transient timing state
-    /// (pressure windows, congestion) because agent clocks restart at zero.
+    /// Creates an engine over the system with automatic scheduler
+    /// selection. Clears transient timing state (pressure windows,
+    /// congestion) because agent clocks restart at zero.
     pub fn new(sys: &'a mut MultiGpuSystem) -> Self {
+        Engine::with_scheduler(sys, SchedulerKind::Auto)
+    }
+
+    /// As [`Engine::new`] but forcing a scheduler (equivalence tests and
+    /// scaling experiments; both schedulers produce bit-identical
+    /// interleavings).
+    pub fn with_scheduler(sys: &'a mut MultiGpuSystem, kind: SchedulerKind) -> Self {
         sys.reset_timing_state();
         Engine {
             sys,
             slots: Vec::new(),
+            stage: ProbeStage::default(),
+            lat: Vec::with_capacity(64),
+            kind,
+            use_heap: false,
+            heap: BinaryHeap::new(),
+            cached_min: None,
         }
+    }
+
+    /// The configured scheduler kind.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.kind
     }
 
     /// Adds an agent starting at local time `start` (a launch offset models
@@ -96,87 +262,181 @@ impl<'a> Engine<'a> {
         });
     }
 
-    /// Runs until every agent is done or the global clock passes
-    /// `deadline` cycles. Returns the final global time.
+    /// Resolves [`SchedulerKind::Auto`] against the live-agent count and
+    /// (re)builds the chosen scheduler's state. Called at every
+    /// [`Engine::run`] entry so agents added between runs are picked up.
+    /// The heap's backing storage is retained across runs.
+    fn prepare_scheduler(&mut self) {
+        let live = self.slots.iter().filter(|s| !s.done).count();
+        self.use_heap = match self.kind {
+            SchedulerKind::Linear => false,
+            SchedulerKind::Heap => true,
+            SchedulerKind::Auto => live > LINEAR_SCHED_MAX_AGENTS,
+        };
+        self.cached_min = None;
+        self.heap.clear();
+        if self.use_heap {
+            self.heap.reserve(live);
+            for (i, s) in self.slots.iter().enumerate() {
+                if !s.done {
+                    self.heap.push(Reverse((s.clock, i)));
+                }
+            }
+        }
+    }
+
+    /// The live slot with the smallest `(clock, index)` key, if any.
+    fn next_runnable(&mut self) -> Option<usize> {
+        if self.use_heap {
+            return self.heap.peek().map(|&Reverse((_, i))| i);
+        }
+        if let Some(c) = self.cached_min {
+            return Some(c.idx);
+        }
+        // Full scan: track the minimum and the runner-up in one pass.
+        let mut best: Option<(u64, usize)> = None;
+        let mut runner = (u64::MAX, usize::MAX);
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.done {
+                continue;
+            }
+            let key = (s.clock, i);
+            match best {
+                None => best = Some(key),
+                Some(b) if key < b => {
+                    runner = b;
+                    best = Some(key);
+                }
+                Some(_) => {
+                    if key < runner {
+                        runner = key;
+                    }
+                }
+            }
+        }
+        let (_, i) = best?;
+        self.cached_min = Some(CachedMin {
+            idx: i,
+            runner_clock: runner.0,
+            runner_idx: runner.1,
+        });
+        Some(i)
+    }
+
+    /// Updates scheduler state after slot `i` was stepped (its clock
+    /// advanced, or it finished).
+    fn reschedule(&mut self, i: usize) {
+        let clock = self.slots[i].clock;
+        let done = self.slots[i].done;
+        if self.use_heap {
+            let popped = self.heap.pop();
+            debug_assert!(
+                matches!(popped, Some(Reverse((_, j))) if j == i),
+                "heap top must be the slot just stepped"
+            );
+            if !done {
+                self.heap.push(Reverse((clock, i)));
+            }
+        } else if let Some(c) = self.cached_min {
+            debug_assert_eq!(c.idx, i, "cached minimum must be the slot just stepped");
+            // Only the stepped slot's key changed; it stays the minimum
+            // while strictly below the runner-up's (clock, index) key.
+            if done || (clock, i) >= (c.runner_clock, c.runner_idx) {
+                self.cached_min = None;
+            }
+        }
+    }
+
+    /// Runs until every agent is done or the next runnable agent's clock
+    /// reaches `deadline` cycles.
+    ///
+    /// Returns the final *global* time: the maximum agent-local clock
+    /// across all agents ever added, or `0` for an engine with no agents.
+    /// Two deadline edge cases follow from that definition:
+    ///
+    /// - An agent added with a `start` offset at or beyond `deadline` is
+    ///   never stepped (it issues no ops, and [`Engine::all_done`] stays
+    ///   `false`), yet its start offset still counts as its local clock —
+    ///   so the returned time can *exceed* `deadline`.
+    /// - `run` may be called again with a later deadline to resume; agents
+    ///   keep their clocks and completion state, and the scheduler is
+    ///   rebuilt to include agents added in between.
     ///
     /// # Errors
     ///
     /// Propagates the first simulator error an agent's op produces.
     pub fn run(&mut self, deadline: u64) -> SimResult<u64> {
-        loop {
-            // Pick the live agent with the smallest local clock.
-            let next = self
-                .slots
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| !s.done)
-                .min_by_key(|(_, s)| s.clock)
-                .map(|(i, _)| i);
-            let Some(i) = next else {
-                break;
-            };
+        self.prepare_scheduler();
+        while let Some(i) = self.next_runnable() {
+            #[cfg(debug_assertions)]
+            {
+                // Asserted stable tie-break: the pick is the lowest-index
+                // live slot among those at the minimum clock.
+                let best = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.done)
+                    .map(|(j, s)| (s.clock, j))
+                    .min();
+                debug_assert_eq!(
+                    best,
+                    Some((self.slots[i].clock, i)),
+                    "scheduler must pick the lowest-index agent at the minimum clock"
+                );
+            }
             if self.slots[i].clock >= deadline {
                 break;
             }
             let now = self.slots[i].clock;
-            let op = self.slots[i].agent.next_op(now);
-            match op {
+            self.stage.clear();
+            let op = self.slots[i].agent.next_op(now, &mut self.stage);
+            self.lat.clear();
+            let (duration, value) = match op {
                 Op::Done => {
                     self.slots[i].done = true;
+                    self.reschedule(i);
+                    continue;
                 }
-                Op::Compute(c) => {
-                    let res = OpResult {
-                        started_at: now,
-                        duration: c,
-                        value: 0,
-                        latencies: Vec::new(),
-                    };
-                    self.slots[i].clock += c;
-                    self.slots[i].agent.on_result(&res);
-                }
+                Op::Compute(c) => (c, 0),
                 Op::Load(va) => {
                     let pid = self.slots[i].agent.process();
                     let acc = self
                         .sys
                         .access(pid, self.slots[i].agent_id, va, now, None)?;
-                    let res = OpResult {
-                        started_at: now,
-                        duration: u64::from(acc.latency),
-                        value: acc.value,
-                        latencies: vec![acc.latency],
-                    };
-                    self.slots[i].clock += u64::from(acc.latency);
-                    self.slots[i].agent.on_result(&res);
+                    self.lat.push(acc.latency);
+                    (u64::from(acc.latency), acc.value)
                 }
                 Op::Store(va, v) => {
                     let pid = self.slots[i].agent.process();
                     let acc = self
                         .sys
                         .access(pid, self.slots[i].agent_id, va, now, Some(v))?;
-                    let res = OpResult {
-                        started_at: now,
-                        duration: u64::from(acc.latency),
-                        value: v,
-                        latencies: vec![acc.latency],
-                    };
-                    self.slots[i].clock += u64::from(acc.latency);
-                    self.slots[i].agent.on_result(&res);
+                    self.lat.push(acc.latency);
+                    (u64::from(acc.latency), v)
                 }
-                Op::LoadBatch(vas) => {
+                Op::LoadBatch if self.stage.is_empty() => (1, 0),
+                Op::LoadBatch => {
                     let pid = self.slots[i].agent.process();
-                    let b = self
-                        .sys
-                        .access_batch(pid, self.slots[i].agent_id, &vas, now)?;
-                    let res = OpResult {
-                        started_at: now,
-                        duration: b.duration,
-                        value: 0,
-                        latencies: b.latencies,
-                    };
-                    self.slots[i].clock += b.duration;
-                    self.slots[i].agent.on_result(&res);
+                    let b = self.sys.access_batch_into(
+                        pid,
+                        self.slots[i].agent_id,
+                        &self.stage.addrs,
+                        now,
+                        &mut self.lat,
+                    )?;
+                    (b.duration, 0)
                 }
-            }
+            };
+            self.slots[i].clock = now + duration;
+            self.reschedule(i);
+            let res = OpResult {
+                started_at: now,
+                duration,
+                value,
+                latencies: &self.lat,
+            };
+            self.slots[i].agent.on_result(&res);
         }
         Ok(self.slots.iter().map(|s| s.clock).max().unwrap_or(0))
     }
@@ -191,6 +451,7 @@ impl std::fmt::Debug for Engine<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("agents", &self.slots.len())
+            .field("scheduler", &self.kind)
             .finish()
     }
 }
@@ -200,6 +461,8 @@ mod tests {
     use super::*;
     use crate::address::GpuId;
     use crate::config::SystemConfig;
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
     /// Touches a fixed list of addresses `reps` times.
     struct Toucher {
@@ -211,7 +474,7 @@ mod tests {
     }
 
     impl Agent for Toucher {
-        fn next_op(&mut self, _now: u64) -> Op {
+        fn next_op(&mut self, _now: u64, _stage: &mut ProbeStage) -> Op {
             if self.idx >= self.vas.len() * self.reps {
                 return Op::Done;
             }
@@ -220,7 +483,7 @@ mod tests {
             Op::Load(va)
         }
 
-        fn on_result(&mut self, res: &OpResult) {
+        fn on_result(&mut self, res: &OpResult<'_>) {
             self.observed.push((res.started_at, res.latencies[0]));
         }
 
@@ -264,10 +527,10 @@ mod tests {
     fn deadline_stops_infinite_agent() {
         struct Forever(ProcessId, VirtAddr);
         impl Agent for Forever {
-            fn next_op(&mut self, _now: u64) -> Op {
+            fn next_op(&mut self, _now: u64, _stage: &mut ProbeStage) -> Op {
                 Op::Load(self.1)
             }
-            fn on_result(&mut self, _res: &OpResult) {}
+            fn on_result(&mut self, _res: &OpResult<'_>) {}
             fn process(&self) -> ProcessId {
                 self.0
             }
@@ -286,7 +549,7 @@ mod tests {
     fn compute_advances_without_memory_traffic() {
         struct Compute(ProcessId, bool);
         impl Agent for Compute {
-            fn next_op(&mut self, _now: u64) -> Op {
+            fn next_op(&mut self, _now: u64, _stage: &mut ProbeStage) -> Op {
                 if self.1 {
                     Op::Done
                 } else {
@@ -294,8 +557,9 @@ mod tests {
                     Op::Compute(1234)
                 }
             }
-            fn on_result(&mut self, res: &OpResult) {
+            fn on_result(&mut self, res: &OpResult<'_>) {
                 assert_eq!(res.duration, 1234);
+                assert!(res.latencies.is_empty());
             }
             fn process(&self) -> ProcessId {
                 self.0
@@ -326,5 +590,213 @@ mod tests {
         eng.add_agent(Box::new(a), 5_000);
         let end = eng.run(u64::MAX).unwrap();
         assert!(end >= 5_000);
+    }
+
+    /// Probes a fixed line list via the staging buffer `reps` times and
+    /// records per-probe latency counts into a shared log.
+    struct StagedProber {
+        pid: ProcessId,
+        lines: Vec<VirtAddr>,
+        reps: usize,
+        issued: usize,
+        lat_counts: Rc<RefCell<Vec<usize>>>,
+    }
+
+    impl Agent for StagedProber {
+        fn next_op(&mut self, _now: u64, stage: &mut ProbeStage) -> Op {
+            if self.issued >= self.reps {
+                return Op::Done;
+            }
+            self.issued += 1;
+            stage.extend_from_slice(&self.lines);
+            Op::LoadBatch
+        }
+
+        fn on_result(&mut self, res: &OpResult<'_>) {
+            self.lat_counts.borrow_mut().push(res.latencies.len());
+        }
+
+        fn process(&self) -> ProcessId {
+            self.pid
+        }
+    }
+
+    #[test]
+    fn staged_batch_returns_one_latency_per_line() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let p = sys.create_process(GpuId::new(0));
+        let buf = sys.malloc_on(p, GpuId::new(0), 64 * 1024).unwrap();
+        let lines: Vec<VirtAddr> = (0..16).map(|i| buf.offset(i * 128)).collect();
+        let counts = Rc::new(RefCell::new(Vec::new()));
+        let a = StagedProber {
+            pid: p,
+            lines,
+            reps: 5,
+            issued: 0,
+            lat_counts: Rc::clone(&counts),
+        };
+        let mut eng = Engine::new(&mut sys);
+        eng.add_agent(Box::new(a), 0);
+        eng.run(u64::MAX).unwrap();
+        assert_eq!(&*counts.borrow(), &[16, 16, 16, 16, 16]);
+        assert_eq!(sys.stats().total().issued_accesses, 80);
+    }
+
+    #[test]
+    fn empty_engine_returns_zero() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let mut eng = Engine::new(&mut sys);
+        assert_eq!(eng.run(u64::MAX).unwrap(), 0);
+        assert!(eng.all_done(), "vacuously done with no agents");
+    }
+
+    #[test]
+    fn agents_starting_past_deadline_never_step() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let p = sys.create_process(GpuId::new(0));
+        let b = sys.malloc_on(p, GpuId::new(0), 4096).unwrap();
+        let a = Toucher {
+            pid: p,
+            vas: vec![b],
+            reps: 3,
+            idx: 0,
+            observed: vec![],
+        };
+        let mut eng = Engine::new(&mut sys);
+        eng.add_agent(Box::new(a), 5_000);
+        // Deadline below the launch offset: the agent issues nothing, yet
+        // its start offset is still the final global time.
+        let end = eng.run(1_000).unwrap();
+        assert_eq!(end, 5_000);
+        assert!(!eng.all_done());
+        // Resuming with a later deadline completes it.
+        let end = eng.run(u64::MAX).unwrap();
+        assert!(eng.all_done());
+        assert!(end > 5_000);
+        assert_eq!(sys.stats().total().issued_accesses, 3);
+    }
+
+    #[test]
+    fn empty_batches_cannot_stall_the_deadline() {
+        // An agent that stages nothing forever: each empty probe is
+        // charged one cycle, so the deadline still terminates the run.
+        struct EmptyProber(ProcessId);
+        impl Agent for EmptyProber {
+            fn next_op(&mut self, _now: u64, _stage: &mut ProbeStage) -> Op {
+                Op::LoadBatch
+            }
+            fn on_result(&mut self, res: &OpResult<'_>) {
+                assert_eq!(res.duration, 1);
+                assert!(res.latencies.is_empty());
+            }
+            fn process(&self) -> ProcessId {
+                self.0
+            }
+        }
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let p = sys.create_process(GpuId::new(0));
+        let mut eng = Engine::new(&mut sys);
+        eng.add_agent(Box::new(EmptyProber(p)), 0);
+        let end = eng.run(1_000).unwrap();
+        assert_eq!(end, 1_000);
+        assert_eq!(sys.stats().total().issued_accesses, 0);
+    }
+
+    #[test]
+    fn zero_deadline_steps_nothing() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let p = sys.create_process(GpuId::new(0));
+        let b = sys.malloc_on(p, GpuId::new(0), 4096).unwrap();
+        let a = Toucher {
+            pid: p,
+            vas: vec![b],
+            reps: 1,
+            idx: 0,
+            observed: vec![],
+        };
+        let mut eng = Engine::new(&mut sys);
+        eng.add_agent(Box::new(a), 0);
+        assert_eq!(eng.run(0).unwrap(), 0);
+        assert_eq!(sys.stats().total().issued_accesses, 0);
+    }
+
+    /// Appends `(tag, now)` to a shared log on every op — captures the
+    /// engine's interleaving order for tie-break/equivalence checks.
+    struct LoggedCompute {
+        pid: ProcessId,
+        tag: usize,
+        remaining: usize,
+        step: u64,
+        log: Rc<RefCell<Vec<(usize, u64)>>>,
+    }
+
+    impl Agent for LoggedCompute {
+        fn next_op(&mut self, now: u64, _stage: &mut ProbeStage) -> Op {
+            if self.remaining == 0 {
+                return Op::Done;
+            }
+            self.remaining -= 1;
+            self.log.borrow_mut().push((self.tag, now));
+            Op::Compute(self.step)
+        }
+
+        fn on_result(&mut self, _res: &OpResult<'_>) {}
+
+        fn process(&self) -> ProcessId {
+            self.pid
+        }
+    }
+
+    #[test]
+    fn equal_clocks_break_ties_by_slot_index() {
+        for kind in [SchedulerKind::Linear, SchedulerKind::Heap] {
+            let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+            let p = sys.create_process(GpuId::new(0));
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut eng = Engine::with_scheduler(&mut sys, kind);
+            for tag in 0..3 {
+                eng.add_agent(
+                    Box::new(LoggedCompute {
+                        pid: p,
+                        tag,
+                        remaining: 2,
+                        step: 100,
+                        log: Rc::clone(&log),
+                    }),
+                    0,
+                );
+            }
+            eng.run(u64::MAX).unwrap();
+            // All agents share every clock value; order must be slot order
+            // within each time step.
+            assert_eq!(
+                &*log.borrow(),
+                &[(0, 0), (1, 0), (2, 0), (0, 100), (1, 100), (2, 100)],
+                "scheduler {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_scheduler_switches_to_heap_beyond_linear_max() {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let p = sys.create_process(GpuId::new(0));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut eng = Engine::new(&mut sys);
+        for tag in 0..LINEAR_SCHED_MAX_AGENTS + 2 {
+            eng.add_agent(
+                Box::new(LoggedCompute {
+                    pid: p,
+                    tag,
+                    remaining: 1,
+                    step: 10,
+                    log: Rc::clone(&log),
+                }),
+                0,
+            );
+        }
+        eng.run(u64::MAX).unwrap();
+        assert!(eng.use_heap, "auto must pick the heap for >4 live agents");
+        assert!(eng.all_done());
     }
 }

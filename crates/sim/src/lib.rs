@@ -66,7 +66,7 @@ pub mod vm;
 pub use address::{FrameNumber, GpuId, PageNumber, PhysAddr, PhysLoc, SetIndex, SetMapper, VirtAddr};
 pub use cache::{AccessOutcome, L2Cache, EMPTY_TAG};
 pub use config::{CacheConfig, ReplacementKind, SmConfig, SystemConfig, TimingConfig};
-pub use engine::{Agent, Engine, Op, OpResult};
+pub use engine::{Agent, Engine, Op, OpResult, ProbeStage, SchedulerKind};
 pub use error::{SimError, SimResult};
 pub use noise::{NoiseAgent, NoiseConfig};
 pub use process::ProcessCtx;

@@ -7,7 +7,7 @@
 //! noise kernel cannot launch) is modelled in `gpubox-attacks::mitigation`.
 
 use crate::address::VirtAddr;
-use crate::engine::{Agent, Op, OpResult};
+use crate::engine::{Agent, Op, OpResult, ProbeStage};
 use crate::system::ProcessId;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -84,7 +84,7 @@ impl NoiseAgent {
 }
 
 impl Agent for NoiseAgent {
-    fn next_op(&mut self, _now: u64) -> Op {
+    fn next_op(&mut self, _now: u64, _stage: &mut ProbeStage) -> Op {
         if !self.active {
             return Op::Compute(self.cfg.idle_between_bursts.max(1));
         }
@@ -97,7 +97,7 @@ impl Agent for NoiseAgent {
         Op::Compute(self.cfg.idle_between_bursts.max(1))
     }
 
-    fn on_result(&mut self, _res: &OpResult) {}
+    fn on_result(&mut self, _res: &OpResult<'_>) {}
 
     fn process(&self) -> ProcessId {
         self.pid

@@ -56,6 +56,46 @@ pub struct MemAccess {
     pub oracle: AccessOracle,
 }
 
+/// Default per-process TLB entries: an eviction-set probe touches one
+/// line per page, so a 16-way probe walks 16 distinct pages — 64 entries
+/// keep a trojan/spy pair's working sets resident simultaneously.
+const DEFAULT_TLB_ENTRIES: usize = 64;
+
+/// Direct-mapped software TLB over a process's page table, indexed by
+/// `vpn & mask`. This is a *simulator implementation* cache, not modelled
+/// hardware: its size has no observable effect on simulated latencies or
+/// RNG consumption, only on host-side speed. PR 1 shipped the one-entry
+/// version (`entries == 1` reproduces it exactly, which the benches use
+/// as the baseline rung).
+#[derive(Debug, Clone)]
+struct DirectTlb {
+    mask: u64,
+    /// `(vpn, mapping)` per slot; vpn `u64::MAX` = empty.
+    slots: Vec<(u64, Mapping)>,
+}
+
+impl DirectTlb {
+    fn new(entries: usize, home: GpuId) -> Self {
+        assert!(
+            entries.is_power_of_two(),
+            "TLB entries must be a power of two, got {entries}"
+        );
+        DirectTlb {
+            mask: entries as u64 - 1,
+            slots: vec![
+                (
+                    u64::MAX,
+                    Mapping {
+                        gpu: home,
+                        frame_base: PhysAddr(0),
+                    }
+                );
+                entries
+            ],
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Process {
     home: GpuId,
@@ -64,13 +104,12 @@ struct Process {
     /// MIG-style L2 partition `(index, count)` this process is confined
     /// to, if the defence of paper Sec. VII is enabled.
     partition: Option<(u32, u32)>,
-    /// One-entry TLB over the page table: probe loops walk lines within a
-    /// page, so the scalar access path almost never pays the full
-    /// page-table lookup. Mappings are immutable once created and peer
-    /// grants are never revoked, so a cached entry never goes stale.
-    /// `u64::MAX` = empty.
-    tlb_vpn: u64,
-    tlb_map: Mapping,
+    /// Software TLB over the page table: probe loops walk one line per
+    /// page across a small set of pages, so the access paths almost never
+    /// pay the full page-table lookup. Mappings are immutable once
+    /// created and peer grants are never revoked, so a cached entry never
+    /// goes stale.
+    tlb: DirectTlb,
 }
 
 impl Process {
@@ -82,8 +121,10 @@ impl Process {
     /// `va` is only used to name the faulting address in errors.
     #[inline]
     fn translate_page(&mut self, vpn: u64, va: VirtAddr) -> SimResult<Mapping> {
-        if self.tlb_vpn == vpn {
-            return Ok(self.tlb_map);
+        let slot = (vpn & self.tlb.mask) as usize;
+        let e = self.tlb.slots[slot];
+        if e.0 == vpn {
+            return Ok(e.1);
         }
         let m = self
             .aspace
@@ -92,8 +133,7 @@ impl Process {
         if m.gpu != self.home && !self.peers.contains(&m.gpu) {
             return Err(SimError::PeerAccessNotEnabled { remote: m.gpu });
         }
-        self.tlb_vpn = vpn;
-        self.tlb_map = m;
+        self.tlb.slots[slot] = (vpn, m);
         Ok(m)
     }
 }
@@ -112,7 +152,7 @@ struct GpuDevice {
 /// agent-local clocks make timestamps non-monotonic), but allocation-free
 /// on the hot path: the distinct-agent set is collected into a reusable
 /// scratch buffer instead of a fresh `HashSet` per access.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct PressureTracker {
     recent: VecDeque<(u64, u32)>,
     /// Scratch for the distinct-agent scan; cleared per query, never
@@ -120,7 +160,30 @@ struct PressureTracker {
     scratch: Vec<u32>,
 }
 
+/// Hard bound on the window deque (memory stays bounded even if agent
+/// clocks go backwards between agents).
+const PRESSURE_WINDOW_CAP: usize = 4096;
+
 impl PressureTracker {
+    /// `tracking == true` pre-sizes both buffers to their steady-state
+    /// bounds so the engine's warm loop never grows them: the deque can
+    /// briefly hold one entry past the cap (push happens before the
+    /// trim), and the scratch holds at most one entry per distinct
+    /// concurrent agent. Untracked (noiseless) systems never touch the
+    /// tracker, so they skip the ~64 KiB-per-GPU reservation.
+    fn new(tracking: bool) -> Self {
+        if tracking {
+            PressureTracker {
+                recent: VecDeque::with_capacity(PRESSURE_WINDOW_CAP + 2),
+                scratch: Vec::with_capacity(64),
+            }
+        } else {
+            PressureTracker {
+                recent: VecDeque::new(),
+                scratch: Vec::new(),
+            }
+        }
+    }
     fn clear(&mut self) {
         self.recent.clear();
     }
@@ -131,8 +194,7 @@ impl PressureTracker {
         while matches!(self.recent.front(), Some(&(t, _)) if t < cutoff) {
             self.recent.pop_front();
         }
-        // Bound memory even if times go backwards between agents.
-        while self.recent.len() > 4096 {
+        while self.recent.len() > PRESSURE_WINDOW_CAP {
             self.recent.pop_front();
         }
     }
@@ -165,6 +227,14 @@ pub struct MultiGpuSystem {
     stats: SystemStats,
     rng: ChaCha8Rng,
     next_agent: u32,
+    tlb_entries: usize,
+    /// Whether contention bookkeeping can ever be observed. False for
+    /// noiseless configs (`contention_per_actor`, `contention_spike_prob`
+    /// and `nvlink_queue_per_req` all zero): pressure then feeds no
+    /// latency term, no congestion draw and no statistic, so the window
+    /// trackers are skipped entirely — the scans were the dominant cost
+    /// of the contended noiseless hot path.
+    track_pressure: bool,
 }
 
 impl MultiGpuSystem {
@@ -190,11 +260,14 @@ impl MultiGpuSystem {
             })
             .collect();
         let latency = LatencyModel::new(cfg.timing.clone());
+        let track_pressure = cfg.timing.contention_per_actor > 0
+            || cfg.timing.contention_spike_prob > 0.0
+            || cfg.timing.nvlink_queue_per_req > 0;
         let pressure = (0..cfg.num_gpus)
-            .map(|_| PressureTracker::default())
+            .map(|_| PressureTracker::new(track_pressure))
             .collect();
         let remote_pressure = (0..cfg.num_gpus)
-            .map(|_| PressureTracker::default())
+            .map(|_| PressureTracker::new(track_pressure))
             .collect();
         let congested_until = vec![0u64; cfg.num_gpus as usize];
         let stats = SystemStats::new(cfg.num_gpus);
@@ -210,6 +283,26 @@ impl MultiGpuSystem {
             stats,
             rng,
             next_agent: 0,
+            tlb_entries: DEFAULT_TLB_ENTRIES,
+            track_pressure,
+        }
+    }
+
+    /// Resizes every process's software TLB (and that of processes created
+    /// later) to `entries` slots (a power of two).
+    ///
+    /// This is a host-side performance knob only: simulated latencies,
+    /// cache state and RNG consumption are bit-identical for every size.
+    /// `1` reproduces the PR 1 one-entry TLB — the benches use it as the
+    /// before-rung when measuring the batched probe paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn set_tlb_entries(&mut self, entries: usize) {
+        self.tlb_entries = entries;
+        for p in &mut self.processes {
+            p.tlb = DirectTlb::new(entries, p.home);
         }
     }
 
@@ -263,11 +356,7 @@ impl MultiGpuSystem {
             aspace: AddressSpace::new(self.cfg.page_size),
             peers: HashSet::new(),
             partition: None,
-            tlb_vpn: u64::MAX,
-            tlb_map: Mapping {
-                gpu: home,
-                frame_base: PhysAddr(0),
-            },
+            tlb: DirectTlb::new(self.tlb_entries, home),
         });
         pid
     }
@@ -459,39 +548,50 @@ impl MultiGpuSystem {
                 .access_located(pa, &mut self.rng, partition);
         let hit = outcome.is_hit();
 
-        // Contention pressure on the home GPU's L2/ports.
-        let tracker = &mut self.pressure[home.index()];
-        let pressure = tracker.pressure(now, agent, window);
-        tracker.record(now, agent, window);
+        // Contention pressure on the home GPU's L2/ports. When no timing
+        // term can observe pressure (noiseless configs) the window
+        // trackers are skipped wholesale — `pressure == 0` then produces
+        // the same latency, no congestion draw and no RNG consumption.
+        let pressure = if self.track_pressure {
+            let tracker = &mut self.pressure[home.index()];
+            let p = tracker.pressure(now, agent, window);
+            tracker.record(now, agent, window);
+            p
+        } else {
+            0
+        };
 
         let mut latency = self
             .latency
             .access_latency(route, hit, pressure, &mut self.rng);
-        // NVLink serialisation: concurrent remote requesters to the same
-        // home GPU queue on the link.
-        if home != issuer {
-            let rt = &mut self.remote_pressure[home.index()];
-            let rp = rt.pressure(now, agent, window);
-            rt.record(now, agent, window);
-            latency += self.cfg.timing.nvlink_queue_per_req * rp;
-        }
-        // Bursty congestion episodes: under pressure, an access can tip the
-        // home GPU's ports into a congested burst during which every access
-        // pays a penalty. Whole-slot corruption of the covert channel (the
-        // Fig. 9 error growth) comes from these episodes.
-        let t = &self.cfg.timing;
-        if now < self.congested_until[home.index()] {
-            latency += t.contention_spike_cycles
-                + (self.rng.gen::<u32>() % (t.contention_spike_cycles / 2 + 1));
-        } else if pressure > 0
-            && t.contention_spike_prob > 0.0
-            && self
-                .rng
-                .gen_bool((t.contention_spike_prob * f64::from(pressure)).min(1.0))
-        {
-            self.congested_until[home.index()] = now + t.congestion_cycles;
-            self.stats.gpu_mut(home).congestion_episodes += 1;
-            latency += t.contention_spike_cycles;
+        if self.track_pressure {
+            // NVLink serialisation: concurrent remote requesters to the
+            // same home GPU queue on the link.
+            if home != issuer {
+                let rt = &mut self.remote_pressure[home.index()];
+                let rp = rt.pressure(now, agent, window);
+                rt.record(now, agent, window);
+                latency += self.cfg.timing.nvlink_queue_per_req * rp;
+            }
+            // Bursty congestion episodes: under pressure, an access can
+            // tip the home GPU's ports into a congested burst during which
+            // every access pays a penalty. Whole-slot corruption of the
+            // covert channel (the Fig. 9 error growth) comes from these
+            // episodes.
+            let t = &self.cfg.timing;
+            if now < self.congested_until[home.index()] {
+                latency += t.contention_spike_cycles
+                    + (self.rng.gen::<u32>() % (t.contention_spike_cycles / 2 + 1));
+            } else if pressure > 0
+                && t.contention_spike_prob > 0.0
+                && self
+                    .rng
+                    .gen_bool((t.contention_spike_prob * f64::from(pressure)).min(1.0))
+            {
+                self.congested_until[home.index()] = now + t.congestion_cycles;
+                self.stats.gpu_mut(home).congestion_episodes += 1;
+                latency += t.contention_spike_cycles;
+            }
         }
 
         // Statistics.
@@ -975,6 +1075,31 @@ mod tests {
         let mut sys = boot();
         let p = sys.create_process(GpuId::new(0));
         sys.set_cache_partition(p, 2, 2);
+    }
+
+    #[test]
+    fn tlb_size_never_changes_observable_results() {
+        // The software TLB is a host-side cache: any size must produce
+        // bit-identical latencies and RNG consumption. Run the same
+        // jittered (RNG-consuming) sequence with the PR 1 one-entry TLB
+        // and the default, over scalar and batched paths.
+        let run = |entries: usize| -> Vec<u32> {
+            let mut sys = MultiGpuSystem::new(SystemConfig::small_test());
+            sys.set_tlb_entries(entries);
+            let p = sys.create_process(GpuId::new(0));
+            let a = sys.default_agent(p);
+            let buf = sys.malloc_on(p, GpuId::new(0), 64 * 1024).unwrap();
+            let vas: Vec<VirtAddr> = (0..32).map(|i| buf.offset(i * 128 * 13)).collect();
+            let mut lats = Vec::new();
+            for (i, &va) in vas.iter().enumerate() {
+                lats.push(sys.access(p, a, va, 300 * i as u64, None).unwrap().latency);
+            }
+            let mut lat_buf = Vec::new();
+            sys.access_batch_into(p, a, &vas, 50_000, &mut lat_buf).unwrap();
+            lats.extend(lat_buf);
+            lats
+        };
+        assert_eq!(run(1), run(64));
     }
 
     #[test]

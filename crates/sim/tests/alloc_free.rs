@@ -1,0 +1,131 @@
+//! Counting-allocator proof that the engine's steady-state loop is
+//! allocation-free.
+//!
+//! A `#[global_allocator]` wrapper counts every `alloc`/`realloc`. The
+//! test warms an engine (first batches size the scratch buffers, first
+//! stores materialise HBM frame backing, pressure windows fill), snapshots
+//! the counter, runs thousands more ops across **every op kind** (`Load`,
+//! `Store`, `Compute`, `LoadBatch`) on **both schedulers**, and asserts
+//! the counter did not move.
+//!
+//! Everything lives in one `#[test]` because the counter is global and the
+//! libtest harness runs separate tests on concurrent threads.
+
+use gpubox_sim::{
+    Agent, Engine, GpuId, MultiGpuSystem, Op, OpResult, ProbeStage, ProcessId, SchedulerKind,
+    SystemConfig, VirtAddr,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Cycles through Load → Store → Compute → LoadBatch over a fixed line
+/// list, forever (the engine deadline bounds it). Holds no growing state.
+struct AllKindsAgent {
+    pid: ProcessId,
+    lines: Vec<VirtAddr>,
+    step: usize,
+}
+
+impl Agent for AllKindsAgent {
+    fn next_op(&mut self, _now: u64, stage: &mut ProbeStage) -> Op {
+        let line = self.lines[self.step % self.lines.len()];
+        let op = match self.step % 4 {
+            0 => Op::Load(line),
+            1 => Op::Store(line, self.step as u64),
+            2 => Op::Compute(150),
+            _ => {
+                stage.extend_from_slice(&self.lines);
+                Op::LoadBatch
+            }
+        };
+        self.step += 1;
+        op
+    }
+
+    fn on_result(&mut self, _res: &OpResult<'_>) {}
+
+    fn process(&self) -> ProcessId {
+        self.pid
+    }
+}
+
+#[test]
+fn engine_steady_state_loop_is_allocation_free() {
+    for (kind, agents) in [
+        // The paper's regime: trojan/spy-scale agent counts on the
+        // cached-min linear scheduler.
+        (SchedulerKind::Linear, 3),
+        // Multi-tenant regime on the heap event queue.
+        (SchedulerKind::Heap, 8),
+        // Auto resolves to the heap above LINEAR_SCHED_MAX_AGENTS.
+        (SchedulerKind::Auto, 6),
+    ] {
+        let allocs = steady_state_allocs(kind, agents);
+        assert_eq!(
+            allocs, 0,
+            "engine steady-state loop allocated {allocs} times \
+             (scheduler {kind:?}, {agents} agents)"
+        );
+    }
+}
+
+/// Runs `agents` concurrent [`AllKindsAgent`]s under `kind`: warm-up run
+/// (sizes every scratch buffer, materialises store-backing HBM frames,
+/// fills pressure windows, builds the heap), snapshot, measured run.
+/// Returns the allocation count of the measured run.
+fn steady_state_allocs(kind: SchedulerKind, agents: usize) -> u64 {
+    let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+    let p0 = sys.create_process(GpuId::new(0));
+    let p1 = sys.create_process(GpuId::new(1));
+    sys.enable_peer_access(p1, GpuId::new(0)).unwrap();
+
+    let mut plans = Vec::new();
+    for a in 0..agents {
+        // Alternate local (GPU0) and remote (GPU1→GPU0) issuers so both
+        // the local and NVLink paths are exercised.
+        let pid = if a % 2 == 0 { p0 } else { p1 };
+        let buf = sys.malloc_on(pid, GpuId::new(0), 16 * 4096).unwrap();
+        let lines: Vec<VirtAddr> = (0..16).map(|i| buf.offset(i * 4096)).collect();
+        plans.push((pid, lines, (a as u64) * 37));
+    }
+
+    let mut eng = Engine::with_scheduler(&mut sys, kind);
+    for (pid, lines, start) in plans {
+        eng.add_agent(
+            Box::new(AllKindsAgent {
+                pid,
+                lines,
+                step: 0,
+            }),
+            start,
+        );
+    }
+
+    eng.run(600_000).unwrap();
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    eng.run(6_000_000).unwrap();
+    ALLOC_CALLS.load(Ordering::Relaxed) - before
+}

@@ -3,8 +3,8 @@
 //! isolation, engine error propagation and config serialisation.
 
 use gpubox_sim::{
-    Agent, Engine, GpuId, MultiGpuSystem, Op, OpResult, ProcessId, SimError, SystemConfig,
-    Topology, VirtAddr,
+    Agent, Engine, GpuId, MultiGpuSystem, Op, OpResult, ProbeStage, ProcessId, SimError,
+    SystemConfig, Topology, VirtAddr,
 };
 
 #[test]
@@ -70,10 +70,10 @@ fn address_spaces_are_per_process() {
 fn engine_propagates_agent_errors() {
     struct BadAgent(ProcessId);
     impl Agent for BadAgent {
-        fn next_op(&mut self, _now: u64) -> Op {
+        fn next_op(&mut self, _now: u64, _stage: &mut ProbeStage) -> Op {
             Op::Load(VirtAddr(0xDEAD_0000)) // never mapped
         }
-        fn on_result(&mut self, _res: &OpResult) {}
+        fn on_result(&mut self, _res: &OpResult<'_>) {}
         fn process(&self) -> ProcessId {
             self.0
         }

@@ -1,6 +1,8 @@
 //! Memory-access traces and their replay agent.
 
-use gpubox_sim::{Agent, MultiGpuSystem, Op, OpResult, ProcessCtx, ProcessId, SimResult, VirtAddr};
+use gpubox_sim::{
+    Agent, MultiGpuSystem, Op, OpResult, ProbeStage, ProcessCtx, ProcessId, SimResult, VirtAddr,
+};
 
 /// One step of a workload's memory trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +36,7 @@ impl TraceAgent {
 }
 
 impl Agent for TraceAgent {
-    fn next_op(&mut self, _now: u64) -> Op {
+    fn next_op(&mut self, _now: u64, _stage: &mut ProbeStage) -> Op {
         let Some(op) = self.trace.get(self.idx) else {
             return Op::Done;
         };
@@ -46,7 +48,7 @@ impl Agent for TraceAgent {
         }
     }
 
-    fn on_result(&mut self, _res: &OpResult) {}
+    fn on_result(&mut self, _res: &OpResult<'_>) {}
 
     fn process(&self) -> ProcessId {
         self.pid
@@ -151,11 +153,12 @@ mod tests {
             TraceOp::Store(VirtAddr(4104), 9),
         ];
         let mut a = TraceAgent::new(ProcessId(0), trace);
+        let mut stage = ProbeStage::new();
         assert_eq!(a.remaining_ops(), 3);
-        assert_eq!(a.next_op(0), Op::Load(VirtAddr(4096)));
-        assert_eq!(a.next_op(0), Op::Compute(7));
-        assert_eq!(a.next_op(0), Op::Store(VirtAddr(4104), 9));
-        assert_eq!(a.next_op(0), Op::Done);
+        assert_eq!(a.next_op(0, &mut stage), Op::Load(VirtAddr(4096)));
+        assert_eq!(a.next_op(0, &mut stage), Op::Compute(7));
+        assert_eq!(a.next_op(0, &mut stage), Op::Store(VirtAddr(4104), 9));
+        assert_eq!(a.next_op(0, &mut stage), Op::Done);
         assert_eq!(a.remaining_ops(), 0);
     }
 }
