@@ -24,7 +24,13 @@
 //!   [`pr1`]: the allocating op protocol (cloned probe lists, owned
 //!   latency `Vec`s), the O(n) min-scan scheduler, and the one-entry
 //!   TLB (`set_tlb_entries(1)`). Both transmissions are asserted
-//!   bit-identical before timing — the rungs differ in host cost only.
+//!   bit-identical before timing — the rungs differ in host cost only;
+//! - the fabric layer, PR 3's tentpole: before timing, a fabric-off
+//!   system must reproduce the golden pre-fabric access-path fingerprint
+//!   bit-for-bit ([`PRE_FABRIC_FINGERPRINT`]); then the per-access cost
+//!   of the timed link model on 1-hop and 2-hop remote routes
+//!   (`remote_nvlink_access_fabric_on`, `remote_2hop_access_fabric_on` /
+//!   `_off`).
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use gpubox_attacks::covert::{decode_trace, stripe_bits, unstripe_bits, ProbeSample};
@@ -33,8 +39,8 @@ use gpubox_attacks::{
     Thresholds, TrialRunner,
 };
 use gpubox_sim::{
-    Agent, CacheConfig, Engine, GpuId, L2Cache, MultiGpuSystem, Op, OpResult, PhysAddr,
-    ProbeStage, ProcessCtx, ProcessId, SystemConfig, VirtAddr,
+    Agent, CacheConfig, Engine, FabricConfig, GpuId, L2Cache, MultiGpuSystem, Op, OpResult,
+    PhysAddr, ProbeStage, ProcessCtx, ProcessId, SystemConfig, Topology, VirtAddr,
 };
 use gpubox_sim::cache_reference::ReferenceCache;
 use rand::SeedableRng;
@@ -735,6 +741,153 @@ fn bench_engine_overhead(c: &mut Criterion) {
     });
 }
 
+/// Golden fingerprint of the fabric-off access path, captured at the
+/// PR 2 HEAD immediately before the fabric subsystem landed (commit
+/// 1fa39bd): an FNV-1a fold over every latency and batch duration of a
+/// fixed jittered probe covering local, 1-hop remote (scalar + batched,
+/// two contending agents), 2-hop remote and PCIe-fallback accesses,
+/// plus the GPU-stats totals of the **1-hop system only**. A
+/// fabric-**off** system must still produce this exact value — the
+/// fabric may only change timing when explicitly enabled.
+///
+/// Scope note: the 2-hop/PCIe sections deliberately fold latencies but
+/// not stats, because PR 3 *intentionally* changed one fabric-off
+/// statistic — `nvlink_bytes` now counts one line per traversed hop
+/// (256 B for a 2-hop access where PR 2 recorded 128 B). Timing is
+/// gated bit-for-bit on every route; byte accounting is gated only
+/// where it was unchanged (1-hop).
+const PRE_FABRIC_FINGERPRINT: u64 = 0x81b7_358b_d9c3_fd1a;
+
+/// Replays the pre-fabric probe on today's simulator (fabric off).
+fn fabric_off_fingerprint() -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mix = |h: &mut u64, x: u64| {
+        *h ^= x;
+        *h = h.wrapping_mul(0x0100_0000_01b3);
+    };
+
+    // Jittered DGX-1: local + 1-hop remote, scalar + batch, two
+    // contending agents (pressure, congestion draws, nvlink queueing).
+    let mut sys = MultiGpuSystem::new(SystemConfig::dgx1().with_seed(99));
+    let p0 = sys.create_process(GpuId::new(0));
+    let p1 = sys.create_process(GpuId::new(1));
+    sys.enable_peer_access(p1, GpuId::new(0)).unwrap();
+    let b0 = sys.malloc_on(p0, GpuId::new(0), 1 << 20).unwrap();
+    let b1 = sys.malloc_on(p1, GpuId::new(0), 1 << 20).unwrap();
+    let a0 = sys.default_agent(p0);
+    let a1 = sys.default_agent(p1);
+    let mut lat = Vec::new();
+    for i in 0..512u64 {
+        let t = i * 120;
+        let acc = sys
+            .access(p0, a0, b0.offset((i * 128 * 7) % (1 << 20)), t, None)
+            .unwrap();
+        mix(&mut h, u64::from(acc.latency));
+        let acc = sys
+            .access(p1, a1, b1.offset((i * 128 * 13) % (1 << 20)), t + 60, None)
+            .unwrap();
+        mix(&mut h, u64::from(acc.latency));
+        if i % 16 == 0 {
+            let vas: Vec<VirtAddr> = (0..16)
+                .map(|k| b1.offset(((i + k) * 128 * 5) % (1 << 20)))
+                .collect();
+            lat.clear();
+            let s = sys.access_batch_into(p1, a1, &vas, t + 90, &mut lat).unwrap();
+            mix(&mut h, s.duration);
+            for &l in &lat {
+                mix(&mut h, u64::from(l));
+            }
+        }
+    }
+    let tot = sys.stats().total();
+    mix(&mut h, tot.l2_hits);
+    mix(&mut h, tot.l2_misses);
+    mix(&mut h, tot.nvlink_bytes);
+    mix(&mut h, tot.congestion_episodes);
+
+    // 2-hop NVLink route (GPU0 -> GPU5 on the DGX-1), jittered.
+    let mut cfg = SystemConfig::dgx1().with_seed(7);
+    cfg.allow_indirect_peer = true;
+    let mut sys = MultiGpuSystem::new(cfg);
+    let p = sys.create_process(GpuId::new(0));
+    sys.enable_peer_access(p, GpuId::new(5)).unwrap();
+    let b = sys.malloc_on(p, GpuId::new(5), 1 << 18).unwrap();
+    let a = sys.default_agent(p);
+    for i in 0..256u64 {
+        let acc = sys
+            .access(p, a, b.offset((i * 128 * 3) % (1 << 18)), i * 400, None)
+            .unwrap();
+        mix(&mut h, u64::from(acc.latency));
+    }
+
+    // Disconnected pair: the PCIe fallback path, jittered.
+    let mut cfg = SystemConfig::small_test().with_seed(3);
+    cfg.topology = Topology::from_edges(2, &[]);
+    cfg.allow_indirect_peer = true;
+    let mut sys = MultiGpuSystem::new(cfg);
+    let p = sys.create_process(GpuId::new(1));
+    sys.enable_peer_access(p, GpuId::new(0)).unwrap();
+    let b = sys.malloc_on(p, GpuId::new(0), 1 << 16).unwrap();
+    let a = sys.default_agent(p);
+    for i in 0..256u64 {
+        let acc = sys
+            .access(p, a, b.offset((i * 128) % (1 << 16)), i * 500, None)
+            .unwrap();
+        mix(&mut h, u64::from(acc.latency));
+    }
+    h
+}
+
+/// Fabric benches: the bit-identity gate first, then the per-access cost
+/// of enabling the timed link model on remote routes (vs. the PR 2
+/// scalar path measured by `remote_nvlink_access` above).
+fn bench_fabric(c: &mut Criterion) {
+    assert_eq!(
+        fabric_off_fingerprint(),
+        PRE_FABRIC_FINGERPRINT,
+        "fabric-off access path diverged from the pre-fabric simulator"
+    );
+
+    let mk = |fabric: FabricConfig, spy_gpu: u8, home: u8| {
+        let mut cfg = SystemConfig::dgx1().noiseless().with_fabric(fabric);
+        cfg.allow_indirect_peer = true;
+        let mut sys = MultiGpuSystem::new(cfg);
+        let p = sys.create_process(GpuId::new(spy_gpu));
+        sys.enable_peer_access(p, GpuId::new(home)).unwrap();
+        let buf = sys.malloc_on(p, GpuId::new(home), 1 << 20).unwrap();
+        let a = sys.default_agent(p);
+        (sys, p, a, buf)
+    };
+
+    let (mut sys, p, a, buf) = mk(FabricConfig::nvlink_v1(), 1, 0);
+    let mut t = 0u64;
+    c.bench_function("remote_nvlink_access_fabric_on", |b| {
+        b.iter(|| {
+            t += 700;
+            sys.access(p, a, buf.offset((t % 8192) * 128 % (1 << 20)), t, None)
+                .unwrap()
+        })
+    });
+
+    let (mut sys, p, a, buf) = mk(FabricConfig::nvlink_v1(), 0, 5);
+    c.bench_function("remote_2hop_access_fabric_on", |b| {
+        b.iter(|| {
+            t += 700;
+            sys.access(p, a, buf.offset((t % 8192) * 128 % (1 << 20)), t, None)
+                .unwrap()
+        })
+    });
+
+    let (mut sys, p, a, buf) = mk(FabricConfig::disabled(), 0, 5);
+    c.bench_function("remote_2hop_access_fabric_off", |b| {
+        b.iter(|| {
+            t += 700;
+            sys.access(p, a, buf.offset((t % 8192) * 128 % (1 << 20)), t, None)
+                .unwrap()
+        })
+    });
+}
+
 fn bench_system_boot(c: &mut Criterion) {
     c.bench_function("boot_dgx1", |b| {
         b.iter_batched(
@@ -752,6 +905,7 @@ criterion_group!(
     bench_trial_fanout,
     bench_engine_overhead,
     bench_covert_e2e,
+    bench_fabric,
     bench_system_boot
 );
 criterion_main!(benches);

@@ -1,0 +1,337 @@
+//! Extension — the NVLink-congestion covert channel over the timed link
+//! fabric (the paper's second channel family, Sec. V).
+//!
+//! A bandwidth trojan on GPU1 saturates its route to GPU5's memory
+//! during `1` slots; a throughput spy streams its own disjoint buffer
+//! over a route sharing link (1,5) and decodes bits purely from its own
+//! transfer latency — no shared cache set, no prime, no probe. The sweep
+//! measures bandwidth and bit error along three axes:
+//!
+//! - **trojan intensity** (concurrent transfer streams): the channel
+//!   needs the shared link driven to saturation — below it, the spy's
+//!   dithered sampling sees mostly idle windows and the error rate sits
+//!   near coin-flip; at saturation it decodes cleanly;
+//! - **hop count**: 1-hop (spy on GPU1) vs 2-hop (spy on GPU0 routed
+//!   0-1-5 by the fabric's canonical shortest paths, sharing (1,5));
+//! - **background tenants**: noise processes on GPU2 whose 2-1-5 routes
+//!   cross the same shared link, plus full timing noise (jitter, port
+//!   contention, congestion episodes).
+//!
+//! Determinism is asserted two ways, mirroring `ext_multi_tenant_noise`
+//! and `sweep_discovery_trials`: every sweep point is executed on both
+//! the heap and the linear scheduler and the outcomes must be
+//! **bit-identical**, and the whole sweep is executed through a parallel
+//! and a serial [`TrialRunner`] fan-out, which must agree bit-for-bit.
+//! The 2-hop noiseless point is the acceptance gate: its seeded payload
+//! must decode with ≤ 5% bit error, and it must match what the
+//! library-level [`gpubox_attacks::transmit_link`] produces.
+//!
+//! Usage: `ext_link_congestion_channel [--payload-bits=N] [--seed=S]`
+//! (defaults: 64 bits, seed 0x11F0; CI passes `--payload-bits=32`).
+
+use gpubox_attacks::covert::{decode_trace_with_boundary, prepare_link_channel, robust_boundary};
+use gpubox_attacks::{transmit_link, ChannelParams, LinkChannel, TrialRunner};
+use gpubox_bench::report;
+use gpubox_sim::{
+    FabricConfig, GpuId, GpuStats, MultiGpuSystem, NoiseAgent, NoiseConfig, ProcessId,
+    SchedulerKind, SystemConfig, VirtAddr,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One sweep configuration.
+#[derive(Debug, Clone, Copy)]
+struct Point {
+    hops: u32,
+    streams: usize,
+    tenants: usize,
+    noiseless: bool,
+}
+
+impl Point {
+    fn label(&self) -> String {
+        format!(
+            "{}-hop, {} streams, {} tenants, {}",
+            self.hops,
+            self.streams,
+            self.tenants,
+            if self.noiseless { "noiseless" } else { "noisy" }
+        )
+    }
+}
+
+/// Everything a run observes, compared bit-for-bit across schedulers and
+/// across serial/parallel fan-out.
+#[derive(Debug, Clone, PartialEq)]
+struct Outcome {
+    received: Vec<u8>,
+    spy_samples: Vec<(u64, u32, u32)>,
+    end_clock: u64,
+    /// The spy's listen span — the true transmission window. Bandwidth
+    /// and utilisation are computed over this, not `end_clock`: runs
+    /// with background tenants only end at the engine deadline (noise
+    /// agents never finish), which would deflate both metrics by the
+    /// grace slots and turn a bookkeeping difference into an apparent
+    /// channel degradation.
+    listen: u64,
+    totals: GpuStats,
+    shared_link_requests: u64,
+    shared_link_queue_cycles: u64,
+    shared_link_busy_cycles: u64,
+    bit_errors: usize,
+}
+
+fn channel_params() -> ChannelParams {
+    ChannelParams {
+        spy_gap: 300,
+        ..Default::default()
+    }
+}
+
+/// Seeded pseudorandom payload — the receiver never sees it, so decoding
+/// it back is genuine transmission, not a constant.
+fn seeded_payload(seed: u64, bits: usize) -> Vec<u8> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..bits).map(|_| (rng.gen::<u32>() & 1) as u8).collect()
+}
+
+/// Runs one sweep point under a forced scheduler and returns the full
+/// observable outcome.
+fn run_point(p: Point, payload: &[u8], seed: u64, sched: SchedulerKind) -> Outcome {
+    let mut cfg = SystemConfig::dgx1()
+        .with_seed(seed)
+        .with_fabric(FabricConfig::nvlink_v1());
+    if p.noiseless {
+        cfg = cfg.noiseless();
+    }
+    cfg.allow_indirect_peer = true;
+    let mut sys = MultiGpuSystem::new(cfg);
+    let home = GpuId::new(5);
+    let page = sys.config().page_size;
+
+    let trojan = sys.create_process(GpuId::new(1));
+    let spy_gpu = if p.hops == 2 { GpuId::new(0) } else { GpuId::new(1) };
+    let spy = sys.create_process(spy_gpu);
+    sys.enable_peer_access(trojan, home).unwrap();
+    sys.enable_peer_access(spy, home).unwrap();
+    let tb = sys.malloc_on(trojan, home, 32 * page).unwrap();
+    let sb = sys.malloc_on(spy, home, 2 * page).unwrap();
+    let trojan_lines: Vec<VirtAddr> = (0..32).map(|i| tb.offset(i * page)).collect();
+    let spy_lines: Vec<VirtAddr> = (0..2).map(|i| sb.offset(i * page)).collect();
+
+    // Background tenants on GPU2: their 2-1-5 routes cross link (1,5).
+    let mut tenant_bufs: Vec<(ProcessId, VirtAddr)> = Vec::new();
+    for _ in 0..p.tenants {
+        let pid = sys.create_process(GpuId::new(2));
+        sys.enable_peer_access(pid, home).unwrap();
+        let buf = sys.malloc_on(pid, home, 48 * page).unwrap();
+        tenant_bufs.push((pid, buf));
+    }
+
+    let params = channel_params();
+
+    // Shared library wiring (warm-up, spy, staggered trojan streams);
+    // the sweep adds its background tenants on top.
+    let (mut eng, trace, listen) = prepare_link_channel(
+        &mut sys,
+        trojan,
+        spy,
+        &LinkChannel {
+            trojan_lines: &trojan_lines,
+            spy_lines: &spy_lines,
+            trojan_streams: p.streams,
+        },
+        payload,
+        &params,
+        sched,
+    )
+    .expect("fabric is enabled in every sweep config");
+    for (i, &(pid, buf)) in tenant_bufs.iter().enumerate() {
+        eng.add_agent(
+            Box::new(NoiseAgent::new(
+                pid,
+                buf,
+                48,
+                page,
+                NoiseConfig {
+                    burst_len: 24,
+                    idle_between_bursts: 2_500 + 517 * i as u64,
+                    seed: 11 + i as u64,
+                },
+            )),
+            101 * i as u64,
+        );
+    }
+    // Run exactly to the spy's listen horizon: the spy has stopped and
+    // the trojan's frame has drained by then, while the grace period
+    // transmit() grants would only let the never-finishing noise
+    // tenants keep accruing link traffic outside the measured window.
+    let end_clock = eng.run(listen).unwrap();
+    drop(eng);
+
+    let samples = trace.samples();
+    let boundary = robust_boundary(&samples);
+    let received = decode_trace_with_boundary(&samples, &params, payload.len(), boundary).payload;
+    let bit_errors = received.iter().zip(payload).filter(|(a, b)| a != b).count();
+    let shared = sys
+        .config()
+        .topology
+        .link_between(GpuId::new(1), home)
+        .expect("DGX-1 has a direct (1,5) link");
+    let ls = *sys.link_stats(shared).unwrap();
+    Outcome {
+        received,
+        spy_samples: samples.iter().map(|s| (s.at, s.lines, s.mean_latency)).collect(),
+        end_clock,
+        listen,
+        totals: sys.stats().total(),
+        shared_link_requests: ls.requests,
+        shared_link_queue_cycles: ls.queue_cycles,
+        shared_link_busy_cycles: ls.busy_cycles,
+        bit_errors,
+    }
+}
+
+fn main() {
+    let mut payload_bits = 64usize;
+    let mut seed = 0x11F0u64;
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--payload-bits=") {
+            payload_bits = v.parse().expect("--payload-bits=N");
+        } else if let Some(v) = arg.strip_prefix("--seed=") {
+            seed = v.parse().expect("--seed=S");
+        }
+    }
+    let payload = seeded_payload(seed, payload_bits);
+
+    report::header(
+        "Extension — NVLink-congestion covert channel over the timed fabric",
+        "bandwidth trojan + throughput spy sharing link (1,5); no shared cache set",
+    );
+
+    let points = [
+        // Trojan-intensity axis (2-hop, noiseless).
+        Point { hops: 2, streams: 1, tenants: 0, noiseless: true },
+        Point { hops: 2, streams: 2, tenants: 0, noiseless: true },
+        Point { hops: 2, streams: 4, tenants: 0, noiseless: true },
+        Point { hops: 2, streams: 6, tenants: 0, noiseless: true },
+        // Hop-count axis at saturation.
+        Point { hops: 1, streams: 4, tenants: 0, noiseless: true },
+        // Background-tenant axis under full timing noise.
+        Point { hops: 2, streams: 4, tenants: 0, noiseless: false },
+        Point { hops: 2, streams: 4, tenants: 4, noiseless: false },
+        Point { hops: 2, streams: 4, tenants: 8, noiseless: false },
+    ];
+
+    // Every point on both schedulers: interleavings must be bit-identical.
+    let mut outcomes = Vec::new();
+    for p in points {
+        let heap = run_point(p, &payload, seed, SchedulerKind::Heap);
+        let linear = run_point(p, &payload, seed, SchedulerKind::Linear);
+        assert_eq!(
+            heap, linear,
+            "heap and linear schedulers diverged at [{}]",
+            p.label()
+        );
+        outcomes.push(heap);
+    }
+
+    // The whole sweep through parallel vs serial trial fan-out.
+    let fan = |r: TrialRunner| {
+        r.run(points.len(), |t| {
+            run_point(points[t.index], &payload, seed, SchedulerKind::Heap)
+        })
+    };
+    let par = fan(TrialRunner::new(seed));
+    let ser = fan(TrialRunner::serial(seed));
+    assert_eq!(par, ser, "parallel fan-out must be bit-identical to serial");
+    assert_eq!(par, outcomes, "fan-out must reproduce the sweep outcomes");
+
+    // Acceptance gate: the 2-hop noiseless saturated point decodes the
+    // seeded payload with <= 5% bit error, and the library entry point
+    // (transmit_link) produces the identical bit stream.
+    let gate = points
+        .iter()
+        .position(|p| p.hops == 2 && p.streams == 4 && p.tenants == 0 && p.noiseless)
+        .unwrap();
+    let ber = outcomes[gate].bit_errors as f64 / payload.len() as f64;
+    assert!(
+        ber <= 0.05,
+        "2-hop noiseless channel error rate {ber} exceeds 5%"
+    );
+    {
+        let mut cfg = SystemConfig::dgx1()
+            .with_seed(seed)
+            .with_fabric(FabricConfig::nvlink_v1())
+            .noiseless();
+        cfg.allow_indirect_peer = true;
+        let mut sys = MultiGpuSystem::new(cfg);
+        let home = GpuId::new(5);
+        let page = sys.config().page_size;
+        let trojan = sys.create_process(GpuId::new(1));
+        let spy = sys.create_process(GpuId::new(0));
+        sys.enable_peer_access(trojan, home).unwrap();
+        sys.enable_peer_access(spy, home).unwrap();
+        let tb = sys.malloc_on(trojan, home, 32 * page).unwrap();
+        let sb = sys.malloc_on(spy, home, 2 * page).unwrap();
+        let tl: Vec<VirtAddr> = (0..32).map(|i| tb.offset(i * page)).collect();
+        let sl: Vec<VirtAddr> = (0..2).map(|i| sb.offset(i * page)).collect();
+        let rep = transmit_link(
+            &mut sys,
+            trojan,
+            spy,
+            &LinkChannel {
+                trojan_lines: &tl,
+                spy_lines: &sl,
+                trojan_streams: 4,
+            },
+            &payload,
+            &channel_params(),
+            SchedulerKind::Heap,
+        )
+        .expect("library transmission");
+        assert_eq!(
+            rep.received, outcomes[gate].received,
+            "transmit_link must reproduce the sweep's gate point"
+        );
+    }
+
+    let clock_hz = SystemConfig::dgx1().timing.clock_hz;
+    let rows: Vec<(String, String, String)> = points
+        .iter()
+        .zip(&outcomes)
+        .map(|(p, o)| {
+            let secs = o.listen as f64 / clock_hz;
+            let bw = payload.len() as f64 / 8.0 / secs;
+            let util = o.shared_link_busy_cycles as f64 / o.listen as f64;
+            (
+                p.label(),
+                format!(
+                    "{}/{} ({:.1}%)",
+                    o.bit_errors,
+                    payload.len(),
+                    100.0 * o.bit_errors as f64 / payload.len() as f64
+                ),
+                format!("{:.1} B/s, link {:.0}% busy", bw, 100.0 * util),
+            )
+        })
+        .collect();
+    report::table3(
+        ("configuration", "bit errors", "bandwidth / utilisation"),
+        &rows
+            .iter()
+            .map(|(a, b, c)| (a.as_str(), b.as_str(), c.as_str()))
+            .collect::<Vec<_>>(),
+    );
+
+    println!(
+        "\nall points bit-identical across heap/linear schedulers and\n\
+         serial/parallel fan-out (asserted above); the 2-hop noiseless\n\
+         point decoded the seeded payload within the 5% error budget.\n\
+         Below saturation the spy's dithered sampling mostly lands in the\n\
+         link's idle windows (error near coin-flip for the 1s); from ~4\n\
+         streams the shared link stays booked through every 1 slot and\n\
+         the channel decodes cleanly — exactly the paper's observation\n\
+         that the congestion channel needs a saturating trojan."
+    );
+}

@@ -25,6 +25,7 @@ fn main() {
         "ext_multi_gpu_bandwidth",
         "ext_ecc_channel",
         "ext_two_hop_channel",
+        "ext_link_congestion_channel",
     ];
     if full {
         bins.insert(6, "fig12_confusion_matrix");

@@ -92,6 +92,11 @@ impl SpyTrace {
     pub fn samples(&self) -> Vec<ProbeSample> {
         self.0.borrow().clone()
     }
+
+    /// Appends one sample (shared with the link-congestion spy).
+    pub(super) fn push(&self, s: ProbeSample) {
+        self.0.borrow_mut().push(s);
+    }
 }
 
 /// The spy receiver for one set pair: probes its aligned eviction set

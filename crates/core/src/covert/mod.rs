@@ -10,15 +10,26 @@
 //! Multiple aligned set pairs carry disjoint bit stripes in parallel
 //! (one thread block per set, paper Sec. IV-B); bandwidth scales with the
 //! number of sets while port contention raises the error rate (Fig. 9).
+//!
+//! The paper's **second channel family** needs no shared cache set at
+//! all: a bandwidth trojan saturates one NVLink link of the timed fabric
+//! and a throughput spy decodes bits from its own transfer latency
+//! ([`transmit_link`], [`LinkTrojanAgent`], [`LinkSpyAgent`]). Both
+//! families share the same slotted framing, preamble phase lock and
+//! adaptive decode boundary ([`ChannelParams`], [`decode_trace`]).
 
 mod agents;
 mod channel;
 pub mod ecc;
+mod link_agents;
 mod protocol;
 
 pub use agents::{SpyProbeAgent, SpyTrace, TrojanAgent};
-pub use channel::{transmit, ChannelReport, SetPair};
+pub use channel::{
+    prepare_link_channel, transmit, transmit_link, ChannelReport, LinkChannel, SetPair,
+};
+pub use link_agents::{LinkSpyAgent, LinkTrojanAgent, SPY_DITHER_SPAN};
 pub use protocol::{
-    adaptive_boundary, bits_from_bytes, bytes_from_bits, decode_trace, stripe_bits, unstripe_bits,
-    ChannelParams, DecodedStripe, ProbeSample,
+    adaptive_boundary, bits_from_bytes, bytes_from_bits, decode_trace, decode_trace_with_boundary,
+    robust_boundary, stripe_bits, unstripe_bits, ChannelParams, DecodedStripe, ProbeSample,
 };

@@ -118,6 +118,39 @@ pub fn adaptive_boundary(samples: &[ProbeSample]) -> f64 {
     let vals: Vec<f64> = samples.iter().map(|s| f64::from(s.mean_latency)).collect();
     let lo0 = vals.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi0 = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    two_means_boundary(&vals, lo0, hi0)
+}
+
+/// Decision boundary for **baseline-plus-tail** latency distributions —
+/// the link-congestion channel's shape. There, a `0` probe pays a fixed
+/// uncongested route latency (a tight baseline), while a `1` probe's
+/// queue wait depends on how deep the trojan's bookings run when it
+/// arrives: the `1` level is a broad heavy tail, not a second tight
+/// cluster. 2-means ([`adaptive_boundary`]) mislocates such a boundary —
+/// the tail's far end drags the upper centroid out until moderate `1`
+/// samples fall in the baseline cluster. Instead, anchor on robust
+/// quantiles: the boundary sits 35% of the way from the 20th percentile
+/// (the baseline) towards the 90th (the typical congested level), i.e.
+/// just above the baseline but clear of its noise. Degenerate
+/// single-level traces (no trojan active) collapse to `p90 + 1`, so
+/// every probe votes 0.
+pub fn robust_boundary(samples: &[ProbeSample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut vals: Vec<f64> = samples.iter().map(|s| f64::from(s.mean_latency)).collect();
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let lo = vals[(vals.len() - 1) * 2 / 10];
+    let hi = vals[(vals.len() - 1) * 9 / 10];
+    if (hi - lo) < 1.0 {
+        return hi + 1.0;
+    }
+    lo + 0.35 * (hi - lo)
+}
+
+/// Lloyd iterations of 1-D 2-means from the given initial centroids;
+/// returns the midpoint of the converged pair.
+fn two_means_boundary(vals: &[f64], lo0: f64, hi0: f64) -> f64 {
     let (mut lo, mut hi) = (lo0, hi0);
     if (hi - lo) < 1.0 {
         return hi + 1.0;
@@ -125,7 +158,7 @@ pub fn adaptive_boundary(samples: &[ProbeSample]) -> f64 {
     for _ in 0..32 {
         let mid = (lo + hi) / 2.0;
         let (mut sl, mut nl, mut sh, mut nh) = (0.0, 0usize, 0.0, 0usize);
-        for &v in &vals {
+        for &v in vals {
             if v < mid {
                 sl += v;
                 nl += 1;
@@ -169,6 +202,18 @@ pub fn decode_trace(
     params: &ChannelParams,
     payload_bits: usize,
 ) -> DecodedStripe {
+    decode_trace_with_boundary(samples, params, payload_bits, adaptive_boundary(samples))
+}
+
+/// As [`decode_trace`] with an explicit decision boundary — the
+/// link-congestion channel passes [`robust_boundary`], whose quantile
+/// initialisation survives that channel's long queue-wait tail.
+pub fn decode_trace_with_boundary(
+    samples: &[ProbeSample],
+    params: &ChannelParams,
+    payload_bits: usize,
+    boundary: f64,
+) -> DecodedStripe {
     let preamble = params.preamble();
     let total_slots = preamble.len() + payload_bits;
     if samples.is_empty() {
@@ -180,7 +225,6 @@ pub fn decode_trace(
     }
     let t0 = samples[0].at;
     let slot = params.slot_cycles;
-    let boundary = adaptive_boundary(samples);
 
     // Phase search: try candidate offsets across one slot. Primary score:
     // preamble agreement of majority-voted slots; tiebreak: vote margin
@@ -371,5 +415,47 @@ mod tests {
         let params = ChannelParams::default();
         let dec = decode_trace(&[], &params, 8);
         assert_eq!(dec.payload, vec![0; 8]);
+    }
+
+    fn sample_with_mean(mean: u32) -> ProbeSample {
+        ProbeSample {
+            at: 0,
+            misses: 0,
+            lines: 2,
+            mean_latency: mean,
+        }
+    }
+
+    #[test]
+    fn robust_boundary_survives_outlier_tail() {
+        // Two genuine levels (640 / 1067) plus a thin far tail, the
+        // link-congestion channel's distribution shape. Min/max-init
+        // 2-means puts the boundary above the `1` level; quantile init
+        // lands between the levels.
+        let mut samples: Vec<ProbeSample> = Vec::new();
+        for _ in 0..60 {
+            samples.push(sample_with_mean(640));
+        }
+        for _ in 0..40 {
+            samples.push(sample_with_mean(1067));
+        }
+        for _ in 0..3 {
+            samples.push(sample_with_mean(1900));
+        }
+        let naive = adaptive_boundary(&samples);
+        let robust = robust_boundary(&samples);
+        assert!(naive > 1067.0, "min/max init collapses the levels: {naive}");
+        assert!(
+            robust > 640.0 && robust < 1067.0,
+            "quantile init separates the levels: {robust}"
+        );
+    }
+
+    #[test]
+    fn robust_boundary_degenerate_cases() {
+        assert_eq!(robust_boundary(&[]), 0.0);
+        // A single level: boundary lands above it, so everything votes 0.
+        let flat: Vec<ProbeSample> = (0..10).map(|_| sample_with_mean(640)).collect();
+        assert!(robust_boundary(&flat) > 640.0);
     }
 }

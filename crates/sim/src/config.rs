@@ -4,6 +4,7 @@
 //! NVIDIA DGX-1 with eight Pascal P100 GPUs connected by NVLink-V1 in a
 //! hybrid cube-mesh (paper Fig. 1, Fig. 2, Table I).
 
+use crate::fabric::FabricConfig;
 use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
 
@@ -197,9 +198,16 @@ pub struct SystemConfig {
     pub sm: SmConfig,
     /// NVLink/PCIe topology.
     pub topology: Topology,
-    /// Allow peer access over multi-hop/PCIe routes. The real CUDA runtime
-    /// on the DGX-1 refuses peer access between GPUs that are not directly
-    /// NVLink-connected (paper Sec. III-A), so this defaults to `false`.
+    /// Timed per-link fabric model (bandwidth, occupancy, queueing).
+    /// Disabled by default: the scalar interconnect model of PR 2,
+    /// bit-identical to the pre-fabric simulator.
+    pub fabric: FabricConfig,
+    /// The explicit peer-reachability policy knob: when `false` (the
+    /// DGX-1 runtime behaviour the paper reports, Sec. III-A),
+    /// [`crate::MultiGpuSystem::enable_peer_access`] refuses GPU pairs
+    /// without a direct NVLink; when `true`, peer access is granted over
+    /// multi-hop NVLink routes and — for pairs with no NVLink path at
+    /// all — over the PCIe root complex (NVSwitch-era runtimes).
     pub allow_indirect_peer: bool,
     /// RNG seed for frame placement and jitter; fixed per system for
     /// reproducible experiments.
@@ -226,6 +234,7 @@ impl SystemConfig {
             timing: TimingConfig::p100(),
             sm: SmConfig::p100(),
             topology: Topology::dgx1(),
+            fabric: FabricConfig::disabled(),
             allow_indirect_peer: false,
             seed: 0xD6B0_C0DE,
         }
@@ -247,6 +256,7 @@ impl SystemConfig {
             timing: TimingConfig::p100(),
             sm: SmConfig::p100(),
             topology: Topology::fully_connected(2),
+            fabric: FabricConfig::disabled(),
             allow_indirect_peer: false,
             seed: 42,
         }
@@ -263,6 +273,15 @@ impl SystemConfig {
     #[must_use]
     pub fn with_replacement(mut self, kind: ReplacementKind) -> Self {
         self.cache.replacement = kind;
+        self
+    }
+
+    /// Replaces the fabric model (builder-style); e.g.
+    /// `with_fabric(FabricConfig::nvlink_v1())` turns on the timed
+    /// per-link interconnect.
+    #[must_use]
+    pub fn with_fabric(mut self, fabric: FabricConfig) -> Self {
+        self.fabric = fabric;
         self
     }
 
@@ -319,9 +338,17 @@ mod tests {
         let cfg = SystemConfig::small_test()
             .with_seed(7)
             .with_replacement(ReplacementKind::Random)
+            .with_fabric(FabricConfig::nvlink_v1())
             .noiseless();
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.cache.replacement, ReplacementKind::Random);
         assert_eq!(cfg.timing.jitter_sigma, 0.0);
+        assert!(cfg.fabric.enabled);
+    }
+
+    #[test]
+    fn fabric_defaults_off() {
+        assert!(!SystemConfig::dgx1().fabric.enabled);
+        assert!(!SystemConfig::small_test().fabric.enabled);
     }
 }

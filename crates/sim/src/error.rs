@@ -35,6 +35,14 @@ pub enum SimError {
     InsufficientSmResources,
     /// An allocation size was zero or not representable.
     InvalidAllocation(u64),
+    /// An operation requires the timed link fabric
+    /// ([`crate::fabric::FabricConfig::enabled`]) but the system was
+    /// booted with it off — e.g. the NVLink-congestion covert channel,
+    /// which has no physical medium under the scalar interconnect model.
+    FabricDisabled,
+    /// A [`crate::topology::LinkId`] does not name a link of this
+    /// system's topology.
+    NoSuchLink(u32),
 }
 
 impl fmt::Display for SimError {
@@ -57,6 +65,10 @@ impl fmt::Display for SimError {
                 write!(f, "insufficient sm resources for kernel launch")
             }
             SimError::InvalidAllocation(sz) => write!(f, "invalid allocation size {sz}"),
+            SimError::FabricDisabled => {
+                write!(f, "operation requires the timed link fabric (fabric.enabled)")
+            }
+            SimError::NoSuchLink(l) => write!(f, "no such nvlink link {l}"),
         }
     }
 }
@@ -86,6 +98,8 @@ mod tests {
             SimError::OutOfMemory(GpuId::new(0)),
             SimError::InsufficientSmResources,
             SimError::InvalidAllocation(0),
+            SimError::FabricDisabled,
+            SimError::NoSuchLink(99),
         ];
         for e in errs {
             let s = e.to_string();

@@ -1,0 +1,254 @@
+//! Timed interconnect fabric: per-link bandwidth, occupancy and queueing.
+//!
+//! PR 1/PR 2 modelled the interconnect as a scalar — a per-hop latency
+//! adder plus one per-home-GPU queue counter. This module promotes every
+//! NVLink edge of the [`Topology`] (and the PCIe root complex, shared by
+//! all GPUs as the fallback transport) to a **timed queueing resource**:
+//!
+//! - each link serves one cache line per [`FabricConfig`] service period
+//!   (its bandwidth expressed in core cycles per 128 B line);
+//! - a link remembers the cycle until which it is busy (`busy_until`);
+//!   a request arriving earlier waits for the residual occupancy window —
+//!   deterministic FCFS in **engine processing order**, at op
+//!   granularity. Scalar ops are processed in global-timestamp order,
+//!   but a warp-wide `LoadBatch` books all of its lines' future issue
+//!   slots atomically when its op executes, so another agent's op with
+//!   a timestamp inside that span queues behind the whole booked burst.
+//!   That models a warp's transfers being committed to the link engine
+//!   at issue, and is exactly the saturation the congestion channel's
+//!   spy observes;
+//! - a multi-hop request traverses its route **store-and-forward**: the
+//!   arrival time at link *k+1* is the departure time from link *k*, so
+//!   congestion anywhere on the route delays the whole transfer;
+//! - per-link bytes, request counts, busy cycles and queue-wait cycles
+//!   are surfaced through [`crate::stats::SystemStats`].
+//!
+//! This is the substrate of the paper's second channel family: a
+//! bandwidth trojan saturating one link is observable to any tenant whose
+//! route shares that link, purely through the tenant's own transfer
+//! latency — no shared cache set required
+//! (`gpubox_attacks::covert::transmit_link`).
+//!
+//! # Determinism and cost
+//!
+//! The fabric consumes **no RNG** and performs **no allocation** after
+//! construction: routes are precomputed [`LinkId`] slices inside
+//! [`Topology`], and traversal walks them updating fixed-size arrays.
+//! With [`FabricConfig::enabled`]`== false` (the default) the fabric is
+//! never consulted and simulations are bit-identical to the pre-fabric
+//! model — asserted against a golden fingerprint in `sim_benches`.
+
+use crate::stats::SystemStats;
+use crate::topology::{LinkId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Fabric model configuration.
+///
+/// Defaults to *disabled*, which reproduces the scalar interconnect model
+/// exactly (no latency terms, no bookkeeping). [`FabricConfig::nvlink_v1`]
+/// enables the model with constants calibrated to the DGX-1's NVLink-V1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// Whether remote accesses traverse the timed link model.
+    pub enabled: bool,
+    /// Cycles one NVLink link is occupied per 128 B line. NVLink-V1
+    /// moves ~20 GB/s per link ≈ 13.5 B/cycle at 1.48 GHz, i.e. ~10
+    /// cycles per line.
+    pub nvlink_service_cycles_per_line: u32,
+    /// Cycles the shared PCIe root complex is occupied per line (PCIe
+    /// 3.0 x16 shared by all GPUs; far slower than a dedicated link).
+    pub pcie_service_cycles_per_line: u32,
+}
+
+impl FabricConfig {
+    /// Disabled fabric: the scalar PR 2 interconnect model.
+    pub fn disabled() -> Self {
+        FabricConfig {
+            enabled: false,
+            nvlink_service_cycles_per_line: 0,
+            pcie_service_cycles_per_line: 0,
+        }
+    }
+
+    /// Enabled fabric with NVLink-V1 / PCIe-3.0 constants.
+    pub fn nvlink_v1() -> Self {
+        FabricConfig {
+            enabled: true,
+            nvlink_service_cycles_per_line: 10,
+            pcie_service_cycles_per_line: 60,
+        }
+    }
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig::disabled()
+    }
+}
+
+/// Runtime occupancy state of every link plus the PCIe root complex.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    enabled: bool,
+    nv_service: u64,
+    pcie_service: u64,
+    /// Cycle until which each NVLink link is busy; index = [`LinkId`].
+    busy_until: Vec<u64>,
+    /// Cycle until which the shared PCIe root complex is busy.
+    pcie_busy_until: u64,
+}
+
+impl Fabric {
+    /// Builds the fabric state for a topology (one occupancy window per
+    /// link). A disabled config allocates no per-link state.
+    pub fn new(topo: &Topology, cfg: &FabricConfig) -> Self {
+        Fabric {
+            enabled: cfg.enabled,
+            nv_service: u64::from(cfg.nvlink_service_cycles_per_line),
+            pcie_service: u64::from(cfg.pcie_service_cycles_per_line),
+            busy_until: if cfg.enabled {
+                vec![0; topo.num_links()]
+            } else {
+                Vec::new()
+            },
+            pcie_busy_until: 0,
+        }
+    }
+
+    /// Whether the timed link model is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Clears all occupancy windows (engine runs restart agent clocks at
+    /// zero, so stale absolute timestamps must not leak across runs).
+    pub fn reset(&mut self) {
+        for b in &mut self.busy_until {
+            *b = 0;
+        }
+        self.pcie_busy_until = 0;
+    }
+
+    /// Sends one line along `path` starting at cycle `now`, store-and-
+    /// forward across every link. Returns the extra cycles beyond `now`
+    /// until the line cleared the last link (queue waits + serialisation),
+    /// and records per-link bytes/busy/queue statistics.
+    ///
+    /// Must only be called on an enabled fabric with a non-empty path.
+    #[inline]
+    pub fn traverse(
+        &mut self,
+        path: &[LinkId],
+        now: u64,
+        line_bytes: u64,
+        stats: &mut SystemStats,
+    ) -> u64 {
+        debug_assert!(self.enabled, "traverse on a disabled fabric");
+        let mut t = now;
+        for &l in path {
+            let busy = &mut self.busy_until[l.index()];
+            let start = t.max(*busy);
+            *busy = start + self.nv_service;
+            let st = stats.link_mut(l);
+            st.bytes += line_bytes;
+            st.requests += 1;
+            st.busy_cycles += self.nv_service;
+            st.queue_cycles += start - t;
+            t = start + self.nv_service;
+        }
+        t - now
+    }
+
+    /// Sends one line through the shared PCIe root complex starting at
+    /// cycle `now`; returns the extra cycles beyond `now` (queue wait +
+    /// serialisation) and records root-complex statistics.
+    #[inline]
+    pub fn traverse_pcie(&mut self, now: u64, line_bytes: u64, stats: &mut SystemStats) -> u64 {
+        debug_assert!(self.enabled, "traverse on a disabled fabric");
+        let start = now.max(self.pcie_busy_until);
+        self.pcie_busy_until = start + self.pcie_service;
+        let st = stats.pcie_root_mut();
+        st.bytes += line_bytes;
+        st.requests += 1;
+        st.busy_cycles += self.pcie_service;
+        st.queue_cycles += start - now;
+        start + self.pcie_service - now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (Topology, Fabric, SystemStats) {
+        // 0-1-2 line: two links.
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let fabric = Fabric::new(&topo, &FabricConfig::nvlink_v1());
+        let stats = SystemStats::new(3, topo.num_links());
+        (topo, fabric, stats)
+    }
+
+    #[test]
+    fn idle_links_cost_only_serialisation() {
+        use crate::address::GpuId;
+        let (topo, mut fabric, mut stats) = fixture();
+        let path = topo.path(GpuId::new(0), GpuId::new(2));
+        assert_eq!(path.len(), 2);
+        let extra = fabric.traverse(path, 1_000, 128, &mut stats);
+        assert_eq!(extra, 20, "two idle links: 2 x 10 service cycles");
+        assert_eq!(stats.link(LinkId(0)).unwrap().queue_cycles, 0);
+        assert_eq!(stats.link(LinkId(0)).unwrap().bytes, 128);
+    }
+
+    #[test]
+    fn back_to_back_lines_queue_on_the_link() {
+        use crate::address::GpuId;
+        let (topo, mut fabric, mut stats) = fixture();
+        let path = topo.path(GpuId::new(0), GpuId::new(1));
+        // Three lines all arriving at cycle 0: FCFS serialisation.
+        assert_eq!(fabric.traverse(path, 0, 128, &mut stats), 10);
+        assert_eq!(fabric.traverse(path, 0, 128, &mut stats), 20);
+        assert_eq!(fabric.traverse(path, 0, 128, &mut stats), 30);
+        let l = stats.link(topo.link_between(GpuId::new(0), GpuId::new(1)).unwrap());
+        assert_eq!(l.unwrap().queue_cycles, 10 + 20);
+        assert_eq!(l.unwrap().busy_cycles, 30);
+    }
+
+    #[test]
+    fn store_and_forward_propagates_congestion() {
+        use crate::address::GpuId;
+        let (topo, mut fabric, mut stats) = fixture();
+        // Saturate link (1,2) directly.
+        let l12 = topo.path(GpuId::new(1), GpuId::new(2));
+        fabric.traverse(l12, 0, 128, &mut stats); // busy until 10
+        fabric.traverse(l12, 0, 128, &mut stats); // busy until 20
+        // A 2-hop transfer 0->2 at cycle 0: link (0,1) free (10 cycles),
+        // arrives at (1,2) at 10, waits until 20, departs 30.
+        let extra = fabric.traverse(topo.path(GpuId::new(0), GpuId::new(2)), 0, 128, &mut stats);
+        assert_eq!(extra, 30);
+    }
+
+    #[test]
+    fn pcie_root_complex_is_one_shared_queue() {
+        let (_topo, mut fabric, mut stats) = fixture();
+        assert_eq!(fabric.traverse_pcie(0, 128, &mut stats), 60);
+        assert_eq!(fabric.traverse_pcie(0, 128, &mut stats), 120);
+        assert_eq!(stats.pcie_root().queue_cycles, 60);
+        assert_eq!(stats.pcie_root().bytes, 256);
+    }
+
+    #[test]
+    fn reset_clears_occupancy() {
+        use crate::address::GpuId;
+        let (topo, mut fabric, mut stats) = fixture();
+        let path = topo.path(GpuId::new(0), GpuId::new(1));
+        fabric.traverse(path, 0, 128, &mut stats);
+        fabric.traverse(path, 0, 128, &mut stats);
+        fabric.reset();
+        assert_eq!(
+            fabric.traverse(path, 0, 128, &mut stats),
+            10,
+            "post-reset traversal sees idle links"
+        );
+    }
+}

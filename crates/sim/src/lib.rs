@@ -11,7 +11,12 @@
 //! - **Physically indexed, 16-way, 2048-set L2** with pluggable
 //!   replacement (LRU / tree-PLRU / random) — paper Table I.
 //! - **NVLink hybrid cube-mesh topology** with per-hop latency and a PCIe
-//!   fallback — paper Fig. 1.
+//!   fallback — paper Fig. 1 — plus an optional **timed link fabric**
+//!   ([`fabric`]): every NVLink edge is a queueing resource with per-link
+//!   bandwidth and occupancy, remote accesses route hop-by-hop along
+//!   deterministic shortest paths (multi-hop and PCIe fallback included),
+//!   and per-link utilisation is surfaced in [`SystemStats`] — the
+//!   substrate of the paper's NVLink-congestion covert channel.
 //! - **Calibrated timing** reproducing the four Fig. 4 clusters
 //!   (270 / 450 / 630 / 950 cycles) with Gaussian jitter and
 //!   port-contention noise.
@@ -52,6 +57,7 @@ pub mod cache_reference;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod fabric;
 pub mod memory;
 pub mod noise;
 pub mod process;
@@ -68,12 +74,13 @@ pub use cache::{AccessOutcome, L2Cache, EMPTY_TAG};
 pub use config::{CacheConfig, ReplacementKind, SmConfig, SystemConfig, TimingConfig};
 pub use engine::{Agent, Engine, Op, OpResult, ProbeStage, SchedulerKind};
 pub use error::{SimError, SimResult};
+pub use fabric::{Fabric, FabricConfig};
 pub use noise::{NoiseAgent, NoiseConfig};
 pub use process::ProcessCtx;
 pub use sm::{KernelId, KernelLaunch, SmArray};
-pub use stats::{GpuStats, SystemStats};
+pub use stats::{GpuStats, LinkStats, SystemStats};
 pub use system::{
     AccessOracle, AgentId, BatchAccess, BatchSummary, MemAccess, MultiGpuSystem, ProcessId,
 };
 pub use timing::LatencyModel;
-pub use topology::{LinkKind, Route, Topology};
+pub use topology::{LinkId, LinkKind, Route, Topology};

@@ -1,6 +1,7 @@
-//! System-wide statistics counters.
+//! System-wide statistics counters: per-GPU and per-link.
 
 use crate::address::GpuId;
+use crate::topology::LinkId;
 use serde::{Deserialize, Serialize};
 
 /// Counters for one GPU.
@@ -14,7 +15,9 @@ pub struct GpuStats {
     pub issued_accesses: u64,
     /// Accesses served by this GPU's memory for *remote* requesters.
     pub remote_served: u64,
-    /// Bytes moved over NVLink on behalf of this GPU's requests.
+    /// Bytes moved over NVLink on behalf of this GPU's requests, counted
+    /// once per traversed hop (a 2-hop access moves its line across two
+    /// physical links and costs the fabric twice the bandwidth).
     pub nvlink_bytes: u64,
     /// Accesses that crossed PCIe.
     pub pcie_accesses: u64,
@@ -22,17 +25,37 @@ pub struct GpuStats {
     pub congestion_episodes: u64,
 }
 
+/// Counters for one interconnect resource (an NVLink link or the PCIe
+/// root complex), maintained by [`crate::fabric::Fabric`] when the timed
+/// link model is enabled; all zero otherwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Bytes that crossed this resource.
+    pub bytes: u64,
+    /// Line transfers that crossed this resource.
+    pub requests: u64,
+    /// Cycles the resource spent serving transfers (occupancy; divide by
+    /// the simulated span for utilisation).
+    pub busy_cycles: u64,
+    /// Cycles transfers waited for the resource to free up (queueing).
+    pub queue_cycles: u64,
+}
+
 /// Statistics for the whole box.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SystemStats {
     per_gpu: Vec<GpuStats>,
+    per_link: Vec<LinkStats>,
+    pcie_root: LinkStats,
 }
 
 impl SystemStats {
-    /// Creates zeroed stats for `n` GPUs.
-    pub fn new(n: u8) -> Self {
+    /// Creates zeroed stats for `n` GPUs and `links` NVLink links.
+    pub fn new(n: u8, links: usize) -> Self {
         SystemStats {
             per_gpu: vec![GpuStats::default(); n as usize],
+            per_link: vec![LinkStats::default(); links],
+            pcie_root: LinkStats::default(),
         }
     }
 
@@ -44,6 +67,35 @@ impl SystemStats {
     /// Mutable counters of one GPU.
     pub fn gpu_mut(&mut self, g: GpuId) -> &mut GpuStats {
         &mut self.per_gpu[g.index()]
+    }
+
+    /// Counters of one NVLink link, if the id is valid for the topology.
+    pub fn link(&self, l: LinkId) -> Option<&LinkStats> {
+        self.per_link.get(l.index())
+    }
+
+    /// Mutable counters of one NVLink link.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range link id.
+    pub fn link_mut(&mut self, l: LinkId) -> &mut LinkStats {
+        &mut self.per_link[l.index()]
+    }
+
+    /// Per-link counters in [`LinkId`] order.
+    pub fn links(&self) -> &[LinkStats] {
+        &self.per_link
+    }
+
+    /// Counters of the shared PCIe root complex.
+    pub fn pcie_root(&self) -> &LinkStats {
+        &self.pcie_root
+    }
+
+    /// Mutable counters of the PCIe root complex.
+    pub fn pcie_root_mut(&mut self) -> &mut LinkStats {
+        &mut self.pcie_root
     }
 
     /// Sum of all per-GPU counters.
@@ -61,11 +113,27 @@ impl SystemStats {
         t
     }
 
+    /// Sum of all per-link counters (the PCIe root complex excluded).
+    pub fn link_total(&self) -> LinkStats {
+        let mut t = LinkStats::default();
+        for l in &self.per_link {
+            t.bytes += l.bytes;
+            t.requests += l.requests;
+            t.busy_cycles += l.busy_cycles;
+            t.queue_cycles += l.queue_cycles;
+        }
+        t
+    }
+
     /// Resets every counter to zero.
     pub fn reset(&mut self) {
         for g in &mut self.per_gpu {
             *g = GpuStats::default();
         }
+        for l in &mut self.per_link {
+            *l = LinkStats::default();
+        }
+        self.pcie_root = LinkStats::default();
     }
 }
 
@@ -75,7 +143,7 @@ mod tests {
 
     #[test]
     fn totals_sum_per_gpu() {
-        let mut s = SystemStats::new(2);
+        let mut s = SystemStats::new(2, 1);
         s.gpu_mut(GpuId::new(0)).l2_hits = 3;
         s.gpu_mut(GpuId::new(1)).l2_hits = 4;
         s.gpu_mut(GpuId::new(1)).nvlink_bytes = 256;
@@ -85,10 +153,27 @@ mod tests {
     }
 
     #[test]
+    fn link_totals_sum_per_link() {
+        let mut s = SystemStats::new(1, 2);
+        s.link_mut(LinkId(0)).bytes = 128;
+        s.link_mut(LinkId(1)).bytes = 256;
+        s.link_mut(LinkId(1)).queue_cycles = 40;
+        s.pcie_root_mut().bytes = 512; // excluded from link_total
+        let t = s.link_total();
+        assert_eq!(t.bytes, 384);
+        assert_eq!(t.queue_cycles, 40);
+        assert_eq!(s.link(LinkId(2)), None);
+    }
+
+    #[test]
     fn reset_zeroes() {
-        let mut s = SystemStats::new(1);
+        let mut s = SystemStats::new(1, 1);
         s.gpu_mut(GpuId::new(0)).l2_misses = 9;
+        s.link_mut(LinkId(0)).busy_cycles = 5;
+        s.pcie_root_mut().requests = 2;
         s.reset();
         assert_eq!(s.gpu(GpuId::new(0)).l2_misses, 0);
+        assert_eq!(s.link(LinkId(0)).unwrap().busy_cycles, 0);
+        assert_eq!(s.pcie_root().requests, 0);
     }
 }

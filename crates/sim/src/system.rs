@@ -11,11 +11,12 @@ use crate::address::{GpuId, PhysAddr, PhysLoc, SetIndex, VirtAddr};
 use crate::cache::L2Cache;
 use crate::config::SystemConfig;
 use crate::error::{SimError, SimResult};
+use crate::fabric::Fabric;
 use crate::memory::Hbm;
 use crate::sm::{KernelId, KernelLaunch, SmArray};
-use crate::stats::SystemStats;
+use crate::stats::{LinkStats, SystemStats};
 use crate::timing::LatencyModel;
-use crate::topology::{LinkKind, Route};
+use crate::topology::{LinkId, LinkKind, Route};
 use crate::vm::{AddressSpace, Mapping};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -224,6 +225,9 @@ pub struct MultiGpuSystem {
     pressure: Vec<PressureTracker>,
     remote_pressure: Vec<PressureTracker>,
     congested_until: Vec<u64>,
+    /// Timed per-link interconnect state; inert when the config leaves
+    /// the fabric disabled (the scalar PR 2 model).
+    fabric: Fabric,
     stats: SystemStats,
     rng: ChaCha8Rng,
     next_agent: u32,
@@ -270,7 +274,8 @@ impl MultiGpuSystem {
             .map(|_| PressureTracker::new(track_pressure))
             .collect();
         let congested_until = vec![0u64; cfg.num_gpus as usize];
-        let stats = SystemStats::new(cfg.num_gpus);
+        let fabric = Fabric::new(&cfg.topology, &cfg.fabric);
+        let stats = SystemStats::new(cfg.num_gpus, cfg.topology.num_links());
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         MultiGpuSystem {
             cfg,
@@ -280,6 +285,7 @@ impl MultiGpuSystem {
             pressure,
             remote_pressure,
             congested_until,
+            fabric,
             stats,
             rng,
             next_agent: 0,
@@ -327,10 +333,10 @@ impl MultiGpuSystem {
     }
 
     /// Clears transient timing state (pressure windows, congestion
-    /// episodes). Agent-local clocks restart from zero for every
-    /// [`crate::engine::Engine`] run, so stale timestamps from a previous
-    /// run must not leak into the next one; the engine calls this on
-    /// construction.
+    /// episodes, fabric link occupancy). Agent-local clocks restart from
+    /// zero for every [`crate::engine::Engine`] run, so stale timestamps
+    /// from a previous run must not leak into the next one; the engine
+    /// calls this on construction.
     pub fn reset_timing_state(&mut self) {
         for t in &mut self.pressure {
             t.clear();
@@ -341,6 +347,23 @@ impl MultiGpuSystem {
         for c in &mut self.congested_until {
             *c = 0;
         }
+        self.fabric.reset();
+    }
+
+    /// Whether the timed per-link fabric model is active.
+    pub fn fabric_enabled(&self) -> bool {
+        self.fabric.enabled()
+    }
+
+    /// Counters of one NVLink link (bytes, requests, busy/queue cycles);
+    /// all zero unless the fabric model is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchLink`] when the id is not a link of this
+    /// system's topology.
+    pub fn link_stats(&self, l: LinkId) -> SimResult<&LinkStats> {
+        self.stats.link(l).ok_or(SimError::NoSuchLink(l.0))
     }
 
     /// Creates a process whose kernels run on `home`.
@@ -523,11 +546,13 @@ impl MultiGpuSystem {
     /// The shared access core once the physical location is known: cache
     /// lookup (counters and replacement metadata update in the same pass,
     /// and the landing set comes back with the outcome — no second set
-    /// lookup), contention pressure, latency, congestion episodes and
-    /// statistics.
+    /// lookup), contention pressure, latency, congestion episodes, fabric
+    /// traversal and statistics.
     ///
     /// RNG consumption order is identical to the original scalar path:
-    /// cache (random replacement only) → jitter → congestion draws.
+    /// cache (random replacement only) → jitter → congestion draws. The
+    /// fabric traversal consumes no RNG, so enabling it never shifts the
+    /// random stream.
     #[allow(clippy::too_many_arguments)] // flat parameter list keeps the hot path monomorphic
     fn access_resolved(
         &mut self,
@@ -566,8 +591,12 @@ impl MultiGpuSystem {
             .access_latency(route, hit, pressure, &mut self.rng);
         if self.track_pressure {
             // NVLink serialisation: concurrent remote requesters to the
-            // same home GPU queue on the link.
-            if home != issuer {
+            // same home GPU queue on the link. This scalar term is the
+            // pre-fabric approximation of link queueing; when the timed
+            // fabric is enabled the same physical contention is modelled
+            // per-link via occupancy windows below, so the approximation
+            // is skipped rather than double-charged.
+            if home != issuer && !self.fabric.enabled() {
                 let rt = &mut self.remote_pressure[home.index()];
                 let rp = rt.pressure(now, agent, window);
                 rt.record(now, agent, window);
@@ -594,6 +623,23 @@ impl MultiGpuSystem {
             }
         }
 
+        // Timed fabric: route the line across the physical links of the
+        // shortest path (or through the PCIe root complex), accumulating
+        // queue waits and per-link serialisation store-and-forward. Off
+        // by default; deterministic (no RNG) when on.
+        if home != issuer && self.fabric.enabled() {
+            let line = self.cfg.cache.line_size;
+            let extra = match route.kind {
+                LinkKind::NvLink => {
+                    let path = self.cfg.topology.path(issuer, home);
+                    self.fabric.traverse(path, now, line, &mut self.stats)
+                }
+                LinkKind::Pcie => self.fabric.traverse_pcie(now, line, &mut self.stats),
+                LinkKind::Local => 0,
+            };
+            latency = latency.saturating_add(u32::try_from(extra).unwrap_or(u32::MAX));
+        }
+
         // Statistics.
         let st = self.stats.gpu_mut(home);
         if hit {
@@ -604,10 +650,16 @@ impl MultiGpuSystem {
         if home != issuer {
             st.remote_served += 1;
             match route.kind {
+                // Bytes are counted once per traversed hop: a 2-hop line
+                // crosses two physical links and costs the fabric twice
+                // the bandwidth of a direct transfer.
                 LinkKind::NvLink => {
-                    self.stats.gpu_mut(issuer).nvlink_bytes += self.cfg.cache.line_size
+                    self.stats.gpu_mut(issuer).nvlink_bytes +=
+                        self.cfg.cache.line_size * u64::from(route.hops)
                 }
                 LinkKind::Pcie => self.stats.gpu_mut(issuer).pcie_accesses += 1,
+                // A local route cannot serve a remote access.
+                LinkKind::Local => debug_assert!(false, "local route with home != issuer"),
             }
         }
         self.stats.gpu_mut(issuer).issued_accesses += 1;
@@ -1100,6 +1152,123 @@ mod tests {
             lats
         };
         assert_eq!(run(1), run(64));
+    }
+
+    #[test]
+    fn indirect_peer_knob_allows_multi_hop() {
+        // The same 2-hop pair the refusal test uses, with the policy knob
+        // flipped: peer access is granted and routed over NVLink.
+        let mut cfg = SystemConfig::dgx1().noiseless();
+        cfg.allow_indirect_peer = true;
+        let mut sys = MultiGpuSystem::new(cfg);
+        let p = sys.create_process(GpuId::new(0));
+        sys.enable_peer_access(p, GpuId::new(5)).unwrap();
+        let buf = sys.malloc_on(p, GpuId::new(5), 4096).unwrap();
+        let acc = sys.access(p, sys.default_agent(p), buf, 0, None).unwrap();
+        assert_eq!(acc.oracle.route.kind, crate::topology::LinkKind::NvLink);
+        assert_eq!(acc.oracle.route.hops, 2);
+    }
+
+    #[test]
+    fn fabric_off_keeps_latency_and_links_untouched() {
+        let mut sys = boot();
+        let spy = sys.create_process(GpuId::new(1));
+        sys.enable_peer_access(spy, GpuId::new(0)).unwrap();
+        let buf = sys.malloc_on(spy, GpuId::new(0), 4096).unwrap();
+        let acc = sys.access(spy, sys.default_agent(spy), buf, 0, None).unwrap();
+        assert_eq!(acc.latency, 950, "scalar model latency unchanged");
+        assert!(!sys.fabric_enabled());
+        let l = sys.link_stats(LinkId(0)).unwrap();
+        assert_eq!(*l, LinkStats::default(), "no bookkeeping with fabric off");
+    }
+
+    #[test]
+    fn fabric_remote_access_pays_link_serialisation() {
+        let cfg = SystemConfig::small_test()
+            .noiseless()
+            .with_fabric(crate::fabric::FabricConfig::nvlink_v1());
+        let mut sys = MultiGpuSystem::new(cfg);
+        let spy = sys.create_process(GpuId::new(1));
+        sys.enable_peer_access(spy, GpuId::new(0)).unwrap();
+        let buf = sys.malloc_on(spy, GpuId::new(0), 4096).unwrap();
+        let cold = sys.access(spy, sys.default_agent(spy), buf, 0, None).unwrap();
+        let warm = sys
+            .access(spy, sys.default_agent(spy), buf, 2000, None)
+            .unwrap();
+        // One idle link: 10 service cycles on top of the scalar clusters.
+        assert_eq!(cold.latency, 960);
+        assert_eq!(warm.latency, 640);
+        let link = sys.config().topology.link_between(GpuId::new(1), GpuId::new(0)).unwrap();
+        let ls = *sys.link_stats(link).unwrap();
+        assert_eq!(ls.requests, 2);
+        assert_eq!(ls.bytes, 256);
+        assert_eq!(ls.busy_cycles, 20);
+        assert_eq!(ls.queue_cycles, 0);
+    }
+
+    #[test]
+    fn fabric_multi_hop_counts_every_traversed_link() {
+        let mut cfg = SystemConfig::small_test()
+            .noiseless()
+            .with_fabric(crate::fabric::FabricConfig::nvlink_v1());
+        cfg.num_gpus = 3;
+        cfg.topology = crate::topology::Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        cfg.allow_indirect_peer = true;
+        let mut sys = MultiGpuSystem::new(cfg);
+        let p = sys.create_process(GpuId::new(2));
+        sys.enable_peer_access(p, GpuId::new(0)).unwrap();
+        let buf = sys.malloc_on(p, GpuId::new(0), 4096).unwrap();
+        let cold = sys.access(p, sys.default_agent(p), buf, 0, None).unwrap();
+        // 2-hop miss (1450) + 2 idle link traversals (20).
+        assert_eq!(cold.latency, 1470);
+        // Both links on the path carry the line; the issuer's byte
+        // counter records one line per traversed hop.
+        for l in 0..2 {
+            let ls = *sys.link_stats(LinkId(l)).unwrap();
+            assert_eq!(ls.bytes, 128, "link {l} carries the line once");
+        }
+        assert_eq!(sys.stats().gpu(GpuId::new(2)).nvlink_bytes, 256);
+    }
+
+    #[test]
+    fn fabric_concurrent_requesters_queue_deterministically() {
+        let cfg = SystemConfig::small_test()
+            .noiseless()
+            .with_fabric(crate::fabric::FabricConfig::nvlink_v1());
+        let mut sys = MultiGpuSystem::new(cfg);
+        let a = sys.create_process(GpuId::new(1));
+        let b = sys.create_process(GpuId::new(1));
+        sys.enable_peer_access(a, GpuId::new(0)).unwrap();
+        sys.enable_peer_access(b, GpuId::new(0)).unwrap();
+        let abuf = sys.malloc_on(a, GpuId::new(0), 4096).unwrap();
+        let bbuf = sys.malloc_on(b, GpuId::new(0), 4096).unwrap();
+        // Two cold misses arriving at the same cycle on the same link:
+        // the second serialises behind the first's occupancy window.
+        let first = sys.access(a, sys.default_agent(a), abuf, 0, None).unwrap();
+        let second = sys.access(b, sys.default_agent(b), bbuf, 0, None).unwrap();
+        assert_eq!(first.latency, 960);
+        assert_eq!(second.latency, 970, "10 cycles of queue wait");
+        let link = sys.config().topology.link_between(GpuId::new(1), GpuId::new(0)).unwrap();
+        assert_eq!(sys.link_stats(link).unwrap().queue_cycles, 10);
+    }
+
+    #[test]
+    fn fabric_pcie_fallback_uses_shared_root_complex() {
+        let mut cfg = SystemConfig::small_test()
+            .noiseless()
+            .with_fabric(crate::fabric::FabricConfig::nvlink_v1());
+        cfg.topology = crate::topology::Topology::from_edges(2, &[]);
+        cfg.allow_indirect_peer = true;
+        let mut sys = MultiGpuSystem::new(cfg);
+        let p = sys.create_process(GpuId::new(1));
+        sys.enable_peer_access(p, GpuId::new(0)).unwrap();
+        let buf = sys.malloc_on(p, GpuId::new(0), 4096).unwrap();
+        // PCIe cold (2350) + 60 root-complex service cycles.
+        let acc = sys.access(p, sys.default_agent(p), buf, 0, None).unwrap();
+        assert_eq!(acc.latency, 2410);
+        assert_eq!(sys.stats().pcie_root().requests, 1);
+        assert_eq!(sys.stats().pcie_root().bytes, 128);
+        assert_eq!(sys.link_stats(LinkId(0)), Err(SimError::NoSuchLink(0)));
     }
 
     #[test]

@@ -41,8 +41,10 @@ impl LatencyModel {
         rng: &mut R,
     ) -> u32 {
         let base = match (route.kind, hit) {
-            (LinkKind::NvLink, true) => self.cfg.expected_hit(route.hops),
-            (LinkKind::NvLink, false) => self.cfg.expected_miss(route.hops),
+            // Local routes have zero hops, so the NvLink formulas reduce
+            // to the plain local hit/miss constants.
+            (LinkKind::Local | LinkKind::NvLink, true) => self.cfg.expected_hit(route.hops),
+            (LinkKind::Local | LinkKind::NvLink, false) => self.cfg.expected_miss(route.hops),
             (LinkKind::Pcie, true) => self.cfg.l2_hit + self.cfg.pcie_round_trip,
             (LinkKind::Pcie, false) => {
                 self.cfg.l2_hit + self.cfg.dram_penalty + self.cfg.pcie_round_trip

@@ -1,20 +1,68 @@
-//! NVLink/PCIe interconnect topology and routing.
+//! NVLink/PCIe interconnect topology: link objects, hop distances and
+//! deterministic shortest-path routing.
 //!
 //! The DGX-1 connects its eight P100s in a *hybrid cube-mesh* (paper
 //! Fig. 1): two fully connected quads `{0,1,2,3}` and `{4,5,6,7}`, plus one
 //! NVLink between corresponding members of each quad (`i ↔ i+4`). Every
 //! GPU additionally reaches every other GPU through PCIe via the host.
+//!
+//! # Links vs. hop distances
+//!
+//! A [`Topology`] exposes the interconnect at two altitudes:
+//!
+//! - **Hop distances** ([`Topology::nvlink_hops`], [`Topology::route`]):
+//!   the all-pairs BFS distance over NVLink edges. This is what the
+//!   latency model consumes — a remote access from `hops` away pays
+//!   `hops × nvlink_hop` extra cycles regardless of *which* links it
+//!   crosses. PR 1/PR 2 modelled the interconnect at this altitude only.
+//! - **Link objects** ([`LinkId`], [`Topology::path`],
+//!   [`Topology::link_between`]): every undirected NVLink edge is a
+//!   first-class, identifiable resource. [`Topology::path`] resolves the
+//!   concrete shortest link sequence a request traverses, which the
+//!   [`crate::fabric::Fabric`] turns into a timed queueing model with
+//!   per-link bandwidth and occupancy — the substrate of the paper's
+//!   NVLink-congestion covert channel.
+//!
+//! # Routing policy
+//!
+//! Paths are precomputed once per topology and are **deterministic** and
+//! **symmetric by construction**: for each unordered pair `{a, b}` one
+//! canonical shortest path is computed from the lower-numbered endpoint
+//! (greedy descent on the BFS distance field, breaking ties towards the
+//! lowest-numbered neighbour), and the `b → a` direction reuses the same
+//! link sequence reversed. Both directions of a transfer therefore
+//! occupy exactly the same physical links, as on the real machine, and
+//! routing never consults an RNG — simulations stay reproducible.
+//!
+//! GPU pairs with no NVLink path fall back to PCIe through the host root
+//! complex ([`LinkKind::Pcie`]); whether processes may *map* memory across
+//! such routes is a policy question owned by
+//! [`crate::config::SystemConfig::allow_indirect_peer`].
 
 use crate::address::GpuId;
 use serde::{Deserialize, Serialize};
 
-/// Kind of link a route uses.
+/// Kind of transport a route uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LinkKind {
-    /// Direct NVLink connection (possibly multi-hop through peers).
+    /// Same-GPU access: no interconnect traversal at all.
+    Local,
+    /// NVLink connection (possibly multi-hop through peer GPUs).
     NvLink,
     /// PCIe through the host root complex.
     Pcie,
+}
+
+/// Identifier of one undirected NVLink edge of a [`Topology`] — an index
+/// into its canonical edge list (see [`Topology::link_endpoints`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The link id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
 }
 
 /// A resolved route between two GPUs.
@@ -27,41 +75,98 @@ pub struct Route {
 }
 
 impl Route {
-    /// The trivial local route (same GPU).
+    /// The trivial local route (same GPU): [`LinkKind::Local`], zero hops.
     pub fn local() -> Self {
         Route {
-            kind: LinkKind::NvLink,
+            kind: LinkKind::Local,
             hops: 0,
         }
     }
 }
 
-/// An undirected multi-GPU interconnect graph.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// An undirected multi-GPU interconnect graph with precomputed routes.
+///
+/// Serialization covers only the defining data (node count + canonical
+/// edge list); deserialization rebuilds every derived table through
+/// [`Topology::from_edges`], so adjacency, distances and paths can never
+/// be inconsistent with the edge list in a loaded config.
+#[derive(Debug, Clone)]
 pub struct Topology {
     n: u8,
     /// Adjacency matrix of direct NVLink edges.
     adj: Vec<Vec<bool>>,
     /// All-pairs NVLink hop distance (`u32::MAX` when unreachable).
     dist: Vec<Vec<u32>>,
+    /// Canonical edge list `(a, b)` with `a < b`; defines [`LinkId`].
+    edges: Vec<(u8, u8)>,
+    /// `link_of[a][b]`: the link id of the direct edge `{a, b}`, if any.
+    link_of: Vec<Vec<Option<u32>>>,
+    /// Flattened canonical shortest paths, indexed through `path_span`.
+    paths: Vec<LinkId>,
+    /// `(offset, len)` into `paths` for ordered pair `src * n + dst`.
+    path_span: Vec<(u32, u32)>,
+}
+
+impl Serialize for Topology {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("n".to_string(), self.n.to_value()),
+            ("edges".to_string(), self.edges.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Topology {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let n = u8::from_value(v.field("n")?)?;
+        let edges = Vec::<(u8, u8)>::from_value(v.field("edges")?)?;
+        for &(a, b) in &edges {
+            if a >= n || b >= n || a == b {
+                return Err(serde::Error::msg(format!(
+                    "invalid edge ({a},{b}) for a {n}-GPU topology"
+                )));
+            }
+        }
+        Ok(Topology::from_edges(n, &edges))
+    }
 }
 
 impl Topology {
     /// Builds a topology from a node count and an undirected edge list.
+    /// Duplicate edges (in either orientation) collapse to one link.
     ///
     /// # Panics
     ///
-    /// Panics if an edge references a node `>= n`.
+    /// Panics if an edge references a node `>= n` or is a self-loop.
     pub fn from_edges(n: u8, edges: &[(u8, u8)]) -> Self {
         let nn = n as usize;
         let mut adj = vec![vec![false; nn]; nn];
+        let mut link_of = vec![vec![None; nn]; nn];
+        let mut canonical = Vec::new();
         for &(a, b) in edges {
             assert!(a < n && b < n, "edge ({a},{b}) out of range for {n} GPUs");
+            assert!(a != b, "edge ({a},{b}) is a self-loop");
+            if adj[a as usize][b as usize] {
+                continue; // duplicate
+            }
             adj[a as usize][b as usize] = true;
             adj[b as usize][a as usize] = true;
+            let id = canonical.len() as u32;
+            canonical.push((a.min(b), a.max(b)));
+            link_of[a as usize][b as usize] = Some(id);
+            link_of[b as usize][a as usize] = Some(id);
         }
         let dist = Self::all_pairs(&adj);
-        Topology { n, adj, dist }
+        let (paths, path_span) = Self::all_paths(nn, &dist, &adj, &link_of);
+        Topology {
+            n,
+            adj,
+            dist,
+            edges: canonical,
+            link_of,
+            paths,
+            path_span,
+        }
     }
 
     /// The DGX-1 hybrid cube-mesh over 8 GPUs (paper Fig. 1).
@@ -113,9 +218,67 @@ impl Topology {
         dist
     }
 
+    /// Precomputes one canonical shortest link path per ordered pair.
+    ///
+    /// For `a < b` the path descends greedily on the distance-to-`b`
+    /// field (lowest-numbered neighbour wins ties); the `b → a` entry is
+    /// the same link sequence reversed, so routing is symmetric.
+    fn all_paths(
+        n: usize,
+        dist: &[Vec<u32>],
+        adj: &[Vec<bool>],
+        link_of: &[Vec<Option<u32>>],
+    ) -> (Vec<LinkId>, Vec<(u32, u32)>) {
+        let mut paths = Vec::new();
+        let mut span = vec![(0u32, 0u32); n * n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if dist[a][b] == u32::MAX {
+                    continue; // unreachable: PCIe, no link path
+                }
+                let start = paths.len() as u32;
+                let mut u = a;
+                while u != b {
+                    let next = (0..n)
+                        .find(|&v| adj[u][v] && dist[v][b] == dist[u][b] - 1)
+                        .expect("BFS distance field must admit a descent step");
+                    paths.push(LinkId(link_of[u][next].expect("adjacent nodes share a link")));
+                    u = next;
+                }
+                let len = paths.len() as u32 - start;
+                span[a * n + b] = (start, len);
+                // Reverse direction: same links, reversed order.
+                let rstart = paths.len() as u32;
+                for k in (0..len).rev() {
+                    let l = paths[(start + k) as usize];
+                    paths.push(l);
+                }
+                span[b * n + a] = (rstart, len);
+            }
+        }
+        (paths, span)
+    }
+
     /// Number of GPUs in the topology.
     pub fn num_gpus(&self) -> u8 {
         self.n
+    }
+
+    /// Number of NVLink edges (valid [`LinkId`]s are `0..num_links`).
+    pub fn num_links(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The two GPUs a link connects (lower id first), if the link exists.
+    pub fn link_endpoints(&self, l: LinkId) -> Option<(GpuId, GpuId)> {
+        self.edges
+            .get(l.index())
+            .map(|&(a, b)| (GpuId::new(a), GpuId::new(b)))
+    }
+
+    /// The link directly connecting `a` and `b`, if any.
+    pub fn link_between(&self, a: GpuId, b: GpuId) -> Option<LinkId> {
+        self.link_of[a.index()][b.index()].map(LinkId)
     }
 
     /// Whether `a` and `b` share a direct NVLink.
@@ -129,8 +292,17 @@ impl Topology {
         (d != u32::MAX).then_some(d)
     }
 
+    /// The canonical shortest link sequence from `src` to `dst`: empty for
+    /// local accesses and for pairs with no NVLink path (PCIe fallback).
+    /// `path(a, b)` is always `path(b, a)` reversed, and its length equals
+    /// [`Topology::nvlink_hops`].
+    pub fn path(&self, src: GpuId, dst: GpuId) -> &[LinkId] {
+        let (off, len) = self.path_span[src.index() * self.n as usize + dst.index()];
+        &self.paths[off as usize..(off + len) as usize]
+    }
+
     /// Resolves the route used for an access from `src` to memory homed on
-    /// `dst`: NVLink if reachable, PCIe otherwise.
+    /// `dst`: local on the same GPU, NVLink if reachable, PCIe otherwise.
     pub fn route(&self, src: GpuId, dst: GpuId) -> Route {
         if src == dst {
             return Route::local();
@@ -170,6 +342,20 @@ mod tests {
     }
 
     #[test]
+    fn dgx1_has_sixteen_links() {
+        // 2 quads × 6 intra-quad edges + 4 cross edges.
+        let t = Topology::dgx1();
+        assert_eq!(t.num_links(), 16);
+        for l in 0..16u32 {
+            let (a, b) = t.link_endpoints(LinkId(l)).unwrap();
+            assert!(a < b, "endpoints are canonical (lower id first)");
+            assert_eq!(t.link_between(a, b), Some(LinkId(l)));
+            assert_eq!(t.link_between(b, a), Some(LinkId(l)));
+        }
+        assert!(t.link_endpoints(LinkId(16)).is_none());
+    }
+
+    #[test]
     fn dgx1_intra_quad_is_one_hop() {
         let t = Topology::dgx1();
         assert_eq!(t.nvlink_hops(GpuId::new(0), GpuId::new(3)), Some(1));
@@ -193,10 +379,48 @@ mod tests {
     }
 
     #[test]
-    fn local_route_is_zero_hops() {
+    fn local_route_is_zero_hops_and_not_nvlink() {
         let t = Topology::dgx1();
         let r = t.route(GpuId::new(2), GpuId::new(2));
         assert_eq!(r, Route::local());
+        assert_eq!(r.kind, LinkKind::Local);
+        assert!(t.path(GpuId::new(2), GpuId::new(2)).is_empty());
+    }
+
+    #[test]
+    fn paths_are_shortest_and_symmetric() {
+        let t = Topology::dgx1();
+        for a in 0..8u8 {
+            for b in 0..8u8 {
+                let (ga, gb) = (GpuId::new(a), GpuId::new(b));
+                let p = t.path(ga, gb);
+                if a == b {
+                    assert!(p.is_empty());
+                    continue;
+                }
+                assert_eq!(p.len() as u32, t.nvlink_hops(ga, gb).unwrap());
+                let mut rev: Vec<LinkId> = t.path(gb, ga).to_vec();
+                rev.reverse();
+                assert_eq!(p, &rev[..], "path({a},{b}) must mirror path({b},{a})");
+            }
+        }
+    }
+
+    #[test]
+    fn dgx1_two_hop_path_goes_through_lowest_peer() {
+        // Canonical path for {0, 5}: greedy from 0 picks GPU1 (lowest
+        // neighbour one hop from 5), so the links are (0,1) then (1,5).
+        let t = Topology::dgx1();
+        let p = t.path(GpuId::new(0), GpuId::new(5));
+        assert_eq!(p.len(), 2);
+        assert_eq!(
+            t.link_endpoints(p[0]).unwrap(),
+            (GpuId::new(0), GpuId::new(1))
+        );
+        assert_eq!(
+            t.link_endpoints(p[1]).unwrap(),
+            (GpuId::new(1), GpuId::new(5))
+        );
     }
 
     #[test]
@@ -206,12 +430,54 @@ mod tests {
         let r = t.route(GpuId::new(0), GpuId::new(1));
         assert_eq!(r.kind, LinkKind::Pcie);
         assert_eq!(t.nvlink_hops(GpuId::new(0), GpuId::new(1)), None);
+        assert!(t.path(GpuId::new(0), GpuId::new(1)).is_empty());
+        assert_eq!(t.num_links(), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let t = Topology::from_edges(3, &[(0, 1), (1, 0), (0, 1), (1, 2)]);
+        assert_eq!(t.num_links(), 2);
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn bad_edge_panics() {
         let _ = Topology::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let _ = Topology::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_derived_tables() {
+        let t = Topology::dgx1();
+        let back = Topology::from_value(&t.to_value()).unwrap();
+        assert_eq!(back.num_links(), t.num_links());
+        for a in 0..8u8 {
+            for b in 0..8u8 {
+                let (ga, gb) = (GpuId::new(a), GpuId::new(b));
+                assert_eq!(back.path(ga, gb), t.path(ga, gb));
+                assert_eq!(back.nvlink_hops(ga, gb), t.nvlink_hops(ga, gb));
+            }
+        }
+    }
+
+    #[test]
+    fn deserialize_rejects_invalid_edges() {
+        let v = serde::Value::Object(vec![
+            ("n".to_string(), 2u8.to_value()),
+            ("edges".to_string(), vec![(0u8, 5u8)].to_value()),
+        ]);
+        assert!(Topology::from_value(&v).is_err());
+        let v = serde::Value::Object(vec![
+            ("n".to_string(), 2u8.to_value()),
+            ("edges".to_string(), vec![(1u8, 1u8)].to_value()),
+        ]);
+        assert!(Topology::from_value(&v).is_err(), "self-loop rejected");
     }
 
     #[test]

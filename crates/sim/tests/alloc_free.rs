@@ -8,12 +8,18 @@
 //! `Store`, `Compute`, `LoadBatch`) on **both schedulers**, and asserts
 //! the counter did not move.
 //!
+//! A second scenario set proves the same for the **timed link fabric**:
+//! remote single-hop, multi-hop (3-GPU line topology) and PCIe-fallback
+//! (a disconnected fourth GPU) accesses with `FabricConfig::nvlink_v1()`
+//! enabled — route lookups are precomputed slices and link occupancy is a
+//! fixed array, so the fabric adds zero steady-state allocations.
+//!
 //! Everything lives in one `#[test]` because the counter is global and the
 //! libtest harness runs separate tests on concurrent threads.
 
 use gpubox_sim::{
-    Agent, Engine, GpuId, MultiGpuSystem, Op, OpResult, ProbeStage, ProcessId, SchedulerKind,
-    SystemConfig, VirtAddr,
+    Agent, Engine, FabricConfig, GpuId, MultiGpuSystem, Op, OpResult, ProbeStage, ProcessId,
+    SchedulerKind, SystemConfig, Topology, VirtAddr,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -89,6 +95,12 @@ fn engine_steady_state_loop_is_allocation_free() {
             "engine steady-state loop allocated {allocs} times \
              (scheduler {kind:?}, {agents} agents)"
         );
+        let allocs = fabric_steady_state_allocs(kind, agents);
+        assert_eq!(
+            allocs, 0,
+            "fabric-enabled steady-state loop allocated {allocs} times \
+             (scheduler {kind:?}, {agents} agents)"
+        );
     }
 }
 
@@ -111,7 +123,45 @@ fn steady_state_allocs(kind: SchedulerKind, agents: usize) -> u64 {
         let lines: Vec<VirtAddr> = (0..16).map(|i| buf.offset(i * 4096)).collect();
         plans.push((pid, lines, (a as u64) * 37));
     }
+    measure(sys, kind, plans)
+}
 
+/// As [`steady_state_allocs`], on a fabric-enabled 4-GPU box whose
+/// topology is a 0-1-2 NVLink line plus a disconnected GPU3: agents
+/// cycle through local (GPU0→GPU0), direct-link (GPU1→GPU0), two-hop
+/// (GPU2→GPU0) and PCIe-fallback (GPU3→GPU0) issuers, so every fabric
+/// traversal shape runs under the counting allocator.
+fn fabric_steady_state_allocs(kind: SchedulerKind, agents: usize) -> u64 {
+    let mut cfg = SystemConfig::small_test()
+        .noiseless()
+        .with_fabric(FabricConfig::nvlink_v1());
+    cfg.num_gpus = 4;
+    cfg.topology = Topology::from_edges(4, &[(0, 1), (1, 2)]);
+    cfg.allow_indirect_peer = true;
+    let mut sys = MultiGpuSystem::new(cfg);
+    let pids: Vec<ProcessId> = (0..4)
+        .map(|g| sys.create_process(GpuId::new(g)))
+        .collect();
+    for &pid in &pids[1..] {
+        sys.enable_peer_access(pid, GpuId::new(0)).unwrap();
+    }
+
+    let mut plans = Vec::new();
+    for a in 0..agents {
+        let pid = pids[a % 4];
+        let buf = sys.malloc_on(pid, GpuId::new(0), 16 * 4096).unwrap();
+        let lines: Vec<VirtAddr> = (0..16).map(|i| buf.offset(i * 4096)).collect();
+        plans.push((pid, lines, (a as u64) * 37));
+    }
+    measure(sys, kind, plans)
+}
+
+/// Warm-up run, snapshot, measured run; returns the measured count.
+fn measure(
+    mut sys: MultiGpuSystem,
+    kind: SchedulerKind,
+    plans: Vec<(ProcessId, Vec<VirtAddr>, u64)>,
+) -> u64 {
     let mut eng = Engine::with_scheduler(&mut sys, kind);
     for (pid, lines, start) in plans {
         eng.add_agent(

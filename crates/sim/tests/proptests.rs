@@ -44,6 +44,47 @@ impl RefLru {
     }
 }
 
+/// Decodes an edge set for `n` nodes from a bitmask over the n*(n-1)/2
+/// possible undirected edges (canonical order).
+fn edges_from_mask(n: u8, mask: u32) -> Vec<(u8, u8)> {
+    let mut edges = Vec::new();
+    let mut k = 0u32;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if mask & (1 << (k % 28)) != 0 {
+                edges.push((i, j));
+            }
+            k += 1;
+        }
+    }
+    edges
+}
+
+/// Independent all-pairs BFS over an edge list (the reference the
+/// topology's precomputed paths are checked against).
+fn reference_bfs(n: u8, edges: &[(u8, u8)]) -> Vec<Vec<Option<u32>>> {
+    let nn = n as usize;
+    let mut adj = vec![vec![false; nn]; nn];
+    for &(a, b) in edges {
+        adj[a as usize][b as usize] = true;
+        adj[b as usize][a as usize] = true;
+    }
+    let mut dist = vec![vec![None; nn]; nn];
+    for (s, row) in dist.iter_mut().enumerate() {
+        row[s] = Some(0u32);
+        let mut q = VecDeque::from([s]);
+        while let Some(u) = q.pop_front() {
+            for v in 0..nn {
+                if adj[u][v] && row[v].is_none() {
+                    row[v] = Some(row[u].unwrap() + 1);
+                    q.push_back(v);
+                }
+            }
+        }
+    }
+    dist
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -99,6 +140,93 @@ proptest! {
         if a != b {
             let h = t.nvlink_hops(ga, gb).expect("connected");
             prop_assert!((1..=2).contains(&h), "hops {} out of range", h);
+        }
+    }
+
+    /// On arbitrary link graphs, every resolved path is a valid walk of
+    /// the right length (= an independently recomputed BFS distance),
+    /// the reverse direction reuses the same links reversed, and pairs
+    /// with no NVLink path fall back to PCIe with an empty path.
+    #[test]
+    fn link_paths_shortest_symmetric_walks(n in 2u8..=8, mask in 0u32..(1 << 28)) {
+        let edges = edges_from_mask(n, mask);
+        let t = Topology::from_edges(n, &edges);
+        let dist = reference_bfs(n, &edges);
+        for a in 0..n {
+            for b in 0..n {
+                let (ga, gb) = (GpuId::new(a), GpuId::new(b));
+                let p = t.path(ga, gb);
+                match dist[a as usize][b as usize] {
+                    Some(d) if a != b => {
+                        prop_assert_eq!(t.nvlink_hops(ga, gb), Some(d));
+                        prop_assert_eq!(p.len() as u32, d, "path not shortest");
+                        prop_assert_eq!(t.route(ga, gb).kind, gpubox_sim::LinkKind::NvLink);
+                        // Valid walk a -> b over existing links.
+                        let mut cur = ga;
+                        for &l in p {
+                            let (x, y) = t.link_endpoints(l).expect("link exists");
+                            prop_assert!(cur == x || cur == y, "walk broke at {}", cur);
+                            cur = if cur == x { y } else { x };
+                        }
+                        prop_assert_eq!(cur, gb, "walk must end at the destination");
+                        // Symmetry: same links, reversed order.
+                        let mut rev: Vec<_> = t.path(gb, ga).to_vec();
+                        rev.reverse();
+                        prop_assert_eq!(p, &rev[..]);
+                    }
+                    Some(_) => {
+                        // a == b: local route, no links.
+                        prop_assert!(p.is_empty());
+                        prop_assert_eq!(t.route(ga, gb).kind, gpubox_sim::LinkKind::Local);
+                    }
+                    None => {
+                        prop_assert!(p.is_empty());
+                        prop_assert_eq!(t.route(ga, gb).kind, gpubox_sim::LinkKind::Pcie);
+                        prop_assert_eq!(t.nvlink_hops(ga, gb), None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The indirect-peer policy knob decides what happens on pairs
+    /// without a direct link: refused when off (the DGX-1 runtime
+    /// behaviour), granted and routed (multi-hop NVLink or PCIe
+    /// fallback) when on — and the access's oracle reports the
+    /// route the topology resolved.
+    #[test]
+    fn peer_knob_governs_indirect_routes(n in 2u8..=6, mask in 0u32..(1 << 15), seed in 0u64..500) {
+        let edges = edges_from_mask(n, mask);
+        let t = Topology::from_edges(n, &edges);
+        // Find an indirect pair (no direct link), if the graph has one.
+        let pair = (0..n)
+            .flat_map(|a| (0..n).map(move |b| (a, b)))
+            .find(|&(a, b)| a != b && !t.direct_nvlink(GpuId::new(a), GpuId::new(b)));
+        if let Some((a, b)) = pair {
+            let mut cfg = SystemConfig::small_test().with_seed(seed).noiseless();
+            cfg.num_gpus = n;
+            cfg.topology = Topology::from_edges(n, &edges);
+
+            // Knob off: the runtime refuses the pair.
+            let mut sys = MultiGpuSystem::new(cfg.clone());
+            let p = sys.create_process(GpuId::new(a));
+            prop_assert_eq!(
+                sys.enable_peer_access(p, GpuId::new(b)),
+                Err(gpubox_sim::SimError::PeerAccessUnavailable {
+                    from: GpuId::new(a),
+                    to: GpuId::new(b),
+                })
+            );
+
+            // Knob on: granted, and accesses take the resolved route.
+            cfg.allow_indirect_peer = true;
+            let mut sys = MultiGpuSystem::new(cfg);
+            let p = sys.create_process(GpuId::new(a));
+            sys.enable_peer_access(p, GpuId::new(b)).unwrap();
+            let buf = sys.malloc_on(p, GpuId::new(b), 4096).unwrap();
+            let acc = sys.access(p, sys.default_agent(p), buf, 0, None).unwrap();
+            let expected = sys.config().topology.route(GpuId::new(a), GpuId::new(b));
+            prop_assert_eq!(acc.oracle.route, expected);
         }
     }
 
