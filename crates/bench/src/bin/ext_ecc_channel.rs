@@ -4,11 +4,18 @@
 //! sets). Layering Hamming(7,4) over the channel trades 4/7 of the rate
 //! for single-error correction per codeword — pushing residual errors
 //! down even at aggressive set counts.
+//!
+//! Since PR 4 the coding layer is a first-class [`Coding`] stage of the
+//! channel [`Pipeline`]: the same `transmit_over` call runs raw or coded
+//! on any medium, and the report's `ecc_corrections` counts the repairs.
 
 use gpubox_attacks::covert::bits_from_bytes;
-use gpubox_attacks::covert::ecc::{deinterleave, ecc_decode, ecc_encode, interleave, ECC_RATE};
-use gpubox_attacks::{transmit, ChannelParams};
+use gpubox_attacks::covert::ecc::ECC_RATE;
+use gpubox_attacks::{
+    transmit, transmit_over, ChannelMedium, ChannelParams, Coding, L2SetMedium, Pipeline,
+};
 use gpubox_bench::{report, AttackSetup};
+use gpubox_sim::SchedulerKind;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -26,7 +33,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for &k in &[4usize, 8, 16] {
-        // Raw transmission.
+        // Raw transmission (the medium's default pipeline, no coding).
         let raw = transmit(
             &mut setup.sys,
             setup.trojan,
@@ -38,36 +45,38 @@ fn main() {
         )
         .expect("raw transmission");
 
-        // Coded + interleaved transmission: spread congestion bursts over
-        // many codewords, then correct.
-        let coded = ecc_encode(&data_bits);
-        let depth = 64;
-        let sent = interleave(&coded, depth);
-        let coded_rep = transmit(
+        // The same medium with a coding stage: Hamming(7,4) behind a
+        // depth-64 block interleaver, so congestion bursts spread over
+        // many codewords before single-error correction runs.
+        let medium = L2SetMedium {
+            trojan: setup.trojan,
+            spy: setup.spy,
+            pairs: &pairs[..k],
+            thresholds: setup.thresholds,
+        };
+        let pipeline = Pipeline {
+            decoder: medium.default_decoder(),
+            coding: Coding::Hamming74 { interleave_depth: 64 },
+        };
+        let coded = transmit_over(
             &mut setup.sys,
-            setup.trojan,
-            setup.spy,
-            &pairs[..k],
-            &sent,
+            &medium,
+            &data_bits,
             &params,
-            setup.thresholds,
+            &pipeline,
+            SchedulerKind::Auto,
         )
         .expect("coded transmission");
-        let received = deinterleave(&coded_rep.received, depth, coded.len());
-        let (decoded, corrections) = ecc_decode(&received, data_bits.len());
-        let residual = decoded
-            .iter()
-            .zip(&data_bits)
-            .filter(|(a, b)| a != b)
-            .count() as f64
-            / data_bits.len() as f64;
 
         rows.push((
             k,
             format!("{:.2}%", raw.error_rate * 100.0),
-            format!("{:.3}% ({corrections} fixed)", residual * 100.0),
+            format!(
+                "{:.3}% ({} fixed)",
+                coded.error_rate * 100.0,
+                coded.ecc_corrections
+            ),
         ));
-        let _ = ECC_RATE;
     }
     report::table3(("sets", "raw error", "coded+interleaved residual"), &rows);
     println!(

@@ -9,6 +9,11 @@ use gpubox_attacks::covert::{bits_from_bytes, bytes_from_bits};
 use gpubox_attacks::{transmit, ChannelParams};
 use gpubox_bench::{report, AttackSetup};
 
+/// Golden `(bit_errors, fnv1a(received), duration_cycles)` captured at
+/// the PR 3 HEAD (commit af72b35): the unified pipeline's `transmit`
+/// wrapper must reproduce the pre-pipeline decode bit-for-bit.
+const GOLDEN: (usize, u64, u64) = (0, 0x6efe_f0d3_d812_3d07, 3_336_100);
+
 fn main() {
     report::header(
         "Fig. 10 — cross-GPU covert message received by the spy",
@@ -27,6 +32,12 @@ fn main() {
         setup.thresholds,
     )
     .expect("transmission");
+
+    assert_eq!(
+        (rep.bit_errors, report::fnv1a_bits(&rep.received), rep.duration_cycles),
+        GOLDEN,
+        "decoded stream diverged from the PR 3 golden"
+    );
 
     let received = bytes_from_bits(&rep.received);
     println!("\nsent:     {:?}", String::from_utf8_lossy(message));

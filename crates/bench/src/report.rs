@@ -34,6 +34,18 @@ pub fn table3<A: Display, B: Display, C: Display>(cols: (&str, &str, &str), rows
     }
 }
 
+/// FNV-1a fold over a bit stream — the payload fingerprint the figure
+/// binaries assert against goldens captured at earlier PR HEADs. One
+/// definition so every binary's fingerprints stay comparable.
+pub fn fnv1a_bits(bits: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bits {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
 /// Renders an ASCII bar of `value` scaled to `max` over `width` chars.
 pub fn bar(value: f64, max: f64, width: usize) -> String {
     let n = if max > 0.0 {

@@ -5,7 +5,7 @@ use gpubox_attacks::timing_re::measure_timing;
 use gpubox_attacks::{
     align_classes, classify_pages, AlignmentConfig, Locality, PageClasses, SetPair, Thresholds,
 };
-use gpubox_sim::{GpuId, MultiGpuSystem, ProcessCtx, ProcessId, SystemConfig};
+use gpubox_sim::{FabricConfig, GpuId, MultiGpuSystem, ProcessCtx, ProcessId, SystemConfig};
 
 /// The standard experiment scale: attacker buffers of this many bytes on
 /// the target GPU (256 pages of 64 KiB → ~64 pages per alignment class).
@@ -43,6 +43,29 @@ impl AttackSetup {
             GpuId::new(0),
             GpuId::new(1),
         )
+    }
+
+    /// The **fabric-enabled** prepare path: a DGX-1 with the timed
+    /// per-link interconnect on ([`FabricConfig::nvlink_v1`]) and
+    /// indirect peer routing allowed, so multi-hop GPU pairs work and
+    /// remote traffic pays real per-link occupancy. This is the
+    /// one-config base on which both channel families — Prime+Probe
+    /// over shared L2 sets and NVLink-link congestion — can be staged
+    /// and compared head-to-head (`ext_two_hop_channel`).
+    ///
+    /// The offline reverse-engineering phase runs with the fabric
+    /// already enabled, so the derived thresholds absorb the link
+    /// serialisation the same way a real attacker's calibration would.
+    ///
+    /// # Panics
+    ///
+    /// Panics on simulator errors.
+    pub fn prepare_fabric(seed: u64, trojan_gpu: GpuId, spy_gpu: GpuId) -> Self {
+        let mut cfg = SystemConfig::dgx1()
+            .with_seed(seed)
+            .with_fabric(FabricConfig::nvlink_v1());
+        cfg.allow_indirect_peer = true;
+        Self::prepare_between(cfg, trojan_gpu, spy_gpu)
     }
 
     /// As [`AttackSetup::prepare`], for an arbitrary configuration and
@@ -260,6 +283,25 @@ mod tests {
                 .sys
                 .oracle_set_of(setup.spy, p.spy.lines()[0])
                 .unwrap();
+            assert_eq!(t, s, "pair must share a physical set");
+        }
+    }
+
+    #[test]
+    fn fabric_setup_pairs_multi_hop_gpus() {
+        // GPU0 and GPU5 sit in different quads with no direct link: the
+        // fabric-enabled path must still align sets across the 2-hop
+        // route (and would panic at `enable_peer_access` without
+        // `allow_indirect_peer`).
+        let mut setup = AttackSetup::prepare_fabric(77, GpuId::new(0), GpuId::new(5));
+        assert!(setup.sys.fabric_enabled());
+        let pairs = setup.aligned_pairs(2);
+        for p in &pairs {
+            let t = setup
+                .sys
+                .oracle_set_of(setup.trojan, p.trojan.lines()[0])
+                .unwrap();
+            let s = setup.sys.oracle_set_of(setup.spy, p.spy.lines()[0]).unwrap();
             assert_eq!(t, s, "pair must share a physical set");
         }
     }

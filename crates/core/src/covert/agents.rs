@@ -93,6 +93,25 @@ impl SpyTrace {
         self.0.borrow().clone()
     }
 
+    /// Pre-reserves capacity for `n` further samples. Trace growth is
+    /// amortised-O(1) either way; reserving up front makes the engine
+    /// loop strictly allocation-free, which the covert alloc-free test
+    /// asserts with a counting global allocator.
+    pub fn reserve(&self, n: usize) {
+        self.0.borrow_mut().reserve(n);
+    }
+
+    /// Samples recorded so far (for capacity estimation without
+    /// cloning).
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    /// Whether no samples have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+
     /// Appends one sample (shared with the link-congestion spy).
     pub(super) fn push(&self, s: ProbeSample) {
         self.0.borrow_mut().push(s);

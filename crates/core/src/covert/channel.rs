@@ -1,19 +1,17 @@
 //! End-to-end covert transmission and measurement (Fig. 9 / Fig. 10),
 //! for both channel families: Prime+Probe over a shared L2 set
 //! ([`transmit`]) and NVLink-link congestion over the timed fabric
-//! ([`transmit_link`]).
+//! ([`transmit_link`]). Both are thin wrappers over the
+//! transport-agnostic [`transmit_over`] pipeline — kept bit-identical
+//! to their pre-pipeline (PR 3) implementations, asserted by the golden
+//! fingerprints in `tests/channel_fingerprints.rs`.
 
-use super::agents::{SpyProbeAgent, SpyTrace, TrojanAgent};
-use super::link_agents::{LinkSpyAgent, LinkTrojanAgent};
-use super::protocol::{
-    decode_trace, decode_trace_with_boundary, robust_boundary, stripe_bits, unstripe_bits,
-    ChannelParams, ProbeSample,
-};
+use super::medium::{transmit_over, ChannelMedium, L2SetMedium, LinkCongestionMedium};
+use super::pipeline::{Coding, Pipeline};
+use super::protocol::{ChannelParams, ProbeSample};
 use crate::eviction::EvictionSet;
 use crate::thresholds::Thresholds;
-use gpubox_sim::{
-    Engine, MultiGpuSystem, ProcessId, SchedulerKind, SimError, SimResult, VirtAddr,
-};
+use gpubox_sim::{Engine, MultiGpuSystem, ProcessId, SchedulerKind, SimResult, VirtAddr};
 
 /// One aligned (trojan, spy) eviction-set pair (from
 /// [`crate::alignment::paired_sets`]).
@@ -28,26 +26,43 @@ pub struct SetPair {
 /// Outcome of one covert transmission.
 #[derive(Debug, Clone)]
 pub struct ChannelReport {
-    /// Bits handed to the transmitter (payload only, pre-striping).
+    /// Bits handed to the transmitter (payload only — before the
+    /// pipeline's coding stage, before striping).
     pub sent: Vec<u8>,
-    /// Bits recovered by the receiver.
+    /// Bits recovered by the receiver (after decoding and the coding
+    /// stage's correction).
     pub received: Vec<u8>,
     /// Hamming distance between sent and received.
     pub bit_errors: usize,
     /// `bit_errors / sent.len()`.
     pub error_rate: f64,
-    /// Cycles from first to last activity.
+    /// Cycles from first to last activity (the engine's end-of-run
+    /// clock, including the post-listen grace period).
     pub duration_cycles: u64,
-    /// Payload bandwidth in bytes per second at the configured core clock.
+    /// The spy's listen horizon — the true transmission window, and the
+    /// span bandwidth is measured over.
+    pub listen_cycles: u64,
+    /// Payload bandwidth in bytes per second at the configured core
+    /// clock, measured over the **listen span** for every medium. (The
+    /// L2 channel historically divided by the engine's end-of-run clock
+    /// instead, deflating Fig. 9-style numbers by the grace slots; the
+    /// decoded bits are unaffected.)
     pub bandwidth_bytes_per_sec: f64,
-    /// Raw per-set spy traces (set index → probe samples), e.g. for the
-    /// Fig. 10 message trace.
+    /// Codeword corrections applied by the pipeline's coding stage (0
+    /// without coding).
+    pub ecc_corrections: usize,
+    /// Raw per-lane spy traces (lane index → probe samples), e.g. for
+    /// the Fig. 10 message trace.
     pub traces: Vec<Vec<ProbeSample>>,
 }
 
 /// Transmits `payload` bits from `trojan_pid` to `spy_pid` over the given
 /// aligned set pairs (bits striped round-robin across pairs) and decodes
 /// the spy's observations.
+///
+/// Equivalent to [`transmit_over`] with an [`L2SetMedium`] and that
+/// medium's default pipeline (2-means boundary, per-sample vote, no
+/// coding).
 ///
 /// # Errors
 ///
@@ -62,48 +77,17 @@ pub fn transmit(
     thresholds: Thresholds,
 ) -> SimResult<ChannelReport> {
     assert!(!pairs.is_empty(), "need at least one aligned set pair");
-    let k = pairs.len();
-    let stripes = stripe_bits(payload, k);
-
-    // Frame length decides how long the spy must listen.
-    let max_frame = stripes.iter().map(Vec::len).max().unwrap_or(0) + params.preamble_bits;
-    let listen = (max_frame as u64 + 4) * params.slot_cycles;
-
-    let mut eng = Engine::new(sys);
-    let mut traces: Vec<SpyTrace> = Vec::with_capacity(k);
-    for (i, pair) in pairs.iter().enumerate() {
-        let frame = params.frame(&stripes[i]);
-        let trojan = TrojanAgent::new(trojan_pid, &pair.trojan, frame, params);
-        let spy = SpyProbeAgent::new(spy_pid, &pair.spy, thresholds, params, listen);
-        traces.push(spy.trace());
-        // The spy starts slightly before the trojan (it must be listening
-        // when the preamble begins); the stagger also models independent
-        // process launches.
-        eng.add_agent(Box::new(spy), 0);
-        eng.add_agent(Box::new(trojan), params.slot_cycles / 2 + 37 * i as u64);
-    }
-    let end = eng.run(listen + 16 * params.slot_cycles)?;
-
-    let mut decoded_stripes = Vec::with_capacity(k);
-    let mut sample_traces = Vec::with_capacity(k);
-    for (i, t) in traces.iter().enumerate() {
-        let samples = t.samples();
-        let dec = decode_trace(&samples, params, stripes[i].len());
-        decoded_stripes.push(dec.payload);
-        sample_traces.push(samples);
-    }
-    let received = unstripe_bits(&decoded_stripes, payload.len());
-    let bit_errors = received.iter().zip(payload).filter(|(a, b)| a != b).count();
-    let secs = sys.latency_model().cycles_to_seconds(end);
-    Ok(ChannelReport {
-        sent: payload.to_vec(),
-        received,
-        bit_errors,
-        error_rate: bit_errors as f64 / payload.len().max(1) as f64,
-        duration_cycles: end,
-        bandwidth_bytes_per_sec: payload.len() as f64 / 8.0 / secs,
-        traces: sample_traces,
-    })
+    let medium = L2SetMedium {
+        trojan: trojan_pid,
+        spy: spy_pid,
+        pairs,
+        thresholds,
+    };
+    let pipeline = Pipeline {
+        decoder: medium.default_decoder(),
+        coding: Coding::None,
+    };
+    transmit_over(sys, &medium, payload, params, &pipeline, SchedulerKind::Auto)
 }
 
 /// Physical layer of one [`transmit_link`] transmission.
@@ -122,10 +106,9 @@ pub struct LinkChannel<'a> {
     pub trojan_streams: usize,
 }
 
-/// Stages one link-congestion transmission on `sys`: warms both working
-/// sets (so in-band samples measure link queueing, not cold misses — the
-/// Prime+Probe channel gets the same effect from its discovery phase),
-/// builds an engine under `sched`, and wires the spy at start 0 plus
+/// Stages one link-congestion transmission on `sys` through the
+/// [`LinkCongestionMedium`]: warms both working sets, builds an engine
+/// under `sched`, and wires the spy at start 0 plus
 /// `trojan_streams` staggered trojan streams, all sending the framed
 /// `payload`. Returns the engine, the spy's trace handle and the spy's
 /// listen horizon; the caller may add further agents (the sweep binary
@@ -135,9 +118,9 @@ pub struct LinkChannel<'a> {
 ///
 /// # Errors
 ///
-/// Returns [`SimError::FabricDisabled`] when the system was booted
-/// without the timed link fabric — the scalar interconnect model has no
-/// per-link occupancy for this channel to modulate.
+/// Returns [`gpubox_sim::SimError::FabricDisabled`] when the system was
+/// booted without the timed link fabric — the scalar interconnect model
+/// has no per-link occupancy for this channel to modulate.
 pub fn prepare_link_channel<'a>(
     sys: &'a mut MultiGpuSystem,
     trojan_pid: ProcessId,
@@ -146,36 +129,17 @@ pub fn prepare_link_channel<'a>(
     payload: &[u8],
     params: &ChannelParams,
     sched: SchedulerKind,
-) -> SimResult<(Engine<'a>, SpyTrace, u64)> {
-    if !sys.fabric_enabled() {
-        return Err(SimError::FabricDisabled);
-    }
-    assert!(channel.trojan_streams >= 1, "need at least one trojan stream");
-    assert!(
-        !channel.trojan_lines.is_empty() && !channel.spy_lines.is_empty(),
-        "need transfer lines on both sides"
-    );
+) -> SimResult<(Engine<'a>, super::agents::SpyTrace, u64)> {
+    let medium = LinkCongestionMedium {
+        trojan: trojan_pid,
+        spy: spy_pid,
+        channel: channel.clone(),
+    };
     let frame = params.frame(payload);
     let listen = (frame.len() as u64 + 4) * params.slot_cycles;
-
-    let mut scratch = Vec::new();
-    let ta = sys.default_agent(trojan_pid);
-    sys.access_batch_into(trojan_pid, ta, channel.trojan_lines, 0, &mut scratch)?;
-    let sa = sys.default_agent(spy_pid);
-    scratch.clear();
-    sys.access_batch_into(spy_pid, sa, channel.spy_lines, 0, &mut scratch)?;
-
+    medium.prepare(sys)?;
     let mut eng = Engine::with_scheduler(sys, sched);
-    let spy = LinkSpyAgent::new(spy_pid, channel.spy_lines, params, listen);
-    let trace = spy.trace();
-    // The spy starts slightly before the trojan (it must be listening
-    // when the preamble begins); trojan streams stagger like independent
-    // thread-block launches.
-    eng.add_agent(Box::new(spy), 0);
-    for s in 0..channel.trojan_streams {
-        let trojan = LinkTrojanAgent::new(trojan_pid, channel.trojan_lines, frame.clone(), params);
-        eng.add_agent(Box::new(trojan), params.slot_cycles / 2 + 37 * s as u64);
-    }
+    let trace = medium.install_lane(&mut eng, 0, &frame, params, listen);
     Ok((eng, trace, listen))
 }
 
@@ -183,8 +147,10 @@ pub fn prepare_link_channel<'a>(
 /// **link congestion** on the timed fabric: the trojan saturates the
 /// links on its route during `1` slots; the spy streams its own buffer
 /// and decodes from its own per-probe mean latency (no shared cache
-/// set). Framing, phase lock and the adaptive decode boundary are the
-/// same protocol machinery as [`transmit`].
+/// set). Framing, phase lock and decoding are the same pipeline
+/// machinery as [`transmit`]; this medium's default pipeline anchors
+/// the decision boundary on robust quantiles (the congested level is a
+/// heavy tail, not a second tight cluster).
 ///
 /// `sched` forces an engine scheduler; [`SchedulerKind::Auto`] is the
 /// normal choice, and the sweep binaries assert heap and linear produce
@@ -192,9 +158,9 @@ pub fn prepare_link_channel<'a>(
 ///
 /// # Errors
 ///
-/// Returns [`SimError::FabricDisabled`] when the system was booted
-/// without the timed link fabric. Propagates simulator errors from
-/// either side.
+/// Returns [`gpubox_sim::SimError::FabricDisabled`] when the system was
+/// booted without the timed link fabric. Propagates simulator errors
+/// from either side.
 pub fn transmit_link(
     sys: &mut MultiGpuSystem,
     trojan_pid: ProcessId,
@@ -204,34 +170,26 @@ pub fn transmit_link(
     params: &ChannelParams,
     sched: SchedulerKind,
 ) -> SimResult<ChannelReport> {
-    let (mut eng, trace, listen) =
-        prepare_link_channel(sys, trojan_pid, spy_pid, channel, payload, params, sched)?;
-    let end = eng.run(listen + 16 * params.slot_cycles)?;
-    drop(eng);
-
-    let samples = trace.samples();
-    let boundary = robust_boundary(&samples);
-    let received = decode_trace_with_boundary(&samples, params, payload.len(), boundary).payload;
-    let bit_errors = received.iter().zip(payload).filter(|(a, b)| a != b).count();
-    let secs = sys.latency_model().cycles_to_seconds(end);
-    Ok(ChannelReport {
-        sent: payload.to_vec(),
-        received,
-        bit_errors,
-        error_rate: bit_errors as f64 / payload.len().max(1) as f64,
-        duration_cycles: end,
-        bandwidth_bytes_per_sec: payload.len() as f64 / 8.0 / secs,
-        traces: vec![samples],
-    })
+    let medium = LinkCongestionMedium {
+        trojan: trojan_pid,
+        spy: spy_pid,
+        channel: channel.clone(),
+    };
+    let pipeline = Pipeline {
+        decoder: medium.default_decoder(),
+        coding: Coding::None,
+    };
+    transmit_over(sys, &medium, payload, params, &pipeline, sched)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::alignment::{align_classes, paired_sets, AlignmentConfig};
+    use crate::covert::pipeline::{BoundaryPolicy, Decoder};
     use crate::covert::protocol::bits_from_bytes;
     use crate::eviction::{classify_pages, Locality};
-    use gpubox_sim::{FabricConfig, GpuId, ProcessCtx, SystemConfig};
+    use gpubox_sim::{FabricConfig, GpuId, ProcessCtx, SimError, SystemConfig};
 
     fn channel_fixture(noiseless: bool) -> (MultiGpuSystem, ProcessId, ProcessId, Vec<SetPair>) {
         let cfg = if noiseless {
@@ -288,6 +246,8 @@ mod tests {
         .unwrap();
         assert_eq!(report.bit_errors, 0, "received {:?}", report.received);
         assert!(report.bandwidth_bytes_per_sec > 0.0);
+        assert_eq!(report.ecc_corrections, 0, "no coding stage configured");
+        assert!(report.listen_cycles <= report.duration_cycles);
     }
 
     #[test]
@@ -325,6 +285,33 @@ mod tests {
             .unwrap()
             .bandwidth_bytes_per_sec;
         assert!(bw4 > bw1 * 2.0, "bw1={bw1} bw4={bw4}");
+    }
+
+    /// Any decoder/coding combination runs on the L2 medium through the
+    /// generic pipeline — here the matched filter plus Hamming(7,4).
+    #[test]
+    fn pipeline_combinations_run_on_the_l2_medium() {
+        let (mut sys, trojan, spy, pairs) = channel_fixture(true);
+        let payload = bits_from_bytes(b"any stack on any medium");
+        let medium = L2SetMedium {
+            trojan,
+            spy,
+            pairs: &pairs[..4],
+            thresholds: Thresholds::paper_defaults(),
+        };
+        let pipeline = Pipeline::matched_filter(BoundaryPolicy::TwoMeans)
+            .with_coding(Coding::Hamming74 { interleave_depth: 8 });
+        let report = transmit_over(
+            &mut sys,
+            &medium,
+            &payload,
+            &ChannelParams::default(),
+            &pipeline,
+            SchedulerKind::Auto,
+        )
+        .unwrap();
+        assert_eq!(report.bit_errors, 0, "received {:?}", report.received);
+        assert_eq!(report.sent, payload, "report carries the data bits, not the code bits");
     }
 
     /// Trojan and spy processes on GPU1 with disjoint buffers homed on
@@ -379,6 +366,34 @@ mod tests {
         // The spy never observed cache state: every sample reports zero
         // misses; decoding ran purely on transfer latency.
         assert!(report.traces[0].iter().all(|s| s.misses == 0));
+    }
+
+    /// The matched filter also decodes the link medium through the
+    /// generic pipeline — any decoder on any medium.
+    #[test]
+    fn matched_filter_decodes_the_link_medium() {
+        let params = link_params();
+        let (mut sys, trojan, spy, tl, sl) = link_fixture(&params);
+        let payload = bits_from_bytes(b"soft slots");
+        let medium = LinkCongestionMedium {
+            trojan,
+            spy,
+            channel: LinkChannel {
+                trojan_lines: &tl,
+                spy_lines: &sl,
+                trojan_streams: 3,
+            },
+        };
+        let report = transmit_over(
+            &mut sys,
+            &medium,
+            &payload,
+            &params,
+            &Pipeline::matched_filter(BoundaryPolicy::Quantile),
+            SchedulerKind::Auto,
+        )
+        .unwrap();
+        assert_eq!(report.bit_errors, 0, "received {:?}", report.received);
     }
 
     #[test]
@@ -471,5 +486,29 @@ mod tests {
             "zero-level {}",
             avg(&zeros)
         );
+    }
+
+    /// The per-medium default decoders match what the PR 3 wrappers
+    /// hard-wired.
+    #[test]
+    fn media_defaults_match_their_distribution_shapes() {
+        let pairs: Vec<SetPair> = Vec::new();
+        let l2 = L2SetMedium {
+            trojan: ProcessId(0),
+            spy: ProcessId(1),
+            pairs: &pairs,
+            thresholds: Thresholds::paper_defaults(),
+        };
+        assert_eq!(l2.default_decoder(), Decoder::Vote(BoundaryPolicy::TwoMeans));
+        let link = LinkCongestionMedium {
+            trojan: ProcessId(0),
+            spy: ProcessId(1),
+            channel: LinkChannel {
+                trojan_lines: &[],
+                spy_lines: &[],
+                trojan_streams: 1,
+            },
+        };
+        assert_eq!(link.default_decoder(), Decoder::Vote(BoundaryPolicy::Quantile));
     }
 }

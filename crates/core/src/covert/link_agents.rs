@@ -17,11 +17,15 @@
 //! windows and the per-probe mean latency jumps by hundreds of cycles.
 //!
 //! Framing, slot pacing and decoding are shared with the Prime+Probe
-//! channel: the same alternating preamble locks the slot phase and the
-//! adaptive 2-means boundary of [`crate::covert::decode_trace`]
-//! separates the two latency levels without any calibrated threshold —
-//! under congestion both levels shift up together, which the clustering
-//! cancels.
+//! channel through the unified pipeline
+//! ([`crate::covert::transmit_over`]): the same alternating preamble
+//! locks the slot phase, and this medium's default decoder anchors its
+//! decision boundary on robust quantiles
+//! ([`crate::covert::BoundaryPolicy::Quantile`]) because the congested
+//! level is a heavy queue-wait tail rather than a second tight cluster;
+//! the matched filter ([`crate::covert::Decoder::MatchedFilter`]) runs
+//! on the same traces when tenant noise pushes the vote decoder's error
+//! floor up.
 
 use super::agents::SpyTrace;
 use super::protocol::{ChannelParams, ProbeSample};

@@ -1,0 +1,273 @@
+//! Transport abstraction for the covert stack: a [`ChannelMedium`] owns
+//! *what contends* (shared L2 sets, or a shared NVLink link), while the
+//! generic [`transmit_over`] owns everything transport-independent —
+//! framing, striping across lanes, agent scheduling, the listen horizon
+//! and the report.
+//!
+//! Two media implement the paper's two channel families:
+//!
+//! - [`L2SetMedium`] — Prime+Probe over aligned L2 set pairs. One lane
+//!   per pair; payload bits stripe round-robin across lanes (paper
+//!   Sec. IV-B, the Fig. 9 bandwidth axis).
+//! - [`LinkCongestionMedium`] — a bandwidth trojan saturating the links
+//!   of its route and a throughput spy decoding its own transfer
+//!   latency over the timed fabric. A single lane; *trojan streams*
+//!   scale saturation instead of bandwidth.
+//!
+//! The legacy entry points `transmit` and `transmit_link` are thin
+//! wrappers over these media, kept bit-identical to their PR 3
+//! implementations (fingerprint-asserted in
+//! `tests/channel_fingerprints.rs`).
+
+use super::agents::{SpyProbeAgent, SpyTrace, TrojanAgent};
+use super::channel::{ChannelReport, LinkChannel, SetPair};
+use super::link_agents::{LinkSpyAgent, LinkTrojanAgent};
+use super::pipeline::{BoundaryPolicy, Decoder, Pipeline};
+use super::protocol::{stripe_bits, unstripe_bits, ChannelParams};
+use crate::thresholds::Thresholds;
+use gpubox_sim::{Engine, MultiGpuSystem, ProcessId, SchedulerKind, SimError, SimResult};
+
+/// One contended transport the covert protocol can run over.
+///
+/// A medium contributes three things to a transmission: its lane count
+/// (parallel stripes), system-level preparation (resource validation,
+/// warm-up traffic), and the per-lane trojan/spy agent pair. Everything
+/// else — framing, striping, the listen horizon, engine execution,
+/// decoding, reporting — is the same for every medium and lives in
+/// [`transmit_over`].
+pub trait ChannelMedium {
+    /// Number of parallel stripe lanes (≥ 1). Payload bits are striped
+    /// round-robin across lanes; each lane carries its own preamble.
+    fn lanes(&self) -> usize;
+
+    /// Validates the system configuration and issues warm-up traffic
+    /// (runs before the engine is built, so it may use the system
+    /// directly).
+    ///
+    /// # Errors
+    ///
+    /// Medium-specific configuration errors (e.g.
+    /// [`SimError::FabricDisabled`]) and propagated simulator errors.
+    fn prepare(&self, sys: &mut MultiGpuSystem) -> SimResult<()>;
+
+    /// Wires lane `lane`'s transmitter and receiver into the engine:
+    /// the spy listening until `listen`, and the trojan(s) sending
+    /// `frame` (preamble already attached). Returns the spy's trace
+    /// handle.
+    fn install_lane(
+        &self,
+        eng: &mut Engine<'_>,
+        lane: usize,
+        frame: &[u8],
+        params: &ChannelParams,
+        listen: u64,
+    ) -> SpyTrace;
+
+    /// The decoder this medium's legacy wrapper used — the right
+    /// default for its latency distribution shape.
+    fn default_decoder(&self) -> Decoder;
+}
+
+/// Prime+Probe over aligned L2 set pairs (the paper's first channel
+/// family): one lane per pair, trojan priming / spy probing the same
+/// physical set from different GPUs.
+#[derive(Debug, Clone)]
+pub struct L2SetMedium<'a> {
+    /// Trojan process (on the target GPU).
+    pub trojan: ProcessId,
+    /// Spy process.
+    pub spy: ProcessId,
+    /// Aligned set pairs, one lane each.
+    pub pairs: &'a [SetPair],
+    /// Timing thresholds for the spy's miss classification.
+    pub thresholds: Thresholds,
+}
+
+impl ChannelMedium for L2SetMedium<'_> {
+    fn lanes(&self) -> usize {
+        self.pairs.len()
+    }
+
+    fn prepare(&self, _sys: &mut MultiGpuSystem) -> SimResult<()> {
+        assert!(!self.pairs.is_empty(), "need at least one aligned set pair");
+        Ok(())
+    }
+
+    fn install_lane(
+        &self,
+        eng: &mut Engine<'_>,
+        lane: usize,
+        frame: &[u8],
+        params: &ChannelParams,
+        listen: u64,
+    ) -> SpyTrace {
+        let pair = &self.pairs[lane];
+        let trojan = TrojanAgent::new(self.trojan, &pair.trojan, frame.to_vec(), params);
+        let spy = SpyProbeAgent::new(self.spy, &pair.spy, self.thresholds, params, listen);
+        let trace = spy.trace();
+        // The spy starts slightly before the trojan (it must be
+        // listening when the preamble begins); the stagger also models
+        // independent process launches.
+        eng.add_agent(Box::new(spy), 0);
+        eng.add_agent(Box::new(trojan), params.slot_cycles / 2 + 37 * lane as u64);
+        trace
+    }
+
+    fn default_decoder(&self) -> Decoder {
+        // Hit/miss form two tight clusters: 2-means finds the midpoint.
+        Decoder::Vote(BoundaryPolicy::TwoMeans)
+    }
+}
+
+/// NVLink congestion over the timed fabric (the paper's second channel
+/// family): no shared cache state, only a shared link on the two
+/// routes. A single lane; [`LinkChannel::trojan_streams`] concurrent
+/// transmitters drive the link into saturation.
+#[derive(Debug, Clone)]
+pub struct LinkCongestionMedium<'a> {
+    /// Trojan process.
+    pub trojan: ProcessId,
+    /// Spy process.
+    pub spy: ProcessId,
+    /// Physical layer: both sides' transfer lines and the trojan's
+    /// stream count.
+    pub channel: LinkChannel<'a>,
+}
+
+impl ChannelMedium for LinkCongestionMedium<'_> {
+    fn lanes(&self) -> usize {
+        1
+    }
+
+    fn prepare(&self, sys: &mut MultiGpuSystem) -> SimResult<()> {
+        if !sys.fabric_enabled() {
+            return Err(SimError::FabricDisabled);
+        }
+        assert!(
+            self.channel.trojan_streams >= 1,
+            "need at least one trojan stream"
+        );
+        assert!(
+            !self.channel.trojan_lines.is_empty() && !self.channel.spy_lines.is_empty(),
+            "need transfer lines on both sides"
+        );
+        // Warm both working sets so in-band samples measure link
+        // queueing, not cold misses — the Prime+Probe channel gets the
+        // same effect from its discovery phase.
+        let mut scratch = Vec::new();
+        let ta = sys.default_agent(self.trojan);
+        sys.access_batch_into(self.trojan, ta, self.channel.trojan_lines, 0, &mut scratch)?;
+        let sa = sys.default_agent(self.spy);
+        scratch.clear();
+        sys.access_batch_into(self.spy, sa, self.channel.spy_lines, 0, &mut scratch)?;
+        Ok(())
+    }
+
+    fn install_lane(
+        &self,
+        eng: &mut Engine<'_>,
+        _lane: usize,
+        frame: &[u8],
+        params: &ChannelParams,
+        listen: u64,
+    ) -> SpyTrace {
+        let spy = LinkSpyAgent::new(self.spy, self.channel.spy_lines, params, listen);
+        let trace = spy.trace();
+        // The spy starts slightly before the trojan (it must be
+        // listening when the preamble begins); trojan streams stagger
+        // like independent thread-block launches.
+        eng.add_agent(Box::new(spy), 0);
+        for s in 0..self.channel.trojan_streams {
+            let trojan = LinkTrojanAgent::new(
+                self.trojan,
+                self.channel.trojan_lines,
+                frame.to_vec(),
+                params,
+            );
+            eng.add_agent(Box::new(trojan), params.slot_cycles / 2 + 37 * s as u64);
+        }
+        trace
+    }
+
+    fn default_decoder(&self) -> Decoder {
+        // Baseline plus heavy congested tail: quantile anchoring.
+        Decoder::Vote(BoundaryPolicy::Quantile)
+    }
+}
+
+/// The spy's listen horizon for a set of stripes: every lane's frame
+/// plus four slots of slack.
+pub(super) fn listen_horizon(stripes: &[Vec<u8>], params: &ChannelParams) -> u64 {
+    let max_frame = stripes.iter().map(Vec::len).max().unwrap_or(0) + params.preamble_bits;
+    (max_frame as u64 + 4) * params.slot_cycles
+}
+
+/// Transmits `payload` bits over `medium` and decodes them with
+/// `pipeline` — the one generic path both channel families run on.
+///
+/// The sequence is medium-independent: encode the payload through the
+/// pipeline's coding stage, stripe the channel bits round-robin over
+/// the medium's lanes, prepare the medium, wire every lane's agents
+/// into one engine under `sched`, run to the listen horizon plus a
+/// 16-slot grace period, then decode each lane with the pipeline's
+/// decoder stack, reassemble, and strip the coding.
+///
+/// The report's `bandwidth_bytes_per_sec` is measured over the spy's
+/// **listen span** (the true transmission window) for every medium; see
+/// [`ChannelReport::listen_cycles`].
+///
+/// # Errors
+///
+/// Propagates medium preparation and simulator errors.
+///
+/// # Panics
+///
+/// Panics if the medium reports zero lanes.
+pub fn transmit_over(
+    sys: &mut MultiGpuSystem,
+    medium: &dyn ChannelMedium,
+    payload: &[u8],
+    params: &ChannelParams,
+    pipeline: &Pipeline,
+    sched: SchedulerKind,
+) -> SimResult<ChannelReport> {
+    let coded = pipeline.coding.encode(payload);
+    let k = medium.lanes();
+    assert!(k >= 1, "medium must expose at least one lane");
+    let stripes = stripe_bits(&coded, k);
+    let listen = listen_horizon(&stripes, params);
+
+    medium.prepare(sys)?;
+    let mut eng = Engine::with_scheduler(sys, sched);
+    let mut traces: Vec<SpyTrace> = Vec::with_capacity(k);
+    for (lane, stripe) in stripes.iter().enumerate() {
+        let frame = params.frame(stripe);
+        traces.push(medium.install_lane(&mut eng, lane, &frame, params, listen));
+    }
+    let end = eng.run(listen + 16 * params.slot_cycles)?;
+    drop(eng);
+
+    let mut decoded_stripes = Vec::with_capacity(k);
+    let mut sample_traces = Vec::with_capacity(k);
+    for (lane, t) in traces.iter().enumerate() {
+        let samples = t.samples();
+        let dec = pipeline.decoder.decode(&samples, params, stripes[lane].len());
+        decoded_stripes.push(dec.payload);
+        sample_traces.push(samples);
+    }
+    let received_coded = unstripe_bits(&decoded_stripes, coded.len());
+    let (received, ecc_corrections) = pipeline.coding.decode(&received_coded, payload.len());
+    let bit_errors = received.iter().zip(payload).filter(|(a, b)| a != b).count();
+    let secs = sys.latency_model().cycles_to_seconds(listen);
+    Ok(ChannelReport {
+        sent: payload.to_vec(),
+        received,
+        bit_errors,
+        error_rate: bit_errors as f64 / payload.len().max(1) as f64,
+        duration_cycles: end,
+        listen_cycles: listen,
+        bandwidth_bytes_per_sec: payload.len() as f64 / 8.0 / secs,
+        ecc_corrections,
+        traces: sample_traces,
+    })
+}

@@ -1,27 +1,67 @@
-//! The cross-GPU covert channel (paper Sec. IV, Fig. 8/9/10).
+//! The cross-GPU covert channels (paper Sec. IV/V, Fig. 8/9/10), built
+//! as one transport-agnostic pipeline.
 //!
-//! A trojan process on GPU A and a spy process on GPU B communicate
-//! through Prime+Probe contention on individual L2 cache sets of GPU A.
-//! To send a `1` the trojan fills the set (evicting the spy's lines); to
-//! send a `0` it busy-waits on dummy arithmetic. The spy probes its
-//! aligned eviction set continuously: high latency ⇒ miss ⇒ `1`, low
-//! latency ⇒ hit ⇒ `0`.
+//! The paper's core claim is that multi-GPU boxes leak over *several*
+//! media with the same trojan/spy protocol on top. This module is
+//! organised exactly that way — one protocol stack, pluggable media:
 //!
-//! Multiple aligned set pairs carry disjoint bit stripes in parallel
-//! (one thread block per set, paper Sec. IV-B); bandwidth scales with the
-//! number of sets while port contention raises the error rate (Fig. 9).
+//! ```text
+//!   payload bits
+//!        │ Coding          (optional Hamming(7,4) + interleave, ecc.rs)
+//!        ▼
+//!   channel bits ──stripe──► lane frames (preamble ‖ stripe)
+//!        │                        │
+//!        │                        ▼
+//!        │              ChannelMedium::install_lane
+//!        │            ┌───────────┴───────────┐
+//!        │        L2SetMedium          LinkCongestionMedium
+//!        │      (Prime+Probe on        (bandwidth trojan +
+//!        │       aligned L2 sets)       throughput spy on the
+//!        │                              timed NVLink fabric)
+//!        │            └───────────┬───────────┘
+//!        │                        ▼ engine run (shared slot pacing)
+//!        │                   SpyTrace (ProbeSample stream per lane)
+//!        │                        │
+//!        │                        ▼
+//!        │       Decoder: BoundaryPolicy (2-means | quantile) ×
+//!        │                (per-sample Vote | MatchedFilter)
+//!        ▼                        │
+//!   Coding⁻¹ ◄────unstripe────────┘
+//!        │
+//!        ▼
+//!   ChannelReport (bits, errors, listen-span bandwidth, traces)
+//! ```
 //!
-//! The paper's **second channel family** needs no shared cache set at
-//! all: a bandwidth trojan saturates one NVLink link of the timed fabric
-//! and a throughput spy decodes bits from its own transfer latency
-//! ([`transmit_link`], [`LinkTrojanAgent`], [`LinkSpyAgent`]). Both
-//! families share the same slotted framing, preamble phase lock and
-//! adaptive decode boundary ([`ChannelParams`], [`decode_trace`]).
+//! - **Media** ([`medium`]): a [`ChannelMedium`] owns what contends —
+//!   [`L2SetMedium`] primes/probes aligned L2 set pairs (one stripe
+//!   lane per pair, Sec. IV-B), [`LinkCongestionMedium`] saturates a
+//!   shared NVLink link and reads its own transfer latency (Sec. V, no
+//!   shared cache state). [`transmit_over`] owns everything
+//!   transport-independent: framing, striping, the listen horizon,
+//!   engine execution and reporting.
+//! - **Receive stack** ([`pipeline`]): a [`Decoder`] (per-sample
+//!   majority [`Decoder::Vote`] or soft [`Decoder::MatchedFilter`] over
+//!   slot windows) anchored by a [`BoundaryPolicy`] (2-means for tight
+//!   hit/miss clusters, quantile for the congestion channel's heavy
+//!   tail), plus an optional [`Coding`] stage folded in from [`ecc`].
+//!   Any combination runs on any medium.
+//! - **Wrappers** ([`transmit`], [`transmit_link`]): the historical
+//!   one-call entry points, now thin shims over [`transmit_over`] with
+//!   each medium's default pipeline — bit-identical to their PR 3
+//!   implementations (golden fingerprints in
+//!   `tests/channel_fingerprints.rs`).
+//!
+//! Both media share the slotted framing, alternating preamble phase
+//! lock and self-calibrated decision boundaries of [`protocol`]; the
+//! agents implementing the transmit side live in [`agents`] (L2) and
+//! [`link_agents`] (fabric).
 
 mod agents;
 mod channel;
 pub mod ecc;
 mod link_agents;
+mod medium;
+mod pipeline;
 mod protocol;
 
 pub use agents::{SpyProbeAgent, SpyTrace, TrojanAgent};
@@ -29,6 +69,8 @@ pub use channel::{
     prepare_link_channel, transmit, transmit_link, ChannelReport, LinkChannel, SetPair,
 };
 pub use link_agents::{LinkSpyAgent, LinkTrojanAgent, SPY_DITHER_SPAN};
+pub use medium::{transmit_over, ChannelMedium, L2SetMedium, LinkCongestionMedium};
+pub use pipeline::{matched_filter_decode, BoundaryPolicy, Coding, Decoder, Pipeline};
 pub use protocol::{
     adaptive_boundary, bits_from_bytes, bytes_from_bits, decode_trace, decode_trace_with_boundary,
     robust_boundary, stripe_bits, unstripe_bits, ChannelParams, DecodedStripe, ProbeSample,

@@ -1,0 +1,461 @@
+//! The receive-side stage stack: decision boundary → slot decoder →
+//! optional ECC/interleave, composable with any [`ChannelMedium`].
+//!
+//! [`ChannelMedium`]: super::medium::ChannelMedium
+//!
+//! Historically each channel family hard-wired its own receive path:
+//! the Prime+Probe channel called `decode_trace` (2-means boundary,
+//! per-sample vote), the link-congestion channel called
+//! `robust_boundary` + `decode_trace_with_boundary`, and Hamming(7,4)
+//! coding was applied by hand in one experiment binary. This module
+//! factors those choices into three orthogonal stages so any
+//! combination runs on any medium:
+//!
+//! - [`BoundaryPolicy`] — how the hit/miss (idle/congested) decision
+//!   level is self-calibrated from the spy's own trace;
+//! - [`Decoder`] — how probe samples inside a slot window combine into
+//!   a bit: per-sample majority vote, or the matched filter
+//!   ([`matched_filter_decode`]) that soft-combines the whole window;
+//! - [`Coding`] — an optional forward-error-correction layer
+//!   (Hamming(7,4) + block interleaving from [`super::ecc`]) applied to
+//!   the payload before striping and inverted after reassembly.
+//!
+//! A [`Pipeline`] bundles a decoder and a coding layer; the historical
+//! receive paths are [`Pipeline::vote`]`(TwoMeans)` and
+//! [`Pipeline::vote`]`(Quantile)`, and both are asserted bit-identical
+//! to the PR 3 decoders by the wrapper fingerprint tests.
+
+use super::ecc::{deinterleave, ecc_decode, ecc_encode, interleave};
+use super::protocol::{
+    adaptive_boundary, decode_trace_with_boundary, robust_boundary, ChannelParams, DecodedStripe,
+    ProbeSample,
+};
+
+/// How the decision boundary between the two latency levels is
+/// self-calibrated from the spy's observed probe-mean distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryPolicy {
+    /// 1-D 2-means clustering ([`adaptive_boundary`]) — the right shape
+    /// for two tight clusters (the Prime+Probe channel's hit/miss
+    /// levels), and robust to both levels shifting together under port
+    /// contention.
+    TwoMeans,
+    /// Quantile-anchored ([`robust_boundary`]) — the right shape for a
+    /// tight baseline plus a heavy congested tail (the link-congestion
+    /// channel), where 2-means mislocates the boundary.
+    Quantile,
+}
+
+impl BoundaryPolicy {
+    /// Computes the decision boundary for a trace.
+    pub fn boundary(&self, samples: &[ProbeSample]) -> f64 {
+        match self {
+            BoundaryPolicy::TwoMeans => adaptive_boundary(samples),
+            BoundaryPolicy::Quantile => robust_boundary(samples),
+        }
+    }
+}
+
+/// How the samples inside each slot window are combined into a bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoder {
+    /// Each sample votes 0/1 against the boundary; the slot takes the
+    /// majority. This is the PR 3 decoder for both channel families.
+    Vote(BoundaryPolicy),
+    /// Matched filter over the slot window ([`matched_filter_decode`]):
+    /// samples contribute *soft* scores (normalised latency, clamped to
+    /// the level span) weighted towards the slot centre, and the summed
+    /// filter output is thresholded once per slot. Cuts the
+    /// tenant-noise error floor the per-sample vote hits: a hard vote
+    /// throws away how far each sample sits from the boundary and
+    /// weights boundary-overrun samples at the slot edges the same as
+    /// mid-slot evidence.
+    MatchedFilter(BoundaryPolicy),
+}
+
+impl Decoder {
+    /// Decodes one stripe's probe trace into `payload_bits` bits.
+    pub fn decode(
+        &self,
+        samples: &[ProbeSample],
+        params: &ChannelParams,
+        payload_bits: usize,
+    ) -> DecodedStripe {
+        match self {
+            Decoder::Vote(policy) => {
+                decode_trace_with_boundary(samples, params, payload_bits, policy.boundary(samples))
+            }
+            Decoder::MatchedFilter(policy) => {
+                matched_filter_decode(samples, params, payload_bits, policy.boundary(samples))
+            }
+        }
+    }
+}
+
+/// Optional forward-error-correction layer around the channel: encode
+/// expands the payload before striping, decode inverts it after the
+/// stripes are reassembled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coding {
+    /// Raw bits on the channel.
+    None,
+    /// Hamming(7,4) single-error correction behind a block interleaver
+    /// of the given depth: an error *burst* of length `L` lands in at
+    /// most `ceil(L/depth)` bits per codeword, which single-error
+    /// correction can then repair — exactly the failure mode of
+    /// congestion episodes on either medium.
+    Hamming74 {
+        /// Interleaver depth (rows); `0`/`1` means no interleaving.
+        interleave_depth: usize,
+    },
+}
+
+impl Coding {
+    /// Channel bits carrying `data_bits` payload bits under this coding
+    /// (the interleaver pads its output to a whole number of columns).
+    pub fn channel_bits(&self, data_bits: usize) -> usize {
+        match self {
+            Coding::None => data_bits,
+            Coding::Hamming74 { interleave_depth } => {
+                let coded = data_bits.div_ceil(4) * 7;
+                let d = (*interleave_depth).max(1);
+                coded.div_ceil(d) * d
+            }
+        }
+    }
+
+    /// Encodes payload bits into channel bits.
+    pub fn encode(&self, bits: &[u8]) -> Vec<u8> {
+        match self {
+            Coding::None => bits.to_vec(),
+            Coding::Hamming74 { interleave_depth } => {
+                interleave(&ecc_encode(bits), (*interleave_depth).max(1))
+            }
+        }
+    }
+
+    /// Decodes channel bits back to `data_bits` payload bits; returns
+    /// the bits and the number of codeword corrections applied (always
+    /// 0 for [`Coding::None`]).
+    pub fn decode(&self, channel_bits: &[u8], data_bits: usize) -> (Vec<u8>, usize) {
+        match self {
+            Coding::None => {
+                let mut out = channel_bits.to_vec();
+                out.resize(data_bits, 0);
+                (out, 0)
+            }
+            Coding::Hamming74 { interleave_depth } => {
+                let coded_len = data_bits.div_ceil(4) * 7;
+                let coded = deinterleave(channel_bits, (*interleave_depth).max(1), coded_len);
+                ecc_decode(&coded, data_bits)
+            }
+        }
+    }
+}
+
+/// A complete receive-side configuration: slot decoder plus coding
+/// layer. Any pipeline runs over any [`ChannelMedium`] through
+/// [`transmit_over`].
+///
+/// [`ChannelMedium`]: super::medium::ChannelMedium
+/// [`transmit_over`]: super::medium::transmit_over
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pipeline {
+    /// Slot decoder stage.
+    pub decoder: Decoder,
+    /// Coding stage.
+    pub coding: Coding,
+}
+
+impl Pipeline {
+    /// The PR 3 receive path: per-sample vote, no coding.
+    pub fn vote(policy: BoundaryPolicy) -> Self {
+        Pipeline {
+            decoder: Decoder::Vote(policy),
+            coding: Coding::None,
+        }
+    }
+
+    /// Matched-filter slot decoding, no coding.
+    pub fn matched_filter(policy: BoundaryPolicy) -> Self {
+        Pipeline {
+            decoder: Decoder::MatchedFilter(policy),
+            coding: Coding::None,
+        }
+    }
+
+    /// Adds a coding stage (builder-style).
+    #[must_use]
+    pub fn with_coding(mut self, coding: Coding) -> Self {
+        self.coding = coding;
+        self
+    }
+}
+
+/// Matched-filter slot decoder.
+///
+/// The transmitted waveform inside one slot is (nominally) a
+/// rectangular pulse: the trojan holds the medium busy for a `1` and
+/// idle for a `0`, so the matched filter for the slot is an integrator
+/// over the window. Three refinements adapt it to this channel's noise:
+///
+/// - **Soft scores.** Each sample contributes its latency normalised to
+///   the trace's robust level span (20th → 90th percentile), clamped to
+///   `[0, 1]`. Clamping bounds the influence of the heavy congested
+///   tail (a far-tail queue wait counts like any other congested
+///   sample), while sub-boundary but elevated samples contribute
+///   fractional evidence a hard vote discards entirely.
+/// - **Centre weighting.** Samples are weighted by a triangular window
+///   over their position in the slot (floored at 0.1 so edge samples
+///   still count). The trojan's bursts deliberately overrun the slot
+///   boundary (to keep the link saturated to the slot edge), and the
+///   spy's phase lock is only slot-quantised — both put misleading
+///   samples at the window edges, exactly where the filter weighs
+///   least.
+/// - **Threshold transfer.** The slot decision threshold is the
+///   boundary policy's raw-latency boundary mapped through the same
+///   normalisation, so the decoder inherits the policy's placement
+///   (2-means midpoint or quantile anchor) instead of assuming 0.5.
+///
+/// Degenerate traces (empty, or a single latency level) decode to all
+/// zeros, matching the vote decoder's behaviour.
+pub fn matched_filter_decode(
+    samples: &[ProbeSample],
+    params: &ChannelParams,
+    payload_bits: usize,
+    boundary: f64,
+) -> DecodedStripe {
+    let preamble = params.preamble();
+    let total_slots = preamble.len() + payload_bits;
+    if samples.is_empty() {
+        return DecodedStripe {
+            payload: vec![0; payload_bits],
+            phase: 0,
+            preamble_matches: 0,
+        };
+    }
+    // Robust level span, shared with `robust_boundary`'s quantiles.
+    let mut vals: Vec<f64> = samples.iter().map(|s| f64::from(s.mean_latency)).collect();
+    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let lo = vals[(vals.len() - 1) * 2 / 10];
+    let hi = vals[(vals.len() - 1) * 9 / 10];
+    if (hi - lo) < 1.0 {
+        // One level only: no signal, everything reads 0.
+        return DecodedStripe {
+            payload: vec![0; payload_bits],
+            phase: 0,
+            preamble_matches: 0,
+        };
+    }
+    let theta = ((boundary - lo) / (hi - lo)).clamp(0.05, 0.95);
+    let score = |s: &ProbeSample| ((f64::from(s.mean_latency) - lo) / (hi - lo)).clamp(0.0, 1.0);
+
+    let t0 = samples[0].at;
+    let slot = params.slot_cycles;
+
+    // Filter responses per slot for one candidate phase: triangular
+    // centre weighting, floored so edge samples still contribute.
+    let responses = |start: u64, out: &mut Vec<Option<f64>>| {
+        let mut num = vec![0.0f64; total_slots];
+        let mut den = vec![0.0f64; total_slots];
+        for s in samples {
+            if s.at < start {
+                continue;
+            }
+            let idx = ((s.at - start) / slot) as usize;
+            if idx >= total_slots {
+                break;
+            }
+            let u = ((s.at - start) % slot) as f64 / slot as f64;
+            let w = 0.1 + 0.9 * (1.0 - (2.0 * u - 1.0).abs());
+            num[idx] += w * score(s);
+            den[idx] += w;
+        }
+        out.clear();
+        out.extend(
+            (0..total_slots).map(|i| (den[i] > 0.0).then(|| num[i] / den[i])),
+        );
+    };
+
+    // Phase search, mirroring the vote decoder: preamble agreement
+    // first, mean filter margin |response − θ| as the tiebreak.
+    let steps = 64u64;
+    let mut resp = Vec::with_capacity(total_slots);
+    let mut best = (0u64, usize::MAX, f64::NEG_INFINITY, 0usize);
+    for step in 0..steps {
+        let phase = slot * step / steps;
+        responses(t0 + phase, &mut resp);
+        let mut matches = 0usize;
+        let mut margin = 0.0;
+        let mut n = 0usize;
+        for (i, want) in preamble.iter().enumerate() {
+            if let Some(r) = resp[i] {
+                let got = u8::from(r >= theta);
+                matches += usize::from(got == *want);
+                margin += (r - theta).abs();
+                n += 1;
+            }
+        }
+        let err = preamble.len() - matches;
+        let margin = if n > 0 { margin / n as f64 } else { 0.0 };
+        if err < best.1 || (err == best.1 && margin > best.2) {
+            best = (phase, err, margin, matches);
+        }
+    }
+    let (phase, _, _, preamble_matches) = best;
+    responses(t0 + phase, &mut resp);
+    let payload = resp[preamble.len()..]
+        .iter()
+        .map(|r| r.map_or(0, |r| u8::from(r >= theta)))
+        .collect();
+    DecodedStripe {
+        payload,
+        phase,
+        preamble_matches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::protocol::{bits_from_bytes, decode_trace};
+    use super::*;
+
+    fn synth_samples(
+        frame: &[u8],
+        slot: u64,
+        phase: u64,
+        probes_per_slot: u64,
+        one: u32,
+        zero: u32,
+    ) -> Vec<ProbeSample> {
+        let mut out = Vec::new();
+        for (i, &b) in frame.iter().enumerate() {
+            for p in 0..probes_per_slot {
+                out.push(ProbeSample {
+                    at: phase + i as u64 * slot + p * (slot / probes_per_slot) + 3,
+                    misses: 0,
+                    lines: 4,
+                    mean_latency: if b == 1 { one } else { zero },
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn vote_two_means_is_decode_trace() {
+        let params = ChannelParams::default();
+        let payload = bits_from_bytes(b"same");
+        let frame = params.frame(&payload);
+        let mut samples = synth_samples(&frame, params.slot_cycles, 700, 4, 950, 630);
+        for (i, s) in samples.iter_mut().enumerate() {
+            if i % 11 == 0 {
+                s.mean_latency = 1600; // outliers in both decoders' input
+            }
+        }
+        let via_stack = Decoder::Vote(BoundaryPolicy::TwoMeans).decode(&samples, &params, payload.len());
+        let via_legacy = decode_trace(&samples, &params, payload.len());
+        assert_eq!(via_stack, via_legacy);
+    }
+
+    #[test]
+    fn matched_filter_recovers_clean_frame() {
+        let params = ChannelParams::default();
+        let payload = bits_from_bytes(b"mf");
+        let frame = params.frame(&payload);
+        for policy in [BoundaryPolicy::TwoMeans, BoundaryPolicy::Quantile] {
+            let samples = synth_samples(&frame, params.slot_cycles, 0, 4, 950, 630);
+            let dec = Decoder::MatchedFilter(policy).decode(&samples, &params, payload.len());
+            assert_eq!(dec.payload, payload, "{policy:?}");
+            assert_eq!(dec.preamble_matches, params.preamble_bits);
+        }
+    }
+
+    #[test]
+    fn matched_filter_locks_phase_despite_offset() {
+        let params = ChannelParams::default();
+        let payload = bits_from_bytes(&[0b1011_0010]);
+        let frame = params.frame(&payload);
+        let samples =
+            synth_samples(&frame, params.slot_cycles, params.slot_cycles * 2 / 5, 4, 950, 630);
+        let dec =
+            Decoder::MatchedFilter(BoundaryPolicy::Quantile).decode(&samples, &params, payload.len());
+        assert_eq!(dec.payload, payload, "phase-shifted frame must decode");
+    }
+
+    #[test]
+    fn matched_filter_outvotes_edge_noise() {
+        // Samples near the slot edges lie (boundary-overrun pollution):
+        // the first quarter of every 0-slot reads at the congested
+        // level. Per-sample voting flips slots whose sample mix tips;
+        // the centre-weighted soft filter keeps every bit.
+        let params = ChannelParams::default();
+        let payload = bits_from_bytes(b"edges");
+        let frame = params.frame(&payload);
+        let slot = params.slot_cycles;
+        let mut samples = synth_samples(&frame, slot, 0, 8, 1100, 640);
+        for s in &mut samples {
+            let u = (s.at % slot) as f64 / slot as f64;
+            if u < 0.28 && s.mean_latency == 640 {
+                s.mean_latency = 1100;
+            }
+        }
+        let mf = Decoder::MatchedFilter(BoundaryPolicy::Quantile)
+            .decode(&samples, &params, payload.len());
+        let errs = |dec: &DecodedStripe| {
+            dec.payload
+                .iter()
+                .zip(&payload)
+                .filter(|(a, b)| a != b)
+                .count()
+        };
+        assert_eq!(errs(&mf), 0, "matched filter discounts edge pollution");
+    }
+
+    #[test]
+    fn matched_filter_degenerate_traces_read_zero() {
+        let params = ChannelParams::default();
+        let dec = Decoder::MatchedFilter(BoundaryPolicy::Quantile).decode(&[], &params, 6);
+        assert_eq!(dec.payload, vec![0; 6]);
+        // Single-level trace: no signal.
+        let flat: Vec<ProbeSample> = (0..200)
+            .map(|i| ProbeSample {
+                at: i * 500,
+                misses: 0,
+                lines: 4,
+                mean_latency: 640,
+            })
+            .collect();
+        let dec = Decoder::MatchedFilter(BoundaryPolicy::Quantile).decode(&flat, &params, 6);
+        assert_eq!(dec.payload, vec![0; 6]);
+    }
+
+    #[test]
+    fn coding_round_trips() {
+        let bits: Vec<u8> = (0..101).map(|i| u8::from(i % 3 == 0)).collect();
+        for coding in [
+            Coding::None,
+            Coding::Hamming74 { interleave_depth: 1 },
+            Coding::Hamming74 { interleave_depth: 16 },
+        ] {
+            let coded = coding.encode(&bits);
+            assert_eq!(coded.len(), coding.channel_bits(bits.len()), "{coding:?}");
+            let (back, corrections) = coding.decode(&coded, bits.len());
+            assert_eq!(back, bits, "{coding:?}");
+            assert_eq!(corrections, 0, "clean channel needs no corrections");
+        }
+    }
+
+    #[test]
+    fn hamming_coding_corrects_a_burst() {
+        let bits: Vec<u8> = (0..64).map(|i| u8::from(i % 5 < 2)).collect();
+        let coding = Coding::Hamming74 { interleave_depth: 16 };
+        let mut coded = coding.encode(&bits);
+        for b in coded.iter_mut().skip(40).take(12) {
+            *b ^= 1; // a 12-bit burst on the channel
+        }
+        let (back, corrections) = coding.decode(&coded, bits.len());
+        assert_eq!(back, bits, "interleaving spreads the burst across codewords");
+        assert!(corrections >= 12, "each flipped bit lands in its own codeword");
+    }
+}

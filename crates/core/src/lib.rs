@@ -13,12 +13,14 @@
 //!    sweep.
 //! 4. [`alignment`] — Algorithm 2: pair trojan and spy eviction sets that
 //!    share a physical cache set (Fig. 7).
-//! 5. [`covert`] — the covert channels across GPUs: Prime+Probe over a
-//!    shared L2 set (slotted transmission, preamble sync, multi-set
-//!    striping, bandwidth and error measurement — Fig. 8/9/10) and the
-//!    NVLink-congestion channel over the timed link fabric (a bandwidth
-//!    trojan plus a throughput spy decoding its own transfer latency,
-//!    no shared cache set).
+//! 5. [`covert`] — the covert channels across GPUs, organised as one
+//!    transport-agnostic pipeline: a `ChannelMedium` trait with two
+//!    implementations (Prime+Probe over shared L2 sets — Fig. 8/9/10 —
+//!    and NVLink congestion over the timed link fabric, no shared cache
+//!    set), one generic `transmit_over` owning framing/striping/sync,
+//!    and a composable receive stack (2-means or quantile boundary ×
+//!    per-sample vote or matched filter × optional Hamming(7,4)+
+//!    interleave coding).
 //! 6. [`side`] — memorygram recording, application fingerprinting
 //!    (Fig. 11/12) and MLP model extraction (Table II, Fig. 13/14/15).
 //! 7. [`mitigation`] — SM-saturation noise exclusion (Sec. VI).
@@ -56,7 +58,11 @@ pub mod timing_re;
 
 pub use alignment::{align_classes, paired_sets, AlignmentConfig, ClassMatch};
 pub use cache_re::{derive_cache_architecture, CacheArchReport, DetectedPolicy};
-pub use covert::{transmit, transmit_link, ChannelParams, ChannelReport, LinkChannel, SetPair};
+pub use covert::{
+    transmit, transmit_link, transmit_over, BoundaryPolicy, ChannelMedium, ChannelParams,
+    ChannelReport, Coding, Decoder, L2SetMedium, LinkChannel, LinkCongestionMedium, Pipeline,
+    SetPair,
+};
 pub use eviction::{
     classify_pages, dedupe_aliased, discover_conflicts, sets_alias, validation_sweep, EvictionSet,
     Locality, PageClasses, ScanConfig,

@@ -1,0 +1,258 @@
+//! Bit-compatibility gates for the covert-channel wrappers.
+//!
+//! The PR 4 refactor moved `transmit` and `transmit_link` onto the
+//! transport-agnostic `transmit_over` pipeline. These fingerprints were
+//! captured at the PR 3 HEAD (commit af72b35), running the *pre-refactor*
+//! implementations on small deterministic fixtures: an FNV-1a fold over
+//! the decoded payload, the error count, the end-of-run clock and every
+//! recorded spy probe sample. The wrappers must keep reproducing them
+//! bit-for-bit — framing, agent wiring, engine interleaving and decoding
+//! are all inside the hash. (The larger DGX-scale gates live in the
+//! `fig09` / `fig10` / `ext_link_congestion_channel` binaries.)
+
+use gpubox_attacks::covert::bits_from_bytes;
+use gpubox_attacks::{
+    align_classes, classify_pages, paired_sets, transmit, transmit_link, AlignmentConfig,
+    ChannelParams, ChannelReport, LinkChannel, Locality, SetPair, Thresholds,
+};
+use gpubox_sim::{
+    FabricConfig, GpuId, MultiGpuSystem, ProcessCtx, ProcessId, SchedulerKind, SystemConfig,
+    VirtAddr,
+};
+
+fn fnv(h: &mut u64, x: u64) {
+    *h ^= x;
+    *h = h.wrapping_mul(0x0100_0000_01b3);
+}
+
+fn report_fingerprint(rep: &ChannelReport) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in &rep.received {
+        fnv(&mut h, u64::from(b));
+    }
+    fnv(&mut h, rep.bit_errors as u64);
+    fnv(&mut h, rep.duration_cycles);
+    for trace in &rep.traces {
+        for s in trace {
+            fnv(&mut h, s.at);
+            fnv(&mut h, u64::from(s.misses));
+            fnv(&mut h, u64::from(s.lines));
+            fnv(&mut h, u64::from(s.mean_latency));
+        }
+    }
+    h
+}
+
+/// The `channel.rs` test fixture, reproduced through the public API: a
+/// two-GPU `small_test` box, trojan on GPU0, spy on GPU1, aligned pairs
+/// over classified 96-page buffers.
+fn l2_fixture(noiseless: bool) -> (MultiGpuSystem, ProcessId, ProcessId, Vec<SetPair>) {
+    let cfg = if noiseless {
+        SystemConfig::small_test().noiseless()
+    } else {
+        SystemConfig::small_test()
+    };
+    let mut sys = MultiGpuSystem::new(cfg);
+    let thr = Thresholds::paper_defaults();
+    let trojan = sys.create_process(GpuId::new(0));
+    let spy = sys.create_process(GpuId::new(1));
+    sys.enable_peer_access(spy, GpuId::new(0)).unwrap();
+    let bytes = 96 * 4096u64;
+    let tclasses = {
+        let mut ctx = ProcessCtx::new(&mut sys, trojan, 0);
+        let b = ctx.malloc_on(GpuId::new(0), bytes).unwrap();
+        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Local).unwrap()
+    };
+    let sclasses = {
+        let mut ctx = ProcessCtx::new(&mut sys, spy, 0);
+        let b = ctx.malloc_on(GpuId::new(0), bytes).unwrap();
+        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Remote).unwrap()
+    };
+    let matches = align_classes(
+        &mut sys,
+        trojan,
+        &tclasses,
+        spy,
+        &sclasses,
+        16,
+        &AlignmentConfig::default(),
+    )
+    .unwrap();
+    let pairs = paired_sets(&tclasses, &sclasses, &matches, 8, 16)
+        .into_iter()
+        .map(|(t, s)| SetPair { trojan: t, spy: s })
+        .collect();
+    (sys, trojan, spy, pairs)
+}
+
+/// The `link_fixture` of `channel.rs`: trojan and spy on GPU1 with
+/// disjoint buffers homed on GPU0, both routes crossing the single
+/// NVLink of the two-GPU box.
+fn link_fixture() -> (MultiGpuSystem, ProcessId, ProcessId, Vec<VirtAddr>, Vec<VirtAddr>) {
+    let cfg = SystemConfig::small_test()
+        .noiseless()
+        .with_fabric(FabricConfig::nvlink_v1());
+    let mut sys = MultiGpuSystem::new(cfg);
+    let trojan = sys.create_process(GpuId::new(1));
+    let spy = sys.create_process(GpuId::new(1));
+    sys.enable_peer_access(trojan, GpuId::new(0)).unwrap();
+    sys.enable_peer_access(spy, GpuId::new(0)).unwrap();
+    let tb = sys.malloc_on(trojan, GpuId::new(0), 32 * 4096).unwrap();
+    let sb = sys.malloc_on(spy, GpuId::new(0), 8 * 4096).unwrap();
+    let trojan_lines: Vec<VirtAddr> = (0..32).map(|i| tb.offset(i * 4096)).collect();
+    let spy_lines: Vec<VirtAddr> = (0..8).map(|i| sb.offset(i * 4096)).collect();
+    (sys, trojan, spy, trojan_lines, spy_lines)
+}
+
+#[test]
+fn l2_wrapper_reproduces_pr3_noiseless_fingerprint() {
+    let (mut sys, trojan, spy, pairs) = l2_fixture(true);
+    let payload = bits_from_bytes(b"fingerprint: the quick brown fox");
+    let rep = transmit(
+        &mut sys,
+        trojan,
+        spy,
+        &pairs[..4],
+        &payload,
+        &ChannelParams::default(),
+        Thresholds::paper_defaults(),
+    )
+    .unwrap();
+    assert_eq!(report_fingerprint(&rep), L2_NOISELESS_FP);
+}
+
+#[test]
+fn l2_wrapper_reproduces_pr3_noisy_fingerprint() {
+    let (mut sys, trojan, spy, pairs) = l2_fixture(false);
+    let payload = bits_from_bytes(b"fingerprint: the quick brown fox");
+    let rep = transmit(
+        &mut sys,
+        trojan,
+        spy,
+        &pairs[..4],
+        &payload,
+        &ChannelParams::default(),
+        Thresholds::paper_defaults(),
+    )
+    .unwrap();
+    assert_eq!(report_fingerprint(&rep), L2_NOISY_FP);
+}
+
+#[test]
+fn l2_wrapper_reproduces_pr3_single_set_fingerprint() {
+    let (mut sys, trojan, spy, pairs) = l2_fixture(true);
+    let payload = bits_from_bytes(b"one lane");
+    let rep = transmit(
+        &mut sys,
+        trojan,
+        spy,
+        &pairs[..1],
+        &payload,
+        &ChannelParams::default(),
+        Thresholds::paper_defaults(),
+    )
+    .unwrap();
+    assert_eq!(report_fingerprint(&rep), L2_SINGLE_SET_FP);
+}
+
+#[test]
+fn link_wrapper_reproduces_pr3_fingerprint_on_both_schedulers() {
+    let payload = bits_from_bytes(b"fingerprint link");
+    let params = ChannelParams {
+        spy_gap: 600,
+        ..Default::default()
+    };
+    for sched in [SchedulerKind::Heap, SchedulerKind::Linear] {
+        let (mut sys, trojan, spy, tl, sl) = link_fixture();
+        let rep = transmit_link(
+            &mut sys,
+            trojan,
+            spy,
+            &LinkChannel {
+                trojan_lines: &tl,
+                spy_lines: &sl,
+                trojan_streams: 3,
+            },
+            &payload,
+            &params,
+            sched,
+        )
+        .unwrap();
+        assert_eq!(report_fingerprint(&rep), LINK_FP, "scheduler {sched:?}");
+    }
+}
+
+const L2_NOISELESS_FP: u64 = 0x9cd3_94df_0ba8_9ad4;
+const L2_NOISY_FP: u64 = 0x1115_d453_69b2_2141;
+const L2_SINGLE_SET_FP: u64 = 0xb5f2_b81b_ae8d_1625;
+const LINK_FP: u64 = 0xe68e_e3c2_cda4_8ab5;
+
+/// Prints the four fingerprints (run with `--ignored --nocapture` to
+/// recapture after an *intentional* protocol change; update the
+/// constants and document the change in CHANGES.md).
+#[test]
+#[ignore]
+fn print_current_fingerprints() {
+    let (mut sys, trojan, spy, pairs) = l2_fixture(true);
+    let payload = bits_from_bytes(b"fingerprint: the quick brown fox");
+    let rep = transmit(
+        &mut sys,
+        trojan,
+        spy,
+        &pairs[..4],
+        &payload,
+        &ChannelParams::default(),
+        Thresholds::paper_defaults(),
+    )
+    .unwrap();
+    println!("L2_NOISELESS_FP: {:#x}", report_fingerprint(&rep));
+
+    let (mut sys, trojan, spy, pairs) = l2_fixture(false);
+    let rep = transmit(
+        &mut sys,
+        trojan,
+        spy,
+        &pairs[..4],
+        &payload,
+        &ChannelParams::default(),
+        Thresholds::paper_defaults(),
+    )
+    .unwrap();
+    println!("L2_NOISY_FP: {:#x}", report_fingerprint(&rep));
+
+    let (mut sys, trojan, spy, pairs) = l2_fixture(true);
+    let payload = bits_from_bytes(b"one lane");
+    let rep = transmit(
+        &mut sys,
+        trojan,
+        spy,
+        &pairs[..1],
+        &payload,
+        &ChannelParams::default(),
+        Thresholds::paper_defaults(),
+    )
+    .unwrap();
+    println!("L2_SINGLE_SET_FP: {:#x}", report_fingerprint(&rep));
+
+    let payload = bits_from_bytes(b"fingerprint link");
+    let params = ChannelParams {
+        spy_gap: 600,
+        ..Default::default()
+    };
+    let (mut sys, trojan, spy, tl, sl) = link_fixture();
+    let rep = transmit_link(
+        &mut sys,
+        trojan,
+        spy,
+        &LinkChannel {
+            trojan_lines: &tl,
+            spy_lines: &sl,
+            trojan_streams: 3,
+        },
+        &payload,
+        &params,
+        SchedulerKind::Heap,
+    )
+    .unwrap();
+    println!("LINK_FP: {:#x}", report_fingerprint(&rep));
+}

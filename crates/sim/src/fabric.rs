@@ -58,6 +58,15 @@ pub struct FabricConfig {
     /// Cycles the shared PCIe root complex is occupied per line (PCIe
     /// 3.0 x16 shared by all GPUs; far slower than a dedicated link).
     pub pcie_service_cycles_per_line: u32,
+    /// Whether each NVLink edge models its two directions as independent
+    /// occupancy windows (NVLink is full-duplex: each direction has its
+    /// own lanes, so an `a → b` stream does not serialise against
+    /// `b → a` traffic). `false` — the default, and the PR 3 behaviour
+    /// every golden fingerprint was captured under — shares one window
+    /// per edge, modelling a half-duplex link. Per-direction
+    /// bytes/requests/busy/queue *counters* are maintained in
+    /// [`SystemStats`] either way; only the timing changes.
+    pub per_direction: bool,
 }
 
 impl FabricConfig {
@@ -67,6 +76,7 @@ impl FabricConfig {
             enabled: false,
             nvlink_service_cycles_per_line: 0,
             pcie_service_cycles_per_line: 0,
+            per_direction: false,
         }
     }
 
@@ -76,7 +86,16 @@ impl FabricConfig {
             enabled: true,
             nvlink_service_cycles_per_line: 10,
             pcie_service_cycles_per_line: 60,
+            per_direction: false,
         }
+    }
+
+    /// Enables full-duplex links (builder-style): independent occupancy
+    /// windows per direction.
+    #[must_use]
+    pub fn with_per_direction(mut self) -> Self {
+        self.per_direction = true;
+        self
     }
 }
 
@@ -90,9 +109,12 @@ impl Default for FabricConfig {
 #[derive(Debug, Clone)]
 pub struct Fabric {
     enabled: bool,
+    per_direction: bool,
     nv_service: u64,
     pcie_service: u64,
-    /// Cycle until which each NVLink link is busy; index = [`LinkId`].
+    /// Cycle until which each NVLink link (or link direction) is busy.
+    /// One entry per link in shared-window mode; two consecutive entries
+    /// per link (`2·link + direction`) in per-direction mode.
     busy_until: Vec<u64>,
     /// Cycle until which the shared PCIe root complex is busy.
     pcie_busy_until: u64,
@@ -100,17 +122,16 @@ pub struct Fabric {
 
 impl Fabric {
     /// Builds the fabric state for a topology (one occupancy window per
-    /// link). A disabled config allocates no per-link state.
+    /// link, or two in [`FabricConfig::per_direction`] mode). A disabled
+    /// config allocates no per-link state.
     pub fn new(topo: &Topology, cfg: &FabricConfig) -> Self {
+        let windows = topo.num_links() * if cfg.per_direction { 2 } else { 1 };
         Fabric {
             enabled: cfg.enabled,
+            per_direction: cfg.per_direction,
             nv_service: u64::from(cfg.nvlink_service_cycles_per_line),
             pcie_service: u64::from(cfg.pcie_service_cycles_per_line),
-            busy_until: if cfg.enabled {
-                vec![0; topo.num_links()]
-            } else {
-                Vec::new()
-            },
+            busy_until: if cfg.enabled { vec![0; windows] } else { Vec::new() },
             pcie_busy_until: 0,
         }
     }
@@ -130,23 +151,35 @@ impl Fabric {
     }
 
     /// Sends one line along `path` starting at cycle `now`, store-and-
-    /// forward across every link. Returns the extra cycles beyond `now`
-    /// until the line cleared the last link (queue waits + serialisation),
-    /// and records per-link bytes/busy/queue statistics.
+    /// forward across every link. `dirs` gives each hop's traversal
+    /// direction (from [`Topology::path_dirs`], aligned with `path`):
+    /// in shared-window mode it only routes the per-direction statistics,
+    /// in [`FabricConfig::per_direction`] mode it also selects which of
+    /// the link's two occupancy windows the hop books. Returns the extra
+    /// cycles beyond `now` until the line cleared the last link (queue
+    /// waits + serialisation), and records per-link and per-direction
+    /// bytes/busy/queue statistics.
     ///
     /// Must only be called on an enabled fabric with a non-empty path.
     #[inline]
     pub fn traverse(
         &mut self,
         path: &[LinkId],
+        dirs: &[bool],
         now: u64,
         line_bytes: u64,
         stats: &mut SystemStats,
     ) -> u64 {
         debug_assert!(self.enabled, "traverse on a disabled fabric");
+        debug_assert_eq!(path.len(), dirs.len(), "one direction bit per hop");
         let mut t = now;
-        for &l in path {
-            let busy = &mut self.busy_until[l.index()];
+        for (&l, &rev) in path.iter().zip(dirs) {
+            let w = if self.per_direction {
+                l.index() * 2 + usize::from(rev)
+            } else {
+                l.index()
+            };
+            let busy = &mut self.busy_until[w];
             let start = t.max(*busy);
             *busy = start + self.nv_service;
             let st = stats.link_mut(l);
@@ -154,6 +187,11 @@ impl Fabric {
             st.requests += 1;
             st.busy_cycles += self.nv_service;
             st.queue_cycles += start - t;
+            let sd = stats.link_dir_mut(l, rev);
+            sd.bytes += line_bytes;
+            sd.requests += 1;
+            sd.busy_cycles += self.nv_service;
+            sd.queue_cycles += start - t;
             t = start + self.nv_service;
         }
         t - now
@@ -188,13 +226,24 @@ mod tests {
         (topo, fabric, stats)
     }
 
+    /// `traverse` with the topology's own direction bits for the route.
+    fn go(
+        topo: &Topology,
+        fabric: &mut Fabric,
+        stats: &mut SystemStats,
+        a: u8,
+        b: u8,
+        now: u64,
+    ) -> u64 {
+        use crate::address::GpuId;
+        let (src, dst) = (GpuId::new(a), GpuId::new(b));
+        fabric.traverse(topo.path(src, dst), topo.path_dirs(src, dst), now, 128, stats)
+    }
+
     #[test]
     fn idle_links_cost_only_serialisation() {
-        use crate::address::GpuId;
         let (topo, mut fabric, mut stats) = fixture();
-        let path = topo.path(GpuId::new(0), GpuId::new(2));
-        assert_eq!(path.len(), 2);
-        let extra = fabric.traverse(path, 1_000, 128, &mut stats);
+        let extra = go(&topo, &mut fabric, &mut stats, 0, 2, 1_000);
         assert_eq!(extra, 20, "two idle links: 2 x 10 service cycles");
         assert_eq!(stats.link(LinkId(0)).unwrap().queue_cycles, 0);
         assert_eq!(stats.link(LinkId(0)).unwrap().bytes, 128);
@@ -204,11 +253,10 @@ mod tests {
     fn back_to_back_lines_queue_on_the_link() {
         use crate::address::GpuId;
         let (topo, mut fabric, mut stats) = fixture();
-        let path = topo.path(GpuId::new(0), GpuId::new(1));
         // Three lines all arriving at cycle 0: FCFS serialisation.
-        assert_eq!(fabric.traverse(path, 0, 128, &mut stats), 10);
-        assert_eq!(fabric.traverse(path, 0, 128, &mut stats), 20);
-        assert_eq!(fabric.traverse(path, 0, 128, &mut stats), 30);
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 0, 1, 0), 10);
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 0, 1, 0), 20);
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 0, 1, 0), 30);
         let l = stats.link(topo.link_between(GpuId::new(0), GpuId::new(1)).unwrap());
         assert_eq!(l.unwrap().queue_cycles, 10 + 20);
         assert_eq!(l.unwrap().busy_cycles, 30);
@@ -216,16 +264,48 @@ mod tests {
 
     #[test]
     fn store_and_forward_propagates_congestion() {
-        use crate::address::GpuId;
         let (topo, mut fabric, mut stats) = fixture();
         // Saturate link (1,2) directly.
-        let l12 = topo.path(GpuId::new(1), GpuId::new(2));
-        fabric.traverse(l12, 0, 128, &mut stats); // busy until 10
-        fabric.traverse(l12, 0, 128, &mut stats); // busy until 20
+        go(&topo, &mut fabric, &mut stats, 1, 2, 0); // busy until 10
+        go(&topo, &mut fabric, &mut stats, 1, 2, 0); // busy until 20
         // A 2-hop transfer 0->2 at cycle 0: link (0,1) free (10 cycles),
         // arrives at (1,2) at 10, waits until 20, departs 30.
-        let extra = fabric.traverse(topo.path(GpuId::new(0), GpuId::new(2)), 0, 128, &mut stats);
+        let extra = go(&topo, &mut fabric, &mut stats, 0, 2, 0);
         assert_eq!(extra, 30);
+    }
+
+    #[test]
+    fn shared_window_serialises_opposing_directions() {
+        use crate::address::GpuId;
+        let (topo, mut fabric, mut stats) = fixture();
+        // Default (half-duplex) mode: a 1->0 line queues behind a 0->1
+        // line on the same edge.
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 0, 1, 0), 10);
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 1, 0, 0), 20);
+        // Both directions were counted separately even in shared mode.
+        let l = topo.link_between(GpuId::new(0), GpuId::new(1)).unwrap();
+        let fwd = stats.link_dir(l, false).unwrap();
+        let rev = stats.link_dir(l, true).unwrap();
+        assert_eq!((fwd.requests, fwd.queue_cycles), (1, 0));
+        assert_eq!((rev.requests, rev.queue_cycles), (1, 10));
+        assert_eq!(stats.link(l).unwrap().requests, 2, "aggregate still kept");
+    }
+
+    #[test]
+    fn per_direction_windows_are_independent() {
+        use crate::address::GpuId;
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut fabric = Fabric::new(&topo, &FabricConfig::nvlink_v1().with_per_direction());
+        let mut stats = SystemStats::new(3, topo.num_links());
+        // Full-duplex mode: opposing directions never queue on each other…
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 0, 1, 0), 10);
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 1, 0, 0), 10);
+        // …but same-direction traffic still does.
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 0, 1, 0), 20);
+        let l = topo.link_between(GpuId::new(0), GpuId::new(1)).unwrap();
+        assert_eq!(stats.link_dir(l, false).unwrap().queue_cycles, 10);
+        assert_eq!(stats.link_dir(l, true).unwrap().queue_cycles, 0);
+        assert_eq!(stats.link(l).unwrap().busy_cycles, 30);
     }
 
     #[test]
@@ -239,14 +319,12 @@ mod tests {
 
     #[test]
     fn reset_clears_occupancy() {
-        use crate::address::GpuId;
         let (topo, mut fabric, mut stats) = fixture();
-        let path = topo.path(GpuId::new(0), GpuId::new(1));
-        fabric.traverse(path, 0, 128, &mut stats);
-        fabric.traverse(path, 0, 128, &mut stats);
+        go(&topo, &mut fabric, &mut stats, 0, 1, 0);
+        go(&topo, &mut fabric, &mut stats, 0, 1, 0);
         fabric.reset();
         assert_eq!(
-            fabric.traverse(path, 0, 128, &mut stats),
+            go(&topo, &mut fabric, &mut stats, 0, 1, 0),
             10,
             "post-reset traversal sees idle links"
         );

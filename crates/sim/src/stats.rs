@@ -46,6 +46,13 @@ pub struct LinkStats {
 pub struct SystemStats {
     per_gpu: Vec<GpuStats>,
     per_link: Vec<LinkStats>,
+    /// Two entries per link (`2·link + direction`): direction `0` is the
+    /// link's canonical `a → b` orientation (lower-numbered endpoint
+    /// towards higher), direction `1` the reverse. Maintained by the
+    /// fabric alongside the aggregate `per_link` counters whenever the
+    /// timed link model is enabled, regardless of whether occupancy is
+    /// windowed per direction.
+    per_link_dir: Vec<LinkStats>,
     pcie_root: LinkStats,
 }
 
@@ -55,6 +62,7 @@ impl SystemStats {
         SystemStats {
             per_gpu: vec![GpuStats::default(); n as usize],
             per_link: vec![LinkStats::default(); links],
+            per_link_dir: vec![LinkStats::default(); links * 2],
             pcie_root: LinkStats::default(),
         }
     }
@@ -86,6 +94,22 @@ impl SystemStats {
     /// Per-link counters in [`LinkId`] order.
     pub fn links(&self) -> &[LinkStats] {
         &self.per_link
+    }
+
+    /// Counters of one *direction* of an NVLink link (`reverse == false`
+    /// is the canonical lower-endpoint → higher-endpoint orientation),
+    /// if the id is valid for the topology.
+    pub fn link_dir(&self, l: LinkId, reverse: bool) -> Option<&LinkStats> {
+        self.per_link_dir.get(l.index() * 2 + usize::from(reverse))
+    }
+
+    /// Mutable counters of one direction of an NVLink link.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range link id.
+    pub fn link_dir_mut(&mut self, l: LinkId, reverse: bool) -> &mut LinkStats {
+        &mut self.per_link_dir[l.index() * 2 + usize::from(reverse)]
     }
 
     /// Counters of the shared PCIe root complex.
@@ -133,6 +157,9 @@ impl SystemStats {
         for l in &mut self.per_link {
             *l = LinkStats::default();
         }
+        for l in &mut self.per_link_dir {
+            *l = LinkStats::default();
+        }
         self.pcie_root = LinkStats::default();
     }
 }
@@ -170,10 +197,22 @@ mod tests {
         let mut s = SystemStats::new(1, 1);
         s.gpu_mut(GpuId::new(0)).l2_misses = 9;
         s.link_mut(LinkId(0)).busy_cycles = 5;
+        s.link_dir_mut(LinkId(0), true).busy_cycles = 3;
         s.pcie_root_mut().requests = 2;
         s.reset();
         assert_eq!(s.gpu(GpuId::new(0)).l2_misses, 0);
         assert_eq!(s.link(LinkId(0)).unwrap().busy_cycles, 0);
+        assert_eq!(s.link_dir(LinkId(0), true).unwrap().busy_cycles, 0);
         assert_eq!(s.pcie_root().requests, 0);
+    }
+
+    #[test]
+    fn link_directions_are_distinct_counters() {
+        let mut s = SystemStats::new(1, 2);
+        s.link_dir_mut(LinkId(1), false).bytes = 128;
+        s.link_dir_mut(LinkId(1), true).bytes = 256;
+        assert_eq!(s.link_dir(LinkId(1), false).unwrap().bytes, 128);
+        assert_eq!(s.link_dir(LinkId(1), true).unwrap().bytes, 256);
+        assert_eq!(s.link_dir(LinkId(2), false), None, "out of range is None");
     }
 }

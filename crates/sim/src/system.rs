@@ -632,7 +632,8 @@ impl MultiGpuSystem {
             let extra = match route.kind {
                 LinkKind::NvLink => {
                     let path = self.cfg.topology.path(issuer, home);
-                    self.fabric.traverse(path, now, line, &mut self.stats)
+                    let dirs = self.cfg.topology.path_dirs(issuer, home);
+                    self.fabric.traverse(path, dirs, now, line, &mut self.stats)
                 }
                 LinkKind::Pcie => self.fabric.traverse_pcie(now, line, &mut self.stats),
                 LinkKind::Local => 0,
@@ -1250,6 +1251,45 @@ mod tests {
         assert_eq!(second.latency, 970, "10 cycles of queue wait");
         let link = sys.config().topology.link_between(GpuId::new(1), GpuId::new(0)).unwrap();
         assert_eq!(sys.link_stats(link).unwrap().queue_cycles, 10);
+    }
+
+    #[test]
+    fn fabric_per_direction_unserialises_opposing_traffic() {
+        // Two processes on opposite GPUs, each reading memory homed on
+        // the other: their transfers cross the same edge in opposite
+        // directions at the same cycle.
+        let run = |per_direction: bool| {
+            let fabric = if per_direction {
+                crate::fabric::FabricConfig::nvlink_v1().with_per_direction()
+            } else {
+                crate::fabric::FabricConfig::nvlink_v1()
+            };
+            let cfg = SystemConfig::small_test().noiseless().with_fabric(fabric);
+            let mut sys = MultiGpuSystem::new(cfg);
+            let a = sys.create_process(GpuId::new(1));
+            let b = sys.create_process(GpuId::new(0));
+            sys.enable_peer_access(a, GpuId::new(0)).unwrap();
+            sys.enable_peer_access(b, GpuId::new(1)).unwrap();
+            let abuf = sys.malloc_on(a, GpuId::new(0), 4096).unwrap();
+            let bbuf = sys.malloc_on(b, GpuId::new(1), 4096).unwrap();
+            let first = sys.access(a, sys.default_agent(a), abuf, 0, None).unwrap();
+            let second = sys.access(b, sys.default_agent(b), bbuf, 0, None).unwrap();
+            let link = sys
+                .config()
+                .topology
+                .link_between(GpuId::new(0), GpuId::new(1))
+                .unwrap();
+            (first.latency, second.latency, *sys.link_stats(link).unwrap())
+        };
+        // Half-duplex (default): the opposing line queues 10 cycles.
+        let (f, s, ls) = run(false);
+        assert_eq!((f, s), (960, 970));
+        assert_eq!(ls.queue_cycles, 10);
+        // Full-duplex: both directions start immediately.
+        let (f, s, ls) = run(true);
+        assert_eq!((f, s), (960, 960));
+        assert_eq!(ls.queue_cycles, 0);
+        assert_eq!(ls.busy_cycles, 20, "each direction served one line");
     }
 
     #[test]

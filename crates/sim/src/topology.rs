@@ -103,6 +103,10 @@ pub struct Topology {
     link_of: Vec<Vec<Option<u32>>>,
     /// Flattened canonical shortest paths, indexed through `path_span`.
     paths: Vec<LinkId>,
+    /// Traversal direction per entry of `paths`: `true` when the hop
+    /// crosses its link from the higher-numbered endpoint towards the
+    /// lower (the *reverse* of the link's canonical `a → b` orientation).
+    path_dirs: Vec<bool>,
     /// `(offset, len)` into `paths` for ordered pair `src * n + dst`.
     path_span: Vec<(u32, u32)>,
 }
@@ -157,7 +161,7 @@ impl Topology {
             link_of[b as usize][a as usize] = Some(id);
         }
         let dist = Self::all_pairs(&adj);
-        let (paths, path_span) = Self::all_paths(nn, &dist, &adj, &link_of);
+        let (paths, path_dirs, path_span) = Self::all_paths(nn, &dist, &adj, &link_of);
         Topology {
             n,
             adj,
@@ -165,6 +169,7 @@ impl Topology {
             edges: canonical,
             link_of,
             paths,
+            path_dirs,
             path_span,
         }
     }
@@ -228,8 +233,9 @@ impl Topology {
         dist: &[Vec<u32>],
         adj: &[Vec<bool>],
         link_of: &[Vec<Option<u32>>],
-    ) -> (Vec<LinkId>, Vec<(u32, u32)>) {
+    ) -> (Vec<LinkId>, Vec<bool>, Vec<(u32, u32)>) {
         let mut paths = Vec::new();
+        let mut dirs = Vec::new();
         let mut span = vec![(0u32, 0u32); n * n];
         for a in 0..n {
             for b in (a + 1)..n {
@@ -243,20 +249,22 @@ impl Topology {
                         .find(|&v| adj[u][v] && dist[v][b] == dist[u][b] - 1)
                         .expect("BFS distance field must admit a descent step");
                     paths.push(LinkId(link_of[u][next].expect("adjacent nodes share a link")));
+                    dirs.push(u > next);
                     u = next;
                 }
                 let len = paths.len() as u32 - start;
                 span[a * n + b] = (start, len);
-                // Reverse direction: same links, reversed order.
+                // Reverse direction: same links, reversed order, each hop
+                // crossed the opposite way.
                 let rstart = paths.len() as u32;
                 for k in (0..len).rev() {
-                    let l = paths[(start + k) as usize];
-                    paths.push(l);
+                    paths.push(paths[(start + k) as usize]);
+                    dirs.push(!dirs[(start + k) as usize]);
                 }
                 span[b * n + a] = (rstart, len);
             }
         }
-        (paths, span)
+        (paths, dirs, span)
     }
 
     /// Number of GPUs in the topology.
@@ -299,6 +307,16 @@ impl Topology {
     pub fn path(&self, src: GpuId, dst: GpuId) -> &[LinkId] {
         let (off, len) = self.path_span[src.index() * self.n as usize + dst.index()];
         &self.paths[off as usize..(off + len) as usize]
+    }
+
+    /// Per-hop traversal directions aligned with [`Topology::path`]:
+    /// `false` when hop `i` crosses its link in the canonical `a → b`
+    /// orientation (lower endpoint towards higher), `true` for the
+    /// opposite way. `path_dirs(a, b)` is `path_dirs(b, a)` reversed and
+    /// negated, since the return route crosses the same links backwards.
+    pub fn path_dirs(&self, src: GpuId, dst: GpuId) -> &[bool] {
+        let (off, len) = self.path_span[src.index() * self.n as usize + dst.index()];
+        &self.path_dirs[off as usize..(off + len) as usize]
     }
 
     /// Resolves the route used for an access from `src` to memory homed on
@@ -402,6 +420,33 @@ mod tests {
                 let mut rev: Vec<LinkId> = t.path(gb, ga).to_vec();
                 rev.reverse();
                 assert_eq!(p, &rev[..], "path({a},{b}) must mirror path({b},{a})");
+            }
+        }
+    }
+
+    #[test]
+    fn path_dirs_mirror_the_walk() {
+        let t = Topology::dgx1();
+        for a in 0..8u8 {
+            for b in 0..8u8 {
+                let (ga, gb) = (GpuId::new(a), GpuId::new(b));
+                let p = t.path(ga, gb);
+                let d = t.path_dirs(ga, gb);
+                assert_eq!(p.len(), d.len());
+                // Walking the path with the direction bits lands on b.
+                let mut u = ga;
+                for (l, &rev) in p.iter().zip(d) {
+                    let (lo, hi) = t.link_endpoints(*l).unwrap();
+                    let (from, to) = if rev { (hi, lo) } else { (lo, hi) };
+                    assert_eq!(u, from, "hop must leave the current GPU");
+                    u = to;
+                }
+                if !p.is_empty() {
+                    assert_eq!(u, gb, "path({a},{b}) must arrive at {b}");
+                }
+                // Reverse route: same links backwards, directions negated.
+                let rd: Vec<bool> = t.path_dirs(gb, ga).iter().map(|&x| !x).rev().collect();
+                assert_eq!(d, &rd[..]);
             }
         }
     }
