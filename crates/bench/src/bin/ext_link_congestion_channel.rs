@@ -48,13 +48,37 @@ struct Point {
     streams: usize,
     tenants: usize,
     noiseless: bool,
+    /// [`FabricConfig::per_direction`]: full-duplex links (independent
+    /// occupancy windows per direction). Off = the PR 3 half-duplex
+    /// model every golden was captured under.
+    duplex: bool,
+    /// Reverse-direction spy: the spy sits on GPU5 and reads memory
+    /// homed on GPU1, so its probes cross the shared link (1,5)
+    /// *opposite* to the trojan's 1→5 streams — the configuration whose
+    /// entire congestion signal is direction coupling.
+    reverse: bool,
 }
+
+/// The common sweep shape; points override the axes they move.
+const BASE: Point = Point {
+    hops: 2,
+    streams: 4,
+    tenants: 0,
+    noiseless: true,
+    duplex: false,
+    reverse: false,
+};
 
 impl Point {
     fn label(&self) -> String {
         format!(
-            "{}-hop, {} streams, {} tenants, {}",
-            self.hops,
+            "{}{}{} streams, {} tenants, {}",
+            if self.reverse {
+                "rev-spy, ".to_string()
+            } else {
+                format!("{}-hop, ", self.hops)
+            },
+            if self.duplex { "duplex, " } else { "" },
             self.streams,
             self.tenants,
             if self.noiseless { "noiseless" } else { "noisy" }
@@ -103,9 +127,12 @@ fn seeded_payload(seed: u64, bits: usize) -> Vec<u8> {
 /// Runs one sweep point under a forced scheduler and returns the full
 /// observable outcome.
 fn run_point(p: Point, payload: &[u8], seed: u64, sched: SchedulerKind) -> Outcome {
-    let mut cfg = SystemConfig::dgx1()
-        .with_seed(seed)
-        .with_fabric(FabricConfig::nvlink_v1());
+    let fabric = if p.duplex {
+        FabricConfig::nvlink_v1().with_per_direction()
+    } else {
+        FabricConfig::nvlink_v1()
+    };
+    let mut cfg = SystemConfig::dgx1().with_seed(seed).with_fabric(fabric);
     if p.noiseless {
         cfg = cfg.noiseless();
     }
@@ -115,12 +142,23 @@ fn run_point(p: Point, payload: &[u8], seed: u64, sched: SchedulerKind) -> Outco
     let page = sys.config().page_size;
 
     let trojan = sys.create_process(GpuId::new(1));
-    let spy_gpu = if p.hops == 2 { GpuId::new(0) } else { GpuId::new(1) };
+    // Forward points: the spy's 0-1-5 (2-hop) or 1-5 (1-hop) route
+    // shares link (1,5) in the trojan's direction. Reverse points: the
+    // spy sits on GPU5 reading memory homed on GPU1, crossing (1,5)
+    // the opposite way.
+    let spy_gpu = if p.reverse {
+        GpuId::new(5)
+    } else if p.hops == 2 {
+        GpuId::new(0)
+    } else {
+        GpuId::new(1)
+    };
+    let spy_home = if p.reverse { GpuId::new(1) } else { home };
     let spy = sys.create_process(spy_gpu);
     sys.enable_peer_access(trojan, home).unwrap();
-    sys.enable_peer_access(spy, home).unwrap();
+    sys.enable_peer_access(spy, spy_home).unwrap();
     let tb = sys.malloc_on(trojan, home, 32 * page).unwrap();
-    let sb = sys.malloc_on(spy, home, 2 * page).unwrap();
+    let sb = sys.malloc_on(spy, spy_home, 2 * page).unwrap();
     let trojan_lines: Vec<VirtAddr> = (0..32).map(|i| tb.offset(i * page)).collect();
     let spy_lines: Vec<VirtAddr> = (0..2).map(|i| sb.offset(i * page)).collect();
 
@@ -224,21 +262,29 @@ fn main() {
 
     let points = [
         // Trojan-intensity axis (2-hop, noiseless).
-        Point { hops: 2, streams: 1, tenants: 0, noiseless: true },
-        Point { hops: 2, streams: 2, tenants: 0, noiseless: true },
-        Point { hops: 2, streams: 4, tenants: 0, noiseless: true },
-        Point { hops: 2, streams: 6, tenants: 0, noiseless: true },
+        Point { streams: 1, ..BASE },
+        Point { streams: 2, ..BASE },
+        BASE,
+        Point { streams: 6, ..BASE },
         // Hop-count axis at saturation.
-        Point { hops: 1, streams: 4, tenants: 0, noiseless: true },
+        Point { hops: 1, ..BASE },
         // Background-tenant axis under full timing noise.
-        Point { hops: 2, streams: 4, tenants: 0, noiseless: false },
-        Point { hops: 2, streams: 4, tenants: 4, noiseless: false },
-        Point { hops: 2, streams: 4, tenants: 8, noiseless: false },
+        Point { noiseless: false, ..BASE },
+        Point { tenants: 4, noiseless: false, ..BASE },
+        Point { tenants: 8, noiseless: false, ..BASE },
         // Deeper tenant noise (beyond the PR 3 sweep): where the
         // per-sample vote's error floor shows and the matched filter
         // earns its keep.
-        Point { hops: 2, streams: 4, tenants: 12, noiseless: false },
-        Point { hops: 2, streams: 4, tenants: 16, noiseless: false },
+        Point { tenants: 12, noiseless: false, ..BASE },
+        Point { tenants: 16, noiseless: false, ..BASE },
+        // Duplex axis (PR 4 per-direction model under the channel, the
+        // PR 4 open item): a same-direction spy keeps decoding on
+        // full-duplex links, a reverse-direction spy only couples with
+        // the trojan through the shared half-duplex window — flipping
+        // duplex on removes its entire signal.
+        Point { duplex: true, ..BASE },
+        Point { reverse: true, hops: 1, ..BASE },
+        Point { reverse: true, hops: 1, duplex: true, ..BASE },
     ];
 
     // Every point on both schedulers: interleavings must be bit-identical.
@@ -289,7 +335,10 @@ fn main() {
     // (transmit_link) produces the identical bit stream.
     let gate = points
         .iter()
-        .position(|p| p.hops == 2 && p.streams == 4 && p.tenants == 0 && p.noiseless)
+        .position(|p| {
+            p.hops == 2 && p.streams == 4 && p.tenants == 0 && p.noiseless && !p.duplex
+                && !p.reverse
+        })
         .unwrap();
     let ber = outcomes[gate].bit_errors as f64 / payload.len() as f64;
     assert!(
@@ -330,6 +379,37 @@ fn main() {
         assert_eq!(
             rep.received, outcomes[gate].received,
             "transmit_link must reproduce the sweep's gate point"
+        );
+    }
+
+    // Duplex gate (PR 4 open item): quantify how much of the congestion
+    // signal comes from direction coupling. A same-direction spy must
+    // keep decoding on full-duplex links; a reverse-direction spy must
+    // decode on half-duplex links (where opposing traffic shares one
+    // occupancy window) and must LOSE the channel on full-duplex links
+    // (where its direction is physically independent of the trojan's).
+    {
+        let find = |dup: bool, rev: bool| {
+            points
+                .iter()
+                .position(|p| p.duplex == dup && p.reverse == rev && p.streams == 4 && p.tenants == 0)
+                .map(|i| outcomes[i].bit_errors as f64 / payload.len() as f64)
+                .unwrap()
+        };
+        let fwd_duplex = find(true, false);
+        let rev_half = find(false, true);
+        let rev_duplex = find(true, true);
+        assert!(
+            fwd_duplex <= 0.05,
+            "same-direction spy must survive full duplex: BER {fwd_duplex}"
+        );
+        assert!(
+            rev_half <= 0.05,
+            "reverse spy must decode through the shared half-duplex window: BER {rev_half}"
+        );
+        assert!(
+            rev_duplex >= 0.25,
+            "full duplex must sever the reverse spy's direction coupling: BER {rev_duplex}"
         );
     }
 
@@ -403,6 +483,12 @@ fn main() {
          link's idle windows (error near coin-flip for the 1s); from ~4\n\
          streams the shared link stays booked through every 1 slot and\n\
          the channel decodes cleanly — exactly the paper's observation\n\
-         that the congestion channel needs a saturating trojan."
+         that the congestion channel needs a saturating trojan.\n\
+         Duplex axis: a spy probing WITH the trojan's direction keeps the\n\
+         channel on full-duplex links, while a reverse-direction spy only\n\
+         receives through the shared half-duplex window — per-direction\n\
+         occupancy severs it completely (asserted >=25% BER). All of the\n\
+         reverse spy's signal is direction coupling; none of the forward\n\
+         spy's is."
     );
 }

@@ -34,9 +34,8 @@
 //! Usage: `ext_two_hop_channel [--payload-bits=N] [--seed=S]`
 //! (defaults: 256 bits, seed 2525; CI passes `--payload-bits=128`).
 
-use gpubox_attacks::covert::{stripe_bits, unstripe_bits};
 use gpubox_attacks::{
-    transmit_over, BoundaryPolicy, ChannelParams, Decoder, L2SetMedium, LinkChannel,
+    redecode_traces, transmit_over, BoundaryPolicy, ChannelParams, L2SetMedium, LinkChannel,
     LinkCongestionMedium, Pipeline, TrialRunner,
 };
 use gpubox_bench::{report, AttackSetup};
@@ -162,20 +161,10 @@ fn run_family(family: Family, payload: &[u8], seed: u64, sched: SchedulerKind) -
     };
 
     // Matched-filter re-decode of the same per-lane traces (same
-    // `params`, so slot timing always matches the transmission).
-    let lanes = rep.traces.len();
-    let stripes = stripe_bits(payload, lanes);
-    let mf_stripes: Vec<Vec<u8>> = rep
-        .traces
-        .iter()
-        .enumerate()
-        .map(|(i, t)| {
-            Decoder::MatchedFilter(policy)
-                .decode(t, &params, stripes[i].len())
-                .payload
-        })
-        .collect();
-    let mf_received = unstripe_bits(&mf_stripes, payload.len());
+    // `params`, so slot timing always matches the transmission), on the
+    // one shared receive path `transmit_over` itself decodes through.
+    let (mf_received, _) =
+        redecode_traces(&rep.traces, &params, &Pipeline::matched_filter(policy), payload.len());
     let mf_errors = mf_received.iter().zip(payload).filter(|(a, b)| a != b).count();
     Outcome {
         vote_received: rep.received,

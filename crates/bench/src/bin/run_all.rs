@@ -26,6 +26,7 @@ fn main() {
         "ext_ecc_channel",
         "ext_two_hop_channel",
         "ext_link_congestion_channel",
+        "ext_fabric_defense",
     ];
     if full {
         bins.insert(6, "fig12_confusion_matrix");

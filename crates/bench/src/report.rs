@@ -34,6 +34,27 @@ pub fn table3<A: Display, B: Display, C: Display>(cols: (&str, &str, &str), rows
     }
 }
 
+/// Prints a four-column table.
+pub fn table4<A: Display, B: Display, C: Display, D: Display>(
+    cols: (&str, &str, &str, &str),
+    rows: &[(A, B, C, D)],
+) {
+    println!(
+        "{:>12} | {:>16} | {:>26} | {:>26}",
+        cols.0, cols.1, cols.2, cols.3
+    );
+    println!(
+        "{}-+-{}-+-{}-+-{}",
+        "-".repeat(12),
+        "-".repeat(16),
+        "-".repeat(26),
+        "-".repeat(26)
+    );
+    for (a, b, c, d) in rows {
+        println!("{a:>12} | {b:>16} | {c:>26} | {d:>26}");
+    }
+}
+
 /// FNV-1a fold over a bit stream — the payload fingerprint the figure
 /// binaries assert against goldens captured at earlier PR HEADs. One
 /// definition so every binary's fingerprints stay comparable.

@@ -5,7 +5,9 @@ use gpubox_attacks::timing_re::measure_timing;
 use gpubox_attacks::{
     align_classes, classify_pages, AlignmentConfig, Locality, PageClasses, SetPair, Thresholds,
 };
-use gpubox_sim::{FabricConfig, GpuId, MultiGpuSystem, ProcessCtx, ProcessId, SystemConfig};
+use gpubox_sim::{
+    FabricConfig, GpuId, MultiGpuSystem, ProcessCtx, ProcessId, QosConfig, SystemConfig,
+};
 
 /// The standard experiment scale: attacker buffers of this many bytes on
 /// the target GPU (256 pages of 64 KiB → ~64 pages per alignment class).
@@ -61,9 +63,28 @@ impl AttackSetup {
     ///
     /// Panics on simulator errors.
     pub fn prepare_fabric(seed: u64, trojan_gpu: GpuId, spy_gpu: GpuId) -> Self {
+        Self::prepare_fabric_qos(seed, trojan_gpu, spy_gpu, QosConfig::off())
+    }
+
+    /// As [`AttackSetup::prepare_fabric`] with a fabric QoS / defence
+    /// configuration active **from boot**: the whole offline phase —
+    /// timing reverse engineering, eviction-set discovery, alignment —
+    /// runs under the defence, so the derived thresholds absorb
+    /// whatever constant latency shifts the defence introduces. This is
+    /// the *adaptive attacker* of `ext_fabric_defense`: a defence only
+    /// counts as effective if it survives an attacker that recalibrates
+    /// against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on simulator errors — including the offline phase
+    /// *collapsing under the defence* (timing clusters no longer
+    /// separable, too few aligned pairs), which the defence experiment
+    /// treats as the strongest possible outcome.
+    pub fn prepare_fabric_qos(seed: u64, trojan_gpu: GpuId, spy_gpu: GpuId, qos: QosConfig) -> Self {
         let mut cfg = SystemConfig::dgx1()
             .with_seed(seed)
-            .with_fabric(FabricConfig::nvlink_v1());
+            .with_fabric(FabricConfig::nvlink_v1().with_qos(qos));
         cfg.allow_indirect_peer = true;
         Self::prepare_between(cfg, trojan_gpu, spy_gpu)
     }

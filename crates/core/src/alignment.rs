@@ -179,6 +179,17 @@ impl Agent for OwnedAvgProbe {
         if self.done {
             return Op::Done;
         }
+        // Degenerate candidate lists (a defence experiment can starve
+        // the offline phase into empty eviction sets) finish cleanly
+        // instead of indexing into an empty set; non-degenerate inputs
+        // never take these branches.
+        while self.cand < self.candidates.len() && self.candidates[self.cand].is_empty() {
+            self.cand += 1;
+        }
+        if self.cand >= self.candidates.len() {
+            self.done = true;
+            return Op::Done;
+        }
         self.pending_owner = self.cand;
         let set = &self.candidates[self.cand];
         let va = set[self.line];

@@ -59,6 +59,87 @@ pub fn ecc_decode(coded: &[u8], data_bits: usize) -> (Vec<u8>, usize) {
     (out, corrections)
 }
 
+/// Soft-decision (Chase-2 style) decoding of one 7-bit codeword with
+/// per-bit confidences: generate candidate codewords by flipping
+/// subsets of the **two least-confident** positions, hard-correct each
+/// candidate through the syndrome, and keep the valid codeword with
+/// the smallest *soft distance* to the received hard bits (the sum of
+/// the confidences of every disagreeing position). Ties break towards
+/// the plain hard decision, so with uniform confidences this reduces to
+/// [`hamming74_decode_nibble`] exactly. The win over hard decoding:
+/// when a codeword took **two** errors, syndrome correction is
+/// guaranteed to pick a third, wrong position — but if the two wrong
+/// bits are also the two *least-confident* bits (a low-margin matched
+/// filter response is exactly that), the double-flip candidate is a
+/// valid codeword at lower soft distance and the data survives.
+///
+/// Returns the 4 data bits and whether the chosen codeword differs from
+/// the received one.
+pub fn hamming74_decode_soft(c: [u8; 7], conf: [u16; 7]) -> ([u8; 4], bool) {
+    // Two least-confident positions (ties towards the lower index).
+    let mut lo = (u16::MAX, 0usize);
+    let mut lo2 = (u16::MAX, 0usize);
+    for (i, &w) in conf.iter().enumerate() {
+        if (w, i) < lo {
+            lo2 = lo;
+            lo = (w, i);
+        } else if (w, i) < lo2 {
+            lo2 = (w, i);
+        }
+    }
+    let mut best: Option<(u64, [u8; 7])> = None;
+    for flips in 0u8..4 {
+        let mut cand = c;
+        if flips & 1 != 0 {
+            cand[lo.1] ^= 1;
+        }
+        if flips & 2 != 0 {
+            cand[lo2.1] ^= 1;
+        }
+        // Hard-correct the candidate into a valid codeword.
+        let (data, _) = hamming74_decode_nibble(cand);
+        let valid = hamming74_encode_nibble(data);
+        let dist: u64 = valid
+            .iter()
+            .zip(&c)
+            .zip(&conf)
+            .filter(|((v, r), _)| v != r)
+            .map(|(_, &w)| u64::from(w))
+            .sum();
+        // Strictly-smaller keeps the earliest candidate on ties — and
+        // candidate 0 is the hard decision.
+        if best.is_none_or(|(d, _)| dist < d) {
+            best = Some((dist, valid));
+        }
+    }
+    let (_, chosen) = best.expect("at least the hard-decision candidate");
+    ([chosen[2], chosen[4], chosen[5], chosen[6]], chosen != c)
+}
+
+/// Soft-decision stream decoding: as [`ecc_decode`], but each codeword
+/// is decoded by [`hamming74_decode_soft`] using the per-bit
+/// confidences in `conf` (aligned with `coded`; missing entries count
+/// as fully confident, so padding is never flipped).
+pub fn ecc_decode_soft(coded: &[u8], conf: &[u16], data_bits: usize) -> (Vec<u8>, usize) {
+    let mut out = Vec::with_capacity(data_bits);
+    let mut corrections = 0;
+    for (w, chunk) in coded.chunks(7).enumerate() {
+        let mut c = [0u8; 7];
+        c[..chunk.len()].copy_from_slice(chunk);
+        let mut k = [u16::MAX; 7];
+        for (i, slot) in k.iter_mut().enumerate().take(chunk.len()) {
+            if let Some(&v) = conf.get(w * 7 + i) {
+                *slot = v;
+            }
+        }
+        let (d, fixed) = hamming74_decode_soft(c, k);
+        corrections += usize::from(fixed);
+        out.extend_from_slice(&d);
+    }
+    out.truncate(data_bits);
+    (out, corrections)
+}
+
 /// Code rate of the scheme (data bits per channel bit).
 pub const ECC_RATE: f64 = 4.0 / 7.0;
 
@@ -66,23 +147,25 @@ pub const ECC_RATE: f64 = 4.0 / 7.0;
 /// reads it column-wise, so an error *burst* of length `L` lands in
 /// `ceil(L/depth)` bits per codeword instead of wiping one codeword —
 /// exactly the failure mode of congestion episodes on the channel.
-pub fn interleave(bits: &[u8], depth: usize) -> Vec<u8> {
+/// Generic over the element type so bit streams and their per-bit
+/// confidences ride the same permutation.
+pub fn interleave<T: Copy + Default>(bits: &[T], depth: usize) -> Vec<T> {
     let depth = depth.max(1);
     let cols = bits.len().div_ceil(depth);
     let mut out = Vec::with_capacity(cols * depth);
     for c in 0..cols {
         for r in 0..depth {
-            out.push(bits.get(r * cols + c).copied().unwrap_or(0));
+            out.push(bits.get(r * cols + c).copied().unwrap_or_default());
         }
     }
     out
 }
 
 /// Inverse of [`interleave`]; `len` is the original stream length.
-pub fn deinterleave(bits: &[u8], depth: usize, len: usize) -> Vec<u8> {
+pub fn deinterleave<T: Copy + Default>(bits: &[T], depth: usize, len: usize) -> Vec<T> {
     let depth = depth.max(1);
     let cols = len.div_ceil(depth);
-    let mut out = vec![0u8; cols * depth];
+    let mut out = vec![T::default(); cols * depth];
     let mut idx = 0;
     for c in 0..cols {
         for r in 0..depth {
@@ -169,6 +252,77 @@ mod tests {
                 .count();
             assert!(errs <= 2, "codeword {w} took {errs} burst bits");
         }
+    }
+
+    #[test]
+    fn soft_decode_with_uniform_confidence_is_hard_decode() {
+        for n in 0u8..16 {
+            let d = [(n >> 3) & 1, (n >> 2) & 1, (n >> 1) & 1, n & 1];
+            let code = hamming74_encode_nibble(d);
+            for flip in 0..7 {
+                let mut bad = code;
+                bad[flip] ^= 1;
+                let (hard, hard_fixed) = hamming74_decode_nibble(bad);
+                let (soft, soft_fixed) = hamming74_decode_soft(bad, [100; 7]);
+                assert_eq!(soft, hard, "nibble {n} flip {flip}");
+                assert_eq!(soft_fixed, hard_fixed);
+            }
+            // Clean codewords stay clean.
+            let (soft, fixed) = hamming74_decode_soft(code, [100; 7]);
+            assert_eq!(soft, d);
+            assert!(!fixed);
+        }
+    }
+
+    #[test]
+    fn soft_decode_repairs_double_errors_at_low_confidence() {
+        // Two errors per codeword defeat hard Hamming decoding (the
+        // syndrome picks a third, wrong bit). When the two wrong bits
+        // are the two least-confident ones, the soft decoder recovers.
+        for n in 0u8..16 {
+            let d = [(n >> 3) & 1, (n >> 2) & 1, (n >> 1) & 1, n & 1];
+            let code = hamming74_encode_nibble(d);
+            for f1 in 0..7 {
+                for f2 in (f1 + 1)..7 {
+                    let mut bad = code;
+                    bad[f1] ^= 1;
+                    bad[f2] ^= 1;
+                    let (hard, _) = hamming74_decode_nibble(bad);
+                    assert_ne!(hard, d, "double error must defeat hard decoding");
+                    let mut conf = [900u16; 7];
+                    conf[f1] = 10;
+                    conf[f2] = 25;
+                    let (soft, fixed) = hamming74_decode_soft(bad, conf);
+                    assert_eq!(soft, d, "nibble {n} flips ({f1},{f2})");
+                    assert!(fixed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soft_stream_decode_round_trips_and_respects_padding() {
+        // 10 data bits → 3 codewords with 2 padded data bits: padding
+        // positions must never be "corrected" into garbage even though
+        // no confidence entries exist for them.
+        let data: Vec<u8> = vec![1, 0, 1, 1, 0, 0, 1, 0, 1, 1];
+        let coded = ecc_encode(&data);
+        let conf = vec![500u16; coded.len()];
+        let (back, corrections) = ecc_decode_soft(&coded, &conf, data.len());
+        assert_eq!(back, data);
+        assert_eq!(corrections, 0);
+    }
+
+    #[test]
+    fn generic_interleave_carries_confidences_on_the_same_permutation() {
+        let bits: Vec<u8> = (0..53).map(|i| (i % 3 == 0) as u8).collect();
+        let conf: Vec<u16> = (0..53).map(|i| i as u16 * 10).collect();
+        let ib = interleave(&bits, 7);
+        let ic = interleave(&conf, 7);
+        let db = deinterleave(&ib, 7, bits.len());
+        let dc = deinterleave(&ic, 7, conf.len());
+        assert_eq!(db, bits);
+        assert_eq!(dc, conf, "confidences ride the identical permutation");
     }
 
     #[test]

@@ -247,16 +247,10 @@ pub fn transmit_over(
     let end = eng.run(listen + 16 * params.slot_cycles)?;
     drop(eng);
 
-    let mut decoded_stripes = Vec::with_capacity(k);
-    let mut sample_traces = Vec::with_capacity(k);
-    for (lane, t) in traces.iter().enumerate() {
-        let samples = t.samples();
-        let dec = pipeline.decoder.decode(&samples, params, stripes[lane].len());
-        decoded_stripes.push(dec.payload);
-        sample_traces.push(samples);
-    }
-    let received_coded = unstripe_bits(&decoded_stripes, coded.len());
-    let (received, ecc_corrections) = pipeline.coding.decode(&received_coded, payload.len());
+    let sample_traces: Vec<Vec<super::protocol::ProbeSample>> =
+        traces.iter().map(|t| t.samples()).collect();
+    let (received, ecc_corrections) =
+        redecode_traces(&sample_traces, params, pipeline, payload.len());
     let bit_errors = received.iter().zip(payload).filter(|(a, b)| a != b).count();
     let secs = sys.latency_model().cycles_to_seconds(listen);
     Ok(ChannelReport {
@@ -270,4 +264,56 @@ pub fn transmit_over(
         ecc_corrections,
         traces: sample_traces,
     })
+}
+
+/// Runs the complete receive path — per-lane slot decoding, round-robin
+/// reassembly, coding inversion — over already-recorded per-lane traces
+/// (e.g. [`ChannelReport::traces`]): the way to compare decoder/coding
+/// stacks on the *same* transmission without re-running it. This is the
+/// one implementation of the receive path; [`transmit_over`] itself
+/// decodes through it, so an offline re-decode can never drift from the
+/// live pipeline. Returns the received payload bits and the number of
+/// codeword corrections the coding stage applied.
+///
+/// `payload_bits` must be the transmitted payload length; the number of
+/// lanes is `traces.len()`.
+pub fn redecode_traces(
+    traces: &[Vec<super::protocol::ProbeSample>],
+    params: &ChannelParams,
+    pipeline: &Pipeline,
+    payload_bits: usize,
+) -> (Vec<u8>, usize) {
+    if traces.is_empty() {
+        return (vec![0; payload_bits], 0);
+    }
+    let k = traces.len();
+    let channel_bits = pipeline.coding.channel_bits(payload_bits);
+    // Lane lengths under round-robin striping of `channel_bits` bits.
+    let lane_len = |i: usize| channel_bits / k + usize::from(i < channel_bits % k);
+
+    // A soft coding stage consumes the decoder's per-bit confidences
+    // (the matched filter's slot margins); everything else runs the
+    // hard path.
+    let soft = matches!(pipeline.coding, super::pipeline::Coding::Hamming74Soft { .. });
+    let mut decoded_stripes = Vec::with_capacity(k);
+    let mut confidence_stripes = Vec::with_capacity(if soft { k } else { 0 });
+    for (lane, samples) in traces.iter().enumerate() {
+        if soft {
+            let dec = pipeline.decoder.decode_soft(samples, params, lane_len(lane));
+            decoded_stripes.push(dec.stripe.payload);
+            confidence_stripes.push(dec.confidence);
+        } else {
+            let dec = pipeline.decoder.decode(samples, params, lane_len(lane));
+            decoded_stripes.push(dec.payload);
+        }
+    }
+    let received_coded = unstripe_bits(&decoded_stripes, channel_bits);
+    if soft {
+        let confidence = unstripe_bits(&confidence_stripes, channel_bits);
+        pipeline
+            .coding
+            .decode_with_confidence(&received_coded, &confidence, payload_bits)
+    } else {
+        pipeline.coding.decode(&received_coded, payload_bits)
+    }
 }

@@ -69,8 +69,13 @@ pub use channel::{
     prepare_link_channel, transmit, transmit_link, ChannelReport, LinkChannel, SetPair,
 };
 pub use link_agents::{LinkSpyAgent, LinkTrojanAgent, SPY_DITHER_SPAN};
-pub use medium::{transmit_over, ChannelMedium, L2SetMedium, LinkCongestionMedium};
-pub use pipeline::{matched_filter_decode, BoundaryPolicy, Coding, Decoder, Pipeline};
+pub use medium::{
+    redecode_traces, transmit_over, ChannelMedium, L2SetMedium, LinkCongestionMedium,
+};
+pub use pipeline::{
+    matched_filter_decode, matched_filter_decode_soft, BoundaryPolicy, Coding, Decoder, Pipeline,
+    SoftStripe, CONFIDENCE_SCALE,
+};
 pub use protocol::{
     adaptive_boundary, bits_from_bytes, bytes_from_bits, decode_trace, decode_trace_with_boundary,
     robust_boundary, stripe_bits, unstripe_bits, ChannelParams, DecodedStripe, ProbeSample,

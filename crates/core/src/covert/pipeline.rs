@@ -25,7 +25,7 @@
 //! [`Pipeline::vote`]`(Quantile)`, and both are asserted bit-identical
 //! to the PR 3 decoders by the wrapper fingerprint tests.
 
-use super::ecc::{deinterleave, ecc_decode, ecc_encode, interleave};
+use super::ecc::{deinterleave, ecc_decode, ecc_decode_soft, ecc_encode, interleave};
 use super::protocol::{
     adaptive_boundary, decode_trace_with_boundary, robust_boundary, ChannelParams, DecodedStripe,
     ProbeSample,
@@ -90,6 +90,49 @@ impl Decoder {
             }
         }
     }
+
+    /// As [`Decoder::decode`], also returning per-bit confidences for a
+    /// soft-decision coding stage ([`Coding::Hamming74Soft`]). The
+    /// matched filter reports the quantised distance of each slot's
+    /// filter response from its threshold — exactly the margin it
+    /// otherwise discards at the slot decision; the vote decoder has no
+    /// soft output, so its bits come back uniformly confident and a
+    /// soft coding stage degenerates to hard decoding (asserted in the
+    /// unit tests).
+    pub fn decode_soft(
+        &self,
+        samples: &[ProbeSample],
+        params: &ChannelParams,
+        payload_bits: usize,
+    ) -> SoftStripe {
+        match self {
+            Decoder::Vote(_) => SoftStripe {
+                stripe: self.decode(samples, params, payload_bits),
+                confidence: vec![CONFIDENCE_SCALE; payload_bits],
+            },
+            Decoder::MatchedFilter(policy) => {
+                matched_filter_decode_soft(samples, params, payload_bits, policy.boundary(samples))
+            }
+        }
+    }
+}
+
+/// Confidences are quantised to `0..=CONFIDENCE_SCALE` (a filter
+/// response exactly at the threshold scores 0; a full level away scores
+/// the scale). Quantisation keeps stripe outputs `Eq`-comparable for
+/// the bit-identity assertions the sweep binaries rely on.
+pub const CONFIDENCE_SCALE: u16 = 10_000;
+
+/// A decoded stripe plus the per-payload-bit confidence the decoder
+/// would otherwise throw away at the slot threshold — the input of the
+/// soft-decision coding stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoftStripe {
+    /// The hard bits (identical to what [`Decoder::decode`] returns).
+    pub stripe: DecodedStripe,
+    /// Per-payload-bit confidence, `0..=`[`CONFIDENCE_SCALE`]; slots
+    /// with no samples score 0 (an erasure).
+    pub confidence: Vec<u16>,
 }
 
 /// Optional forward-error-correction layer around the channel: encode
@@ -108,6 +151,20 @@ pub enum Coding {
         /// Interleaver depth (rows); `0`/`1` means no interleaving.
         interleave_depth: usize,
     },
+    /// As [`Coding::Hamming74`] on the encode side, but decoding feeds
+    /// the decoder's per-bit confidences (the matched filter's slot
+    /// margins, deinterleaved on the same permutation as the bits) into
+    /// Chase-style least-confidence correction
+    /// ([`super::ecc::hamming74_decode_soft`]): a codeword whose two
+    /// errors sit on its two least-confident bits — which hard
+    /// single-error correction is guaranteed to miscorrect — is
+    /// repaired by flipping those bits instead. Never worse than
+    /// [`Coding::Hamming74`] on the existing sweeps (asserted in
+    /// `ext_ecc_channel`), identical to it under the vote decoder.
+    Hamming74Soft {
+        /// Interleaver depth (rows); `0`/`1` means no interleaving.
+        interleave_depth: usize,
+    },
 }
 
 impl Coding {
@@ -116,7 +173,8 @@ impl Coding {
     pub fn channel_bits(&self, data_bits: usize) -> usize {
         match self {
             Coding::None => data_bits,
-            Coding::Hamming74 { interleave_depth } => {
+            Coding::Hamming74 { interleave_depth }
+            | Coding::Hamming74Soft { interleave_depth } => {
                 let coded = data_bits.div_ceil(4) * 7;
                 let d = (*interleave_depth).max(1);
                 coded.div_ceil(d) * d
@@ -128,7 +186,8 @@ impl Coding {
     pub fn encode(&self, bits: &[u8]) -> Vec<u8> {
         match self {
             Coding::None => bits.to_vec(),
-            Coding::Hamming74 { interleave_depth } => {
+            Coding::Hamming74 { interleave_depth }
+            | Coding::Hamming74Soft { interleave_depth } => {
                 interleave(&ecc_encode(bits), (*interleave_depth).max(1))
             }
         }
@@ -136,7 +195,9 @@ impl Coding {
 
     /// Decodes channel bits back to `data_bits` payload bits; returns
     /// the bits and the number of codeword corrections applied (always
-    /// 0 for [`Coding::None`]).
+    /// 0 for [`Coding::None`]). [`Coding::Hamming74Soft`] without
+    /// confidences decodes like [`Coding::Hamming74`] — use
+    /// [`Coding::decode_with_confidence`] for the soft path.
     pub fn decode(&self, channel_bits: &[u8], data_bits: usize) -> (Vec<u8>, usize) {
         match self {
             Coding::None => {
@@ -144,11 +205,35 @@ impl Coding {
                 out.resize(data_bits, 0);
                 (out, 0)
             }
-            Coding::Hamming74 { interleave_depth } => {
+            Coding::Hamming74 { interleave_depth }
+            | Coding::Hamming74Soft { interleave_depth } => {
                 let coded_len = data_bits.div_ceil(4) * 7;
                 let coded = deinterleave(channel_bits, (*interleave_depth).max(1), coded_len);
                 ecc_decode(&coded, data_bits)
             }
+        }
+    }
+
+    /// As [`Coding::decode`] with per-channel-bit confidences (aligned
+    /// with `channel_bits`). Only [`Coding::Hamming74Soft`] consumes
+    /// them — the confidences are deinterleaved on the same permutation
+    /// as the bits and drive least-confidence correction; the other
+    /// variants ignore the confidences and defer to [`Coding::decode`].
+    pub fn decode_with_confidence(
+        &self,
+        channel_bits: &[u8],
+        confidence: &[u16],
+        data_bits: usize,
+    ) -> (Vec<u8>, usize) {
+        match self {
+            Coding::Hamming74Soft { interleave_depth } => {
+                let d = (*interleave_depth).max(1);
+                let coded_len = data_bits.div_ceil(4) * 7;
+                let coded = deinterleave(channel_bits, d, coded_len);
+                let conf = deinterleave(confidence, d, coded_len);
+                ecc_decode_soft(&coded, &conf, data_bits)
+            }
+            _ => self.decode(channel_bits, data_bits),
         }
     }
 }
@@ -225,13 +310,30 @@ pub fn matched_filter_decode(
     payload_bits: usize,
     boundary: f64,
 ) -> DecodedStripe {
+    matched_filter_decode_soft(samples, params, payload_bits, boundary).stripe
+}
+
+/// As [`matched_filter_decode`], additionally returning the quantised
+/// per-bit margins `|response − θ|` — the confidence the hard slot
+/// decision throws away, consumed by [`Coding::Hamming74Soft`]. Slots
+/// with no samples (and degenerate traces) score 0: an erasure the
+/// soft coding stage flips first.
+pub fn matched_filter_decode_soft(
+    samples: &[ProbeSample],
+    params: &ChannelParams,
+    payload_bits: usize,
+    boundary: f64,
+) -> SoftStripe {
     let preamble = params.preamble();
     let total_slots = preamble.len() + payload_bits;
     if samples.is_empty() {
-        return DecodedStripe {
-            payload: vec![0; payload_bits],
-            phase: 0,
-            preamble_matches: 0,
+        return SoftStripe {
+            stripe: DecodedStripe {
+                payload: vec![0; payload_bits],
+                phase: 0,
+                preamble_matches: 0,
+            },
+            confidence: vec![0; payload_bits],
         };
     }
     // Robust level span, shared with `robust_boundary`'s quantiles.
@@ -241,10 +343,13 @@ pub fn matched_filter_decode(
     let hi = vals[(vals.len() - 1) * 9 / 10];
     if (hi - lo) < 1.0 {
         // One level only: no signal, everything reads 0.
-        return DecodedStripe {
-            payload: vec![0; payload_bits],
-            phase: 0,
-            preamble_matches: 0,
+        return SoftStripe {
+            stripe: DecodedStripe {
+                payload: vec![0; payload_bits],
+                phase: 0,
+                preamble_matches: 0,
+            },
+            confidence: vec![0; payload_bits],
         };
     }
     let theta = ((boundary - lo) / (hi - lo)).clamp(0.05, 0.95);
@@ -308,10 +413,19 @@ pub fn matched_filter_decode(
         .iter()
         .map(|r| r.map_or(0, |r| u8::from(r >= theta)))
         .collect();
-    DecodedStripe {
-        payload,
-        phase,
-        preamble_matches,
+    // Quantised margin per payload slot; responses live in [0, 1] and
+    // θ in [0.05, 0.95], so the margin is at most 0.95.
+    let confidence = resp[preamble.len()..]
+        .iter()
+        .map(|r| r.map_or(0, |r| ((r - theta).abs() * f64::from(CONFIDENCE_SCALE)) as u16))
+        .collect();
+    SoftStripe {
+        stripe: DecodedStripe {
+            payload,
+            phase,
+            preamble_matches,
+        },
+        confidence,
     }
 }
 
@@ -431,12 +545,79 @@ mod tests {
     }
 
     #[test]
+    fn matched_filter_soft_bits_match_hard_bits() {
+        // The soft decoder's hard bits are exactly matched_filter_decode's
+        // output — the confidences are additional, never behaviour-changing.
+        let params = ChannelParams::default();
+        let payload = bits_from_bytes(b"soft=hard");
+        let frame = params.frame(&payload);
+        let mut samples = synth_samples(&frame, params.slot_cycles, 100, 6, 950, 630);
+        for (i, s) in samples.iter_mut().enumerate() {
+            if i % 7 == 0 {
+                s.mean_latency = 790; // mid-level noise
+            }
+        }
+        let soft = matched_filter_decode_soft(&samples, &params, payload.len(), 800.0);
+        let hard = matched_filter_decode(&samples, &params, payload.len(), 800.0);
+        assert_eq!(soft.stripe, hard);
+        assert_eq!(soft.confidence.len(), payload.len());
+        assert!(soft.confidence.iter().any(|&c| c > 0));
+        assert!(soft.confidence.iter().all(|&c| c <= CONFIDENCE_SCALE));
+    }
+
+    #[test]
+    fn soft_coding_repairs_low_confidence_double_errors() {
+        // Craft a coded stream whose corruption pattern defeats hard
+        // Hamming decoding (two flips inside one codeword) but marks
+        // exactly the flipped bits as least-confident — the erasure
+        // shape a congested slot with a marginal filter response
+        // produces.
+        let bits: Vec<u8> = (0..40).map(|i| u8::from(i % 3 == 0)).collect();
+        let hard = Coding::Hamming74 { interleave_depth: 1 };
+        let soft = Coding::Hamming74Soft { interleave_depth: 1 };
+        let mut coded = soft.encode(&bits);
+        assert_eq!(coded, hard.encode(&bits), "identical on the encode side");
+        let mut confidence = vec![9000u16; coded.len()];
+        for w in [0usize, 3, 6] {
+            for p in [1usize, 4] {
+                coded[w * 7 + p] ^= 1;
+                confidence[w * 7 + p] = 30;
+            }
+        }
+        let (hard_bits, _) = hard.decode(&coded, bits.len());
+        let hard_errors = hard_bits.iter().zip(&bits).filter(|(a, b)| a != b).count();
+        assert!(hard_errors > 0, "double errors must defeat hard decoding");
+        let (soft_bits, corrections) =
+            soft.decode_with_confidence(&coded, &confidence, bits.len());
+        assert_eq!(soft_bits, bits, "least-confidence correction repairs them");
+        assert!(corrections >= 3);
+    }
+
+    #[test]
+    fn soft_coding_with_uniform_confidence_matches_hard() {
+        let bits: Vec<u8> = (0..64).map(|i| u8::from(i % 5 < 2)).collect();
+        let hard = Coding::Hamming74 { interleave_depth: 8 };
+        let soft = Coding::Hamming74Soft { interleave_depth: 8 };
+        let mut coded = hard.encode(&bits);
+        for b in coded.iter_mut().skip(17).take(9) {
+            *b ^= 1;
+        }
+        let confidence = vec![5000u16; coded.len()];
+        assert_eq!(
+            soft.decode_with_confidence(&coded, &confidence, bits.len()),
+            hard.decode(&coded, bits.len()),
+            "uniform confidences degenerate to hard decoding"
+        );
+    }
+
+    #[test]
     fn coding_round_trips() {
         let bits: Vec<u8> = (0..101).map(|i| u8::from(i % 3 == 0)).collect();
         for coding in [
             Coding::None,
             Coding::Hamming74 { interleave_depth: 1 },
             Coding::Hamming74 { interleave_depth: 16 },
+            Coding::Hamming74Soft { interleave_depth: 16 },
         ] {
             let coded = coding.encode(&bits);
             assert_eq!(coded.len(), coding.channel_bits(bits.len()), "{coding:?}");

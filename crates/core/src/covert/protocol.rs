@@ -65,7 +65,9 @@ pub fn bytes_from_bits(bits: &[u8]) -> Vec<u8> {
 }
 
 /// Distributes payload bits round-robin over `k` parallel set stripes.
-pub fn stripe_bits(bits: &[u8], k: usize) -> Vec<Vec<u8>> {
+/// Generic over the element type so per-bit confidences can ride the
+/// same round-robin permutation as the bits themselves.
+pub fn stripe_bits<T: Copy>(bits: &[T], k: usize) -> Vec<Vec<T>> {
     let mut stripes = vec![Vec::with_capacity(bits.len() / k + 1); k];
     for (i, &b) in bits.iter().enumerate() {
         stripes[i % k].push(b);
@@ -74,10 +76,10 @@ pub fn stripe_bits(bits: &[u8], k: usize) -> Vec<Vec<u8>> {
 }
 
 /// Reassembles round-robin stripes into one bit stream of length `total`.
-pub fn unstripe_bits(stripes: &[Vec<u8>], total: usize) -> Vec<u8> {
+pub fn unstripe_bits<T: Copy + Default>(stripes: &[Vec<T>], total: usize) -> Vec<T> {
     let k = stripes.len();
     (0..total)
-        .map(|i| stripes[i % k].get(i / k).copied().unwrap_or(0))
+        .map(|i| stripes[i % k].get(i / k).copied().unwrap_or_default())
         .collect()
 }
 

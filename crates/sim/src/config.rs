@@ -285,6 +285,28 @@ impl SystemConfig {
         self
     }
 
+    /// Replaces the fabric's QoS / defence configuration
+    /// (builder-style): rate limiting, traffic shaping and valiant
+    /// routing, see [`crate::qos`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fabric is disabled: QoS would never be
+    /// consulted, and because [`SystemConfig::with_fabric`] replaces
+    /// the whole fabric config (including its `qos` field), calling
+    /// `with_qos` *before* `with_fabric` would otherwise discard the
+    /// defence silently — a defence experiment measuring the baseline
+    /// while believing the defence is on. Call `with_fabric` first.
+    #[must_use]
+    pub fn with_qos(mut self, qos: crate::qos::QosConfig) -> Self {
+        assert!(
+            self.fabric.enabled,
+            "with_qos requires an enabled fabric — call with_fabric(FabricConfig::nvlink_v1()) first"
+        );
+        self.fabric.qos = qos;
+        self
+    }
+
     /// Disables timing jitter and contention noise (for deterministic
     /// ground-truth tests).
     #[must_use]

@@ -43,6 +43,9 @@ pub enum SimError {
     /// A [`crate::topology::LinkId`] does not name a link of this
     /// system's topology.
     NoSuchLink(u32),
+    /// A [`crate::qos::QosConfig`] carried a degenerate parameter
+    /// (zero rate, epoch or span); the message names it.
+    InvalidQosConfig(&'static str),
 }
 
 impl fmt::Display for SimError {
@@ -69,6 +72,7 @@ impl fmt::Display for SimError {
                 write!(f, "operation requires the timed link fabric (fabric.enabled)")
             }
             SimError::NoSuchLink(l) => write!(f, "no such nvlink link {l}"),
+            SimError::InvalidQosConfig(reason) => write!(f, "invalid qos config: {reason}"),
         }
     }
 }
@@ -100,6 +104,7 @@ mod tests {
             SimError::InvalidAllocation(0),
             SimError::FabricDisabled,
             SimError::NoSuchLink(99),
+            SimError::InvalidQosConfig("rate limit needs a positive rate"),
         ];
         for e in errs {
             let s = e.to_string();

@@ -29,16 +29,36 @@
 //! latency — no shared cache set required
 //! (`gpubox_attacks::covert::transmit_link`).
 //!
+//! # QoS / defence layer
+//!
+//! Every link grant can optionally pass through the QoS pipeline of
+//! [`crate::qos`] before booking its occupancy window — the defence
+//! side of the congestion channel (per-tenant token-bucket **rate
+//! limiting**, epoch **pacing** / seeded grant **jitter**, and
+//! **valiant routing** that detours lines through pseudo-random
+//! intermediates). The whole layer sits behind [`FabricConfig::qos`]
+//! and is off by default: a [`QosConfig::off`] fabric is bit-identical
+//! to the undefended model, and the per-hop service order is always
+//! *token release → shaping → occupancy wait*. See the [`crate::qos`]
+//! module docs for the defence taxonomy and
+//! `ext_fabric_defense` for the security/performance frontier measured
+//! against both covert-channel families.
+//!
 //! # Determinism and cost
 //!
 //! The fabric consumes **no RNG** and performs **no allocation** after
 //! construction: routes are precomputed [`LinkId`] slices inside
-//! [`Topology`], and traversal walks them updating fixed-size arrays.
-//! With [`FabricConfig::enabled`]`== false` (the default) the fabric is
+//! [`Topology`], and traversal walks them updating fixed-size arrays
+//! (QoS token buckets are preallocated per process at
+//! `create_process` time; jitter and valiant picks come from
+//! counter-indexed splitmix64 streams, not the system RNG). With
+//! [`FabricConfig::enabled`]`== false` (the default) the fabric is
 //! never consulted and simulations are bit-identical to the pre-fabric
 //! model — asserted against a golden fingerprint in `sim_benches`.
 
+use crate::qos::{QosConfig, QosState};
 use crate::stats::SystemStats;
+use crate::system::ProcessId;
 use crate::topology::{LinkId, Topology};
 use serde::{Deserialize, Serialize};
 
@@ -67,6 +87,10 @@ pub struct FabricConfig {
     /// bytes/requests/busy/queue *counters* are maintained in
     /// [`SystemStats`] either way; only the timing changes.
     pub per_direction: bool,
+    /// QoS / defence layer (rate limiting, shaping, valiant routing);
+    /// [`QosConfig::off`] — the default — reproduces the undefended
+    /// fabric bit-for-bit.
+    pub qos: QosConfig,
 }
 
 impl FabricConfig {
@@ -77,6 +101,7 @@ impl FabricConfig {
             nvlink_service_cycles_per_line: 0,
             pcie_service_cycles_per_line: 0,
             per_direction: false,
+            qos: QosConfig::off(),
         }
     }
 
@@ -87,6 +112,7 @@ impl FabricConfig {
             nvlink_service_cycles_per_line: 10,
             pcie_service_cycles_per_line: 60,
             per_direction: false,
+            qos: QosConfig::off(),
         }
     }
 
@@ -95,6 +121,13 @@ impl FabricConfig {
     #[must_use]
     pub fn with_per_direction(mut self) -> Self {
         self.per_direction = true;
+        self
+    }
+
+    /// Replaces the QoS / defence configuration (builder-style).
+    #[must_use]
+    pub fn with_qos(mut self, qos: QosConfig) -> Self {
+        self.qos = qos;
         self
     }
 }
@@ -118,6 +151,11 @@ pub struct Fabric {
     busy_until: Vec<u64>,
     /// Cycle until which the shared PCIe root complex is busy.
     pcie_busy_until: u64,
+    /// Whether any QoS component is active (fast path check).
+    qos_enabled: bool,
+    /// QoS / defence runtime state (token buckets, shaping streams,
+    /// valiant counters); inert when `qos_enabled` is false.
+    qos: QosState,
 }
 
 impl Fabric {
@@ -133,6 +171,8 @@ impl Fabric {
             pcie_service: u64::from(cfg.pcie_service_cycles_per_line),
             busy_until: if cfg.enabled { vec![0; windows] } else { Vec::new() },
             pcie_busy_until: 0,
+            qos_enabled: cfg.enabled && cfg.qos.enabled(),
+            qos: QosState::new(&cfg.qos, topo, windows),
         }
     }
 
@@ -141,13 +181,47 @@ impl Fabric {
         self.enabled
     }
 
-    /// Clears all occupancy windows (engine runs restart agent clocks at
-    /// zero, so stale absolute timestamps must not leak across runs).
+    /// Whether any QoS / defence component is active.
+    pub fn qos_enabled(&self) -> bool {
+        self.qos_enabled
+    }
+
+    /// Registers one more process with the QoS layer (its token buckets
+    /// start full). [`crate::MultiGpuSystem::create_process`] calls this
+    /// for every process; direct [`Fabric`] users driving
+    /// [`Fabric::traverse`] with rate limiting enabled must do the same
+    /// for every [`ProcessId`] they pass.
+    pub fn register_process(&mut self) {
+        self.qos.register_process();
+    }
+
+    /// Clears all occupancy windows and QoS state (engine runs restart
+    /// agent clocks at zero, so stale absolute timestamps must not leak
+    /// across runs; token buckets refill and the shaping/valiant
+    /// streams rewind).
     pub fn reset(&mut self) {
         for b in &mut self.busy_until {
             *b = 0;
         }
         self.pcie_busy_until = 0;
+        self.qos.reset();
+    }
+
+    /// Picks (and consumes one counter tick of) the valiant
+    /// intermediate for a `src → dst` line, when
+    /// [`crate::qos::RoutingPolicy::Valiant`] is configured and the
+    /// topology admits one; `None` means the canonical path is used.
+    #[inline]
+    pub fn valiant_pick(
+        &mut self,
+        topo: &Topology,
+        src: crate::address::GpuId,
+        dst: crate::address::GpuId,
+    ) -> Option<crate::address::GpuId> {
+        if !self.qos_enabled {
+            return None;
+        }
+        self.qos.valiant_pick(topo, src, dst)
     }
 
     /// Sends one line along `path` starting at cycle `now`, store-and-
@@ -155,15 +229,38 @@ impl Fabric {
     /// direction (from [`Topology::path_dirs`], aligned with `path`):
     /// in shared-window mode it only routes the per-direction statistics,
     /// in [`FabricConfig::per_direction`] mode it also selects which of
-    /// the link's two occupancy windows the hop books. Returns the extra
-    /// cycles beyond `now` until the line cleared the last link (queue
-    /// waits + serialisation), and records per-link and per-direction
-    /// bytes/busy/queue statistics.
+    /// the link's two occupancy windows the hop books. `pid` is the
+    /// tenant charged by the QoS layer's token buckets (unused when QoS
+    /// is off). Per hop the QoS pipeline is:
+    ///
+    /// - the **token bucket** decides whether the line is in budget.
+    ///   An in-budget line books the occupancy window exactly like the
+    ///   undefended fabric. An **over-budget** line is re-paced to its
+    ///   refill horizon and crosses in the link's *spare capacity*
+    ///   there: it completes at `horizon + service` but books no
+    ///   occupancy window others could queue behind — the sustained
+    ///   trickle (≤ the configured rate) neither saturates the link
+    ///   observably nor (via the scalar `busy_until`) starves tenants
+    ///   whose ops are processed later. The throttled tenant still
+    ///   pays the full delay and self-clocks down to the sustained
+    ///   rate.
+    /// - **traffic shaping** perturbs the grant of in-budget lines
+    ///   (when the link may start serving — bounded by the epoch /
+    ///   jitter span);
+    /// - the **occupancy wait** serialises in-budget grants against
+    ///   each other.
+    ///
+    /// A link's `queue_cycles` keeps meaning "waited for the
+    /// resource"; the QoS delays are broken out in
+    /// [`crate::stats::QosStats`]. Returns the extra cycles beyond
+    /// `now` until the line was delivered past the last link, and
+    /// records per-link and per-direction bytes/busy/queue statistics.
     ///
     /// Must only be called on an enabled fabric with a non-empty path.
     #[inline]
     pub fn traverse(
         &mut self,
+        pid: ProcessId,
         path: &[LinkId],
         dirs: &[bool],
         now: u64,
@@ -179,19 +276,39 @@ impl Fabric {
             } else {
                 l.index()
             };
-            let busy = &mut self.busy_until[w];
-            let start = t.max(*busy);
-            *busy = start + self.nv_service;
+            let horizon = if self.qos_enabled {
+                self.qos
+                    .delivery_horizon(pid, w, t, line_bytes, stats.qos_mut())
+            } else {
+                t
+            };
+            let (start, queued, occupied) = if horizon > t {
+                // Over budget: re-paced into spare capacity at the
+                // refill horizon — no observable occupancy window, so
+                // no busy/queue accounting either (utilisation keeps
+                // meaning "cycles the bookable windows were held").
+                (horizon, 0, 0)
+            } else {
+                let granted = if self.qos_enabled {
+                    self.qos.shaped_grant(t, stats.qos_mut())
+                } else {
+                    t
+                };
+                let busy = &mut self.busy_until[w];
+                let s = granted.max(*busy);
+                *busy = s + self.nv_service;
+                (s, s - granted, self.nv_service)
+            };
             let st = stats.link_mut(l);
             st.bytes += line_bytes;
             st.requests += 1;
-            st.busy_cycles += self.nv_service;
-            st.queue_cycles += start - t;
+            st.busy_cycles += occupied;
+            st.queue_cycles += queued;
             let sd = stats.link_dir_mut(l, rev);
             sd.bytes += line_bytes;
             sd.requests += 1;
-            sd.busy_cycles += self.nv_service;
-            sd.queue_cycles += start - t;
+            sd.busy_cycles += occupied;
+            sd.queue_cycles += queued;
             t = start + self.nv_service;
         }
         t - now
@@ -237,7 +354,14 @@ mod tests {
     ) -> u64 {
         use crate::address::GpuId;
         let (src, dst) = (GpuId::new(a), GpuId::new(b));
-        fabric.traverse(topo.path(src, dst), topo.path_dirs(src, dst), now, 128, stats)
+        fabric.traverse(
+            ProcessId(0),
+            topo.path(src, dst),
+            topo.path_dirs(src, dst),
+            now,
+            128,
+            stats,
+        )
     }
 
     #[test]
@@ -328,5 +452,57 @@ mod tests {
             10,
             "post-reset traversal sees idle links"
         );
+    }
+
+    #[test]
+    fn rate_limited_traversals_wait_for_the_refill_horizon() {
+        use crate::qos::QosConfig;
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        // 128 B burst, 128 B/kcycle sustained: the second back-to-back
+        // line on a link waits 1024 cycles for its tokens.
+        let cfg = FabricConfig::nvlink_v1()
+            .with_qos(QosConfig::off().with_rate_limit(128, 128));
+        let mut fabric = Fabric::new(&topo, &cfg);
+        fabric.register_process();
+        let mut stats = SystemStats::new(3, topo.num_links());
+        assert!(fabric.qos_enabled());
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 0, 1, 0), 10);
+        // The second line is over budget: re-paced to its refill
+        // horizon, crossing in spare capacity there.
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 0, 1, 0), 1024 + 10);
+        let q = stats.qos();
+        assert_eq!(q.passed_bytes, 128);
+        assert_eq!(q.shaped_bytes, 128);
+        assert_eq!(q.throttle_delay_cycles, 1024);
+        // Flow regulation: the shaped line occupied no observable
+        // window (no queue wait, no busy cycles), so later tenants can
+        // never queue behind the token wait and utilisation stays a
+        // true occupancy measure.
+        assert_eq!(stats.link(LinkId(0)).unwrap().queue_cycles, 0);
+        assert_eq!(stats.link(LinkId(0)).unwrap().busy_cycles, 10);
+        assert_eq!(stats.link(LinkId(0)).unwrap().bytes, 256, "bytes still counted");
+    }
+
+    #[test]
+    fn paced_traversals_start_on_epoch_boundaries() {
+        use crate::qos::QosConfig;
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let cfg = FabricConfig::nvlink_v1().with_qos(QosConfig::off().with_pacing(1000));
+        let mut fabric = Fabric::new(&topo, &cfg);
+        let mut stats = SystemStats::new(3, topo.num_links());
+        // Arrives at 1: granted at the next epoch boundary (1000).
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 0, 1, 1), 1000 - 1 + 10);
+        assert_eq!(stats.qos().pacing_delay_cycles, 999);
+        // A 2-hop line pays the grid on every hop: first hop granted at
+        // 2000 (busy until 2010), second arrives 2010, granted 3000.
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 0, 2, 1500), 3010 - 1500);
+    }
+
+    #[test]
+    fn qos_off_config_keeps_fabric_behaviour_and_counters() {
+        let (topo, mut fabric, mut stats) = fixture();
+        assert!(!fabric.qos_enabled());
+        go(&topo, &mut fabric, &mut stats, 0, 2, 0);
+        assert_eq!(*stats.qos(), crate::stats::QosStats::default());
     }
 }

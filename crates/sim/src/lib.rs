@@ -16,7 +16,11 @@
 //!   bandwidth and occupancy, remote accesses route hop-by-hop along
 //!   deterministic shortest paths (multi-hop and PCIe fallback included),
 //!   and per-link utilisation is surfaced in [`SystemStats`] — the
-//!   substrate of the paper's NVLink-congestion covert channel.
+//!   substrate of the paper's NVLink-congestion covert channel. A
+//!   composable **QoS / defence layer** ([`qos`]) adds per-tenant
+//!   token-bucket link rate limiting, epoch pacing / seeded grant
+//!   jitter, and valiant routing — the interconnect-side mitigations
+//!   evaluated against both covert-channel families.
 //! - **Calibrated timing** reproducing the four Fig. 4 clusters
 //!   (270 / 450 / 630 / 950 cycles) with Gaussian jitter and
 //!   port-contention noise.
@@ -61,6 +65,7 @@ pub mod fabric;
 pub mod memory;
 pub mod noise;
 pub mod process;
+pub mod qos;
 pub mod replacement;
 pub mod sm;
 pub mod stats;
@@ -77,8 +82,9 @@ pub use error::{SimError, SimResult};
 pub use fabric::{Fabric, FabricConfig};
 pub use noise::{NoiseAgent, NoiseConfig};
 pub use process::ProcessCtx;
+pub use qos::{QosConfig, RateLimitConfig, RoutingPolicy, TrafficShaping};
 pub use sm::{KernelId, KernelLaunch, SmArray};
-pub use stats::{GpuStats, LinkStats, SystemStats};
+pub use stats::{GpuStats, LinkStats, QosStats, SystemStats};
 pub use system::{
     AccessOracle, AgentId, BatchAccess, BatchSummary, MemAccess, MultiGpuSystem, ProcessId,
 };

@@ -35,10 +35,39 @@ pub struct LinkStats {
     /// Line transfers that crossed this resource.
     pub requests: u64,
     /// Cycles the resource spent serving transfers (occupancy; divide by
-    /// the simulated span for utilisation).
+    /// the simulated span for utilisation). Lines a QoS token bucket
+    /// re-paced into spare capacity ([`QosStats::shaped_bytes`]) hold
+    /// no bookable window and are not counted here — utilisation stays
+    /// ≤ 100% and keeps meaning "how held the link was".
     pub busy_cycles: u64,
     /// Cycles transfers waited for the resource to free up (queueing).
     pub queue_cycles: u64,
+}
+
+/// Counters of the fabric QoS/defence layer ([`crate::qos`]), maintained
+/// only while a QoS component is enabled; all zero otherwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QosStats {
+    /// Bytes granted immediately by the token buckets (in budget).
+    pub passed_bytes: u64,
+    /// Bytes delayed to their refill horizon (over budget). Together
+    /// with `passed_bytes` this partitions every rate-limited byte:
+    /// `passed + shaped == offered`, property-tested in
+    /// `tests/proptests.rs`.
+    pub shaped_bytes: u64,
+    /// Total cycles of token-bucket delay added across all grants.
+    pub throttle_delay_cycles: u64,
+    /// Total cycles added by epoch pacing ([`crate::qos::TrafficShaping::Pace`]).
+    pub pacing_delay_cycles: u64,
+    /// Total cycles added by seeded grant jitter
+    /// ([`crate::qos::TrafficShaping::Jitter`]).
+    pub jitter_delay_cycles: u64,
+    /// Remote lines routed through a valiant intermediate instead of
+    /// the canonical shortest path.
+    pub valiant_detours: u64,
+    /// Extra NVLink hops those detours traversed beyond the canonical
+    /// hop count.
+    pub valiant_extra_hops: u64,
 }
 
 /// Statistics for the whole box.
@@ -54,6 +83,7 @@ pub struct SystemStats {
     /// windowed per direction.
     per_link_dir: Vec<LinkStats>,
     pcie_root: LinkStats,
+    qos: QosStats,
 }
 
 impl SystemStats {
@@ -64,6 +94,7 @@ impl SystemStats {
             per_link: vec![LinkStats::default(); links],
             per_link_dir: vec![LinkStats::default(); links * 2],
             pcie_root: LinkStats::default(),
+            qos: QosStats::default(),
         }
     }
 
@@ -110,6 +141,16 @@ impl SystemStats {
     /// Panics on an out-of-range link id.
     pub fn link_dir_mut(&mut self, l: LinkId, reverse: bool) -> &mut LinkStats {
         &mut self.per_link_dir[l.index() * 2 + usize::from(reverse)]
+    }
+
+    /// Counters of the fabric QoS/defence layer.
+    pub fn qos(&self) -> &QosStats {
+        &self.qos
+    }
+
+    /// Mutable counters of the QoS layer.
+    pub fn qos_mut(&mut self) -> &mut QosStats {
+        &mut self.qos
     }
 
     /// Counters of the shared PCIe root complex.
@@ -161,6 +202,7 @@ impl SystemStats {
             *l = LinkStats::default();
         }
         self.pcie_root = LinkStats::default();
+        self.qos = QosStats::default();
     }
 }
 
@@ -199,11 +241,13 @@ mod tests {
         s.link_mut(LinkId(0)).busy_cycles = 5;
         s.link_dir_mut(LinkId(0), true).busy_cycles = 3;
         s.pcie_root_mut().requests = 2;
+        s.qos_mut().shaped_bytes = 11;
         s.reset();
         assert_eq!(s.gpu(GpuId::new(0)).l2_misses, 0);
         assert_eq!(s.link(LinkId(0)).unwrap().busy_cycles, 0);
         assert_eq!(s.link_dir(LinkId(0), true).unwrap().busy_cycles, 0);
         assert_eq!(s.pcie_root().requests, 0);
+        assert_eq!(*s.qos(), QosStats::default());
     }
 
     #[test]

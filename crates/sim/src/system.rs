@@ -355,6 +355,35 @@ impl MultiGpuSystem {
         self.fabric.enabled()
     }
 
+    /// Deploys (or retracts) a fabric QoS / defence configuration
+    /// **at runtime**: rate limiting, traffic shaping and valiant
+    /// routing take effect from the next access on, with fresh token
+    /// buckets for every existing process. This is the
+    /// "defence switched on after the attacker calibrated" scenario of
+    /// `ext_fabric_defense`; bake the config into
+    /// [`crate::fabric::FabricConfig::with_qos`] instead when the
+    /// offline attack phase should re-derive its thresholds under the
+    /// defence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FabricDisabled`] when the system was booted
+    /// without the timed link fabric — QoS has nothing to act on
+    /// there — and [`SimError::InvalidQosConfig`] for degenerate
+    /// parameters (zero rate, epoch or span).
+    pub fn set_qos(&mut self, qos: crate::qos::QosConfig) -> SimResult<()> {
+        if !self.fabric.enabled() {
+            return Err(SimError::FabricDisabled);
+        }
+        qos.validate().map_err(SimError::InvalidQosConfig)?;
+        self.cfg.fabric.qos = qos;
+        self.fabric = Fabric::new(&self.cfg.topology, &self.cfg.fabric);
+        for _ in 0..self.processes.len() {
+            self.fabric.register_process();
+        }
+        Ok(())
+    }
+
     /// Counters of one NVLink link (bytes, requests, busy/queue cycles);
     /// all zero unless the fabric model is enabled.
     ///
@@ -381,6 +410,10 @@ impl MultiGpuSystem {
             partition: None,
             tlb: DirectTlb::new(self.tlb_entries, home),
         });
+        // The QoS layer's token buckets are per (process, link window):
+        // allocating them here keeps the engine's steady-state loop
+        // allocation-free.
+        self.fabric.register_process();
         pid
     }
 
@@ -518,7 +551,7 @@ impl MultiGpuSystem {
         };
         let route = self.cfg.topology.route(issuer, home.gpu);
         let (hit, set, latency) =
-            self.access_resolved(issuer, home.gpu, home.addr, partition, agent, now, route);
+            self.access_resolved(pid, issuer, home.gpu, home.addr, partition, agent, now, route);
 
         // Backing store (no RNG, no timing effect — order relative to the
         // timing pass is unobservable).
@@ -551,11 +584,14 @@ impl MultiGpuSystem {
     ///
     /// RNG consumption order is identical to the original scalar path:
     /// cache (random replacement only) → jitter → congestion draws. The
-    /// fabric traversal consumes no RNG, so enabling it never shifts the
-    /// random stream.
+    /// fabric traversal — including the whole QoS layer (token buckets,
+    /// shaping, valiant picks, all counter-indexed splitmix64 streams) —
+    /// consumes no RNG, so enabling either never shifts the random
+    /// stream.
     #[allow(clippy::too_many_arguments)] // flat parameter list keeps the hot path monomorphic
     fn access_resolved(
         &mut self,
+        pid: ProcessId,
         issuer: GpuId,
         home: GpuId,
         pa: PhysAddr,
@@ -586,9 +622,30 @@ impl MultiGpuSystem {
             0
         };
 
+        // Valiant routing (QoS defence): pick this line's intermediate
+        // *before* the latency draw so the per-hop latency term covers
+        // the hops actually traversed. The pick consumes no RNG, so the
+        // canonical path — and every QoS-off simulation — is untouched.
+        let mut fabric_route = route;
+        let mut valiant_mid = None;
+        if home != issuer && self.fabric.enabled() && route.kind == LinkKind::NvLink {
+            if let Some(mid) = self.fabric.valiant_pick(&self.cfg.topology, issuer, home) {
+                let hops = (self.cfg.topology.path(issuer, mid).len()
+                    + self.cfg.topology.path(mid, home).len()) as u32;
+                let q = self.stats.qos_mut();
+                q.valiant_detours += 1;
+                q.valiant_extra_hops += u64::from(hops - route.hops);
+                fabric_route = Route {
+                    kind: LinkKind::NvLink,
+                    hops,
+                };
+                valiant_mid = Some(mid);
+            }
+        }
+
         let mut latency = self
             .latency
-            .access_latency(route, hit, pressure, &mut self.rng);
+            .access_latency(fabric_route, hit, pressure, &mut self.rng);
         if self.track_pressure {
             // NVLink serialisation: concurrent remote requesters to the
             // same home GPU queue on the link. This scalar term is the
@@ -630,11 +687,25 @@ impl MultiGpuSystem {
         if home != issuer && self.fabric.enabled() {
             let line = self.cfg.cache.line_size;
             let extra = match route.kind {
-                LinkKind::NvLink => {
-                    let path = self.cfg.topology.path(issuer, home);
-                    let dirs = self.cfg.topology.path_dirs(issuer, home);
-                    self.fabric.traverse(path, dirs, now, line, &mut self.stats)
-                }
+                LinkKind::NvLink => match valiant_mid {
+                    // Valiant detour: two canonical segments traversed
+                    // store-and-forward through the intermediate.
+                    Some(mid) => {
+                        let p1 = self.cfg.topology.path(issuer, mid);
+                        let d1 = self.cfg.topology.path_dirs(issuer, mid);
+                        let e1 = self.fabric.traverse(pid, p1, d1, now, line, &mut self.stats);
+                        let p2 = self.cfg.topology.path(mid, home);
+                        let d2 = self.cfg.topology.path_dirs(mid, home);
+                        e1 + self
+                            .fabric
+                            .traverse(pid, p2, d2, now + e1, line, &mut self.stats)
+                    }
+                    None => {
+                        let path = self.cfg.topology.path(issuer, home);
+                        let dirs = self.cfg.topology.path_dirs(issuer, home);
+                        self.fabric.traverse(pid, path, dirs, now, line, &mut self.stats)
+                    }
+                },
                 LinkKind::Pcie => self.fabric.traverse_pcie(now, line, &mut self.stats),
                 LinkKind::Local => 0,
             };
@@ -653,10 +724,11 @@ impl MultiGpuSystem {
             match route.kind {
                 // Bytes are counted once per traversed hop: a 2-hop line
                 // crosses two physical links and costs the fabric twice
-                // the bandwidth of a direct transfer.
+                // the bandwidth of a direct transfer (valiant detours
+                // charge the hops actually walked).
                 LinkKind::NvLink => {
                     self.stats.gpu_mut(issuer).nvlink_bytes +=
-                        self.cfg.cache.line_size * u64::from(route.hops)
+                        self.cfg.cache.line_size * u64::from(fabric_route.hops)
                 }
                 LinkKind::Pcie => self.stats.gpu_mut(issuer).pcie_accesses += 1,
                 // A local route cannot serve a remote access.
@@ -751,7 +823,7 @@ impl MultiGpuSystem {
             let pa = PhysAddr(cached.frame_base.0 + (va.0 & page_mask));
             let issue_at = now + gap * i as u64;
             let (hit, _set, latency) =
-                self.access_resolved(issuer, cached.gpu, pa, partition, agent, issue_at, route);
+                self.access_resolved(pid, issuer, cached.gpu, pa, partition, agent, issue_at, route);
             hits += u32::from(hit);
             duration = duration.max(gap * i as u64 + u64::from(latency));
             latencies.push(latency);
@@ -1309,6 +1381,138 @@ mod tests {
         assert_eq!(sys.stats().pcie_root().requests, 1);
         assert_eq!(sys.stats().pcie_root().bytes, 128);
         assert_eq!(sys.link_stats(LinkId(0)), Err(SimError::NoSuchLink(0)));
+    }
+
+    #[test]
+    fn qos_rate_limit_delays_over_budget_traffic_only() {
+        use crate::qos::QosConfig;
+        // 256 B burst, 128 B/kcycle sustained on the single link.
+        let cfg = SystemConfig::small_test().noiseless().with_fabric(
+            crate::fabric::FabricConfig::nvlink_v1()
+                .with_qos(QosConfig::off().with_rate_limit(128, 256)),
+        );
+        let mut sys = MultiGpuSystem::new(cfg);
+        let spy = sys.create_process(GpuId::new(1));
+        sys.enable_peer_access(spy, GpuId::new(0)).unwrap();
+        let buf = sys.malloc_on(spy, GpuId::new(0), 64 * 1024).unwrap();
+        let a = sys.default_agent(spy);
+        // Two lines fit the bucket: identical to the undefended fabric.
+        assert_eq!(sys.access(spy, a, buf, 0, None).unwrap().latency, 960);
+        assert_eq!(
+            sys.access(spy, a, buf.offset(128), 0, None).unwrap().latency,
+            970,
+            "in-budget line pays only the occupancy queue"
+        );
+        // The third is over budget: re-paced to the refill horizon
+        // (128 B at 128 B/kcycle = 1024 cycles) and served in spare
+        // capacity there.
+        let third = sys.access(spy, a, buf.offset(256), 0, None).unwrap();
+        assert_eq!(third.latency, 950 + 1024 + 10);
+        let q = *sys.stats().qos();
+        assert_eq!(q.passed_bytes, 256);
+        assert_eq!(q.shaped_bytes, 128);
+        assert_eq!(q.throttle_delay_cycles, 1024);
+    }
+
+    #[test]
+    fn qos_rate_limit_is_per_tenant() {
+        use crate::qos::QosConfig;
+        let cfg = SystemConfig::small_test().noiseless().with_fabric(
+            crate::fabric::FabricConfig::nvlink_v1()
+                .with_qos(QosConfig::off().with_rate_limit(128, 128)),
+        );
+        let mut sys = MultiGpuSystem::new(cfg);
+        let a = sys.create_process(GpuId::new(1));
+        let b = sys.create_process(GpuId::new(1));
+        sys.enable_peer_access(a, GpuId::new(0)).unwrap();
+        sys.enable_peer_access(b, GpuId::new(0)).unwrap();
+        let abuf = sys.malloc_on(a, GpuId::new(0), 4096).unwrap();
+        let bbuf = sys.malloc_on(b, GpuId::new(0), 4096).unwrap();
+        // Tenant a exhausts its own bucket …
+        sys.access(a, sys.default_agent(a), abuf, 0, None).unwrap();
+        let again = sys.access(a, sys.default_agent(a), abuf, 5, None).unwrap();
+        assert!(again.latency > 1000, "a is throttled: {}", again.latency);
+        // … but tenant b's budget is untouched, and a's throttled line
+        // occupied no observable window: b pays only the occupancy
+        // serialisation behind a's first (in-budget) crossing.
+        let other = sys.access(b, sys.default_agent(b), bbuf, 5, None).unwrap();
+        assert_eq!(other.latency, 965);
+    }
+
+    #[test]
+    fn qos_valiant_routing_detours_and_spreads_load() {
+        use crate::qos::QosConfig;
+        let mut cfg = SystemConfig::dgx1()
+            .noiseless()
+            .with_fabric(crate::fabric::FabricConfig::nvlink_v1())
+            .with_qos(QosConfig::off().with_valiant(3));
+        cfg.allow_indirect_peer = true;
+        let mut sys = MultiGpuSystem::new(cfg);
+        let p = sys.create_process(GpuId::new(0));
+        sys.enable_peer_access(p, GpuId::new(1)).unwrap();
+        let buf = sys.malloc_on(p, GpuId::new(1), 1 << 20).unwrap();
+        let a = sys.default_agent(p);
+        for i in 0..64u64 {
+            let acc = sys.access(p, a, buf.offset(i * 128), i * 2_000, None).unwrap();
+            // The oracle keeps reporting the canonical route.
+            assert_eq!(acc.oracle.route.hops, 1);
+        }
+        let q = *sys.stats().qos();
+        assert_eq!(q.valiant_detours, 64, "every remote line detours");
+        assert!(q.valiant_extra_hops >= 64, "detours walk extra hops");
+        // The load spreads over many links instead of only (0,1).
+        let used = sys
+            .stats()
+            .links()
+            .iter()
+            .filter(|l| l.requests > 0)
+            .count();
+        assert!(used >= 4, "valiant must spread across links, used {used}");
+        // nvlink_bytes charges the hops actually walked.
+        let walked = 64 + q.valiant_extra_hops;
+        assert_eq!(sys.stats().gpu(GpuId::new(0)).nvlink_bytes, 128 * walked);
+    }
+
+    #[test]
+    fn qos_deploys_at_runtime_and_requires_the_fabric() {
+        use crate::qos::QosConfig;
+        let mut sys = boot();
+        assert_eq!(
+            sys.set_qos(QosConfig::off().with_pacing(1000)),
+            Err(SimError::FabricDisabled)
+        );
+        let cfg = SystemConfig::small_test()
+            .noiseless()
+            .with_fabric(crate::fabric::FabricConfig::nvlink_v1());
+        let mut fab_sys = MultiGpuSystem::new(cfg);
+        assert_eq!(
+            fab_sys.set_qos(QosConfig::off().with_rate_limit(0, 128)),
+            Err(SimError::InvalidQosConfig("rate limit needs a positive rate")),
+            "degenerate configs come back as errors, not panics"
+        );
+        assert_eq!(
+            fab_sys.set_qos(QosConfig::off().with_pacing(0)),
+            Err(SimError::InvalidQosConfig("pacing needs a positive epoch"))
+        );
+        let cfg = SystemConfig::small_test()
+            .noiseless()
+            .with_fabric(crate::fabric::FabricConfig::nvlink_v1());
+        let mut sys = MultiGpuSystem::new(cfg);
+        let spy = sys.create_process(GpuId::new(1));
+        sys.enable_peer_access(spy, GpuId::new(0)).unwrap();
+        let buf = sys.malloc_on(spy, GpuId::new(0), 4096).unwrap();
+        let a = sys.default_agent(spy);
+        assert_eq!(sys.access(spy, a, buf, 1, None).unwrap().latency, 960);
+        // Defence switched on mid-life: pacing quantises the next grant
+        // (arrival 2001 → epoch boundary 3000), buckets cover the
+        // already-existing process.
+        sys.set_qos(QosConfig::off().with_pacing(1000)).unwrap();
+        let acc = sys.access(spy, a, buf, 2_001, None).unwrap();
+        assert_eq!(acc.latency, 630 + 999 + 10);
+        // And retracting it restores the undefended fabric.
+        sys.set_qos(QosConfig::off()).unwrap();
+        let acc = sys.access(spy, a, buf, 10_001, None).unwrap();
+        assert_eq!(acc.latency, 640);
     }
 
     #[test]

@@ -337,6 +337,49 @@ impl Topology {
         }
     }
 
+    /// The valiant intermediate for the `counter`-th line of ordered
+    /// pair `(src, dst)` under `seed`: a GPU `w ∉ {src, dst}` with
+    /// NVLink paths `src → w` and `w → dst`, chosen deterministically
+    /// from the splitmix64 stream indexed by `(seed, src, dst,
+    /// counter)`. Returns `None` when the pair is local, has no NVLink
+    /// route, or the graph admits no intermediate (e.g. 2-GPU boxes) —
+    /// the caller then falls back to the canonical path.
+    ///
+    /// This is the routing half of the valiant/MIN defence
+    /// ([`crate::qos::RoutingPolicy::Valiant`]): the full detour is the
+    /// concatenation [`Topology::path`]`(src, w)` ‖
+    /// [`Topology::path`]`(w, dst)`, so every hop is still a real link
+    /// walk — property-tested in `tests/proptests.rs`.
+    pub fn valiant_intermediate(
+        &self,
+        src: GpuId,
+        dst: GpuId,
+        seed: u64,
+        counter: u64,
+    ) -> Option<GpuId> {
+        if src == dst || self.nvlink_hops(src, dst).is_none() {
+            return None;
+        }
+        let valid = |w: u8| {
+            let g = GpuId::new(w);
+            g != src
+                && g != dst
+                && self.nvlink_hops(src, g).is_some()
+                && self.nvlink_hops(g, dst).is_some()
+        };
+        let count = (0..self.n).filter(|&w| valid(w)).count() as u64;
+        if count == 0 {
+            return None;
+        }
+        let pair = (src.index() * self.n as usize + dst.index()) as u64;
+        let h = crate::qos::splitmix64(
+            seed ^ pair.wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ counter.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let k = h % count;
+        (0..self.n).filter(|&w| valid(w)).nth(k as usize).map(GpuId::new)
+    }
+
     /// Iterates over the direct NVLink peers of `g`.
     pub fn peers(&self, g: GpuId) -> impl Iterator<Item = GpuId> + '_ {
         let gi = g.index();
@@ -523,6 +566,61 @@ mod tests {
             ("edges".to_string(), vec![(1u8, 1u8)].to_value()),
         ]);
         assert!(Topology::from_value(&v).is_err(), "self-loop rejected");
+    }
+
+    #[test]
+    fn valiant_intermediate_is_valid_and_deterministic() {
+        let t = Topology::dgx1();
+        for a in 0..8u8 {
+            for b in 0..8u8 {
+                let (ga, gb) = (GpuId::new(a), GpuId::new(b));
+                for counter in 0..8u64 {
+                    let w = t.valiant_intermediate(ga, gb, 42, counter);
+                    if a == b {
+                        assert_eq!(w, None, "local pairs never detour");
+                        continue;
+                    }
+                    let w = w.expect("DGX-1 always admits an intermediate");
+                    assert_ne!(w, ga);
+                    assert_ne!(w, gb);
+                    assert!(t.nvlink_hops(ga, w).is_some());
+                    assert!(t.nvlink_hops(w, gb).is_some());
+                    assert_eq!(
+                        t.valiant_intermediate(ga, gb, 42, counter),
+                        Some(w),
+                        "same (seed, pair, counter) must pick the same GPU"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn valiant_intermediate_spreads_over_candidates() {
+        let t = Topology::dgx1();
+        let picks: std::collections::HashSet<_> = (0..64)
+            .filter_map(|c| t.valiant_intermediate(GpuId::new(0), GpuId::new(5), 1, c))
+            .collect();
+        // {0,5} admits 6 candidates; 64 draws should hit most of them.
+        assert!(picks.len() >= 4, "stream must spread the load: {picks:?}");
+    }
+
+    #[test]
+    fn valiant_intermediate_none_without_candidates() {
+        // Two GPUs, one link: no third GPU to detour through.
+        let t = Topology::from_edges(2, &[(0, 1)]);
+        assert_eq!(t.valiant_intermediate(GpuId::new(0), GpuId::new(1), 9, 0), None);
+        // Disconnected pair: no NVLink route at all.
+        let t = Topology::from_edges(3, &[(0, 1)]);
+        assert_eq!(t.valiant_intermediate(GpuId::new(0), GpuId::new(2), 9, 0), None);
+        // A 0-1-2 line: GPU1 is the only possible intermediate for {0,2}.
+        let t = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        for c in 0..8 {
+            assert_eq!(
+                t.valiant_intermediate(GpuId::new(0), GpuId::new(2), 9, c),
+                Some(GpuId::new(1))
+            );
+        }
     }
 
     #[test]

@@ -14,6 +14,14 @@
 //! enabled — route lookups are precomputed slices and link occupancy is a
 //! fixed array, so the fabric adds zero steady-state allocations.
 //!
+//! A third set proves it for the **QoS / defence layer** with each
+//! mechanism enabled in turn — token-bucket rate limiting, epoch
+//! pacing, seeded grant jitter, and valiant routing: buckets are
+//! preallocated per process at `create_process` time, the shaping and
+//! valiant streams are counter-indexed splitmix64 (no RNG object, no
+//! state growth), and valiant detours reuse the topology's precomputed
+//! path slices.
+//!
 //! The counter is **thread-local**: the engine loop under test runs on
 //! the test's own thread, while the libtest main thread keeps doing its
 //! own bookkeeping (event messages, stdout buffering) concurrently — a
@@ -23,7 +31,7 @@
 
 use gpubox_sim::{
     Agent, Engine, FabricConfig, GpuId, MultiGpuSystem, Op, OpResult, ProbeStage, ProcessId,
-    SchedulerKind, SystemConfig, Topology, VirtAddr,
+    QosConfig, SchedulerKind, SystemConfig, Topology, VirtAddr,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -114,12 +122,42 @@ fn engine_steady_state_loop_is_allocation_free() {
             "engine steady-state loop allocated {allocs} times \
              (scheduler {kind:?}, {agents} agents)"
         );
-        let allocs = fabric_steady_state_allocs(kind, agents);
+        let allocs = fabric_steady_state_allocs(kind, agents, QosConfig::off());
         assert_eq!(
             allocs, 0,
             "fabric-enabled steady-state loop allocated {allocs} times \
              (scheduler {kind:?}, {agents} agents)"
         );
+    }
+}
+
+#[test]
+fn qos_steady_state_loop_is_allocation_free() {
+    // Each defence mechanism in turn, plus the full stack at once, on
+    // both schedulers. Deliberately tight budgets so the rate limiter
+    // actually shapes traffic inside the measured window.
+    let qos_configs = [
+        ("rate limit", QosConfig::off().with_rate_limit(640, 1024)),
+        ("pacing", QosConfig::off().with_pacing(700)),
+        ("jitter", QosConfig::off().with_jitter(900, 17)),
+        ("valiant", QosConfig::off().with_valiant(23)),
+        (
+            "all combined",
+            QosConfig::off()
+                .with_rate_limit(640, 1024)
+                .with_jitter(900, 17)
+                .with_valiant(23),
+        ),
+    ];
+    for (label, qos) in qos_configs {
+        for kind in [SchedulerKind::Linear, SchedulerKind::Heap] {
+            let allocs = fabric_steady_state_allocs(kind, 4, qos);
+            assert_eq!(
+                allocs, 0,
+                "QoS ({label}) steady-state loop allocated {allocs} times \
+                 (scheduler {kind:?})"
+            );
+        }
     }
 }
 
@@ -149,11 +187,12 @@ fn steady_state_allocs(kind: SchedulerKind, agents: usize) -> u64 {
 /// topology is a 0-1-2 NVLink line plus a disconnected GPU3: agents
 /// cycle through local (GPU0→GPU0), direct-link (GPU1→GPU0), two-hop
 /// (GPU2→GPU0) and PCIe-fallback (GPU3→GPU0) issuers, so every fabric
-/// traversal shape runs under the counting allocator.
-fn fabric_steady_state_allocs(kind: SchedulerKind, agents: usize) -> u64 {
+/// traversal shape runs under the counting allocator — with the given
+/// QoS / defence configuration layered on top.
+fn fabric_steady_state_allocs(kind: SchedulerKind, agents: usize, qos: QosConfig) -> u64 {
     let mut cfg = SystemConfig::small_test()
         .noiseless()
-        .with_fabric(FabricConfig::nvlink_v1());
+        .with_fabric(FabricConfig::nvlink_v1().with_qos(qos));
     cfg.num_gpus = 4;
     cfg.topology = Topology::from_edges(4, &[(0, 1), (1, 2)]);
     cfg.allow_indirect_peer = true;
