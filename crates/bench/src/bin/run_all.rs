@@ -27,6 +27,7 @@ fn main() {
         "ext_two_hop_channel",
         "ext_link_congestion_channel",
         "ext_fabric_defense",
+        "ext_fault_resilience",
     ];
     if full {
         bins.insert(6, "fig12_confusion_matrix");
@@ -38,11 +39,19 @@ fn main() {
     let mut failed = Vec::new();
     for bin in &bins {
         println!("\n################ {bin} ################");
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("could not launch {bin}: {e}"));
-        if !status.success() {
-            failed.push(*bin);
+        // A binary that cannot even launch (missing, not built) is a
+        // failure of that experiment, not of the whole suite: record it
+        // and keep going so the final report still covers the rest.
+        match Command::new(dir.join(bin)).status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("{bin} exited with {status}");
+                failed.push(*bin);
+            }
+            Err(e) => {
+                eprintln!("could not launch {bin}: {e}");
+                failed.push(*bin);
+            }
         }
     }
     println!("\n================================================================");

@@ -63,6 +63,28 @@ pub trait ChannelMedium {
         listen: u64,
     ) -> SpyTrace;
 
+    /// As [`ChannelMedium::install_lane`] with both endpoints' launches
+    /// shifted `defer` cycles later — the resilient protocol's
+    /// deterministic retransmission backoff
+    /// ([`super::resilient::transmit_resilient`]) re-runs a medium with
+    /// growing defers so retransmission rounds shift relative to a
+    /// recurring fault window. `listen` must already include `defer`
+    /// (it is an absolute spy-clock horizon). The default delegates to
+    /// [`ChannelMedium::install_lane`] and therefore only supports
+    /// `defer == 0`; both built-in media override it.
+    fn install_lane_deferred(
+        &self,
+        eng: &mut Engine<'_>,
+        lane: usize,
+        frame: &[u8],
+        params: &ChannelParams,
+        listen: u64,
+        defer: u64,
+    ) -> SpyTrace {
+        assert_eq!(defer, 0, "this medium does not support deferred launches");
+        self.install_lane(eng, lane, frame, params, listen)
+    }
+
     /// The decoder this medium's legacy wrapper used — the right
     /// default for its latency distribution shape.
     fn default_decoder(&self) -> Decoder;
@@ -101,15 +123,29 @@ impl ChannelMedium for L2SetMedium<'_> {
         params: &ChannelParams,
         listen: u64,
     ) -> SpyTrace {
+        self.install_lane_deferred(eng, lane, frame, params, listen, 0)
+    }
+
+    fn install_lane_deferred(
+        &self,
+        eng: &mut Engine<'_>,
+        lane: usize,
+        frame: &[u8],
+        params: &ChannelParams,
+        listen: u64,
+        defer: u64,
+    ) -> SpyTrace {
         let pair = &self.pairs[lane];
         let trojan = TrojanAgent::new(self.trojan, &pair.trojan, frame.to_vec(), params);
         let spy = SpyProbeAgent::new(self.spy, &pair.spy, self.thresholds, params, listen);
         let trace = spy.trace();
         // The spy starts slightly before the trojan (it must be
         // listening when the preamble begins); the stagger also models
-        // independent process launches.
-        eng.add_agent(Box::new(spy), 0);
-        eng.add_agent(Box::new(trojan), params.slot_cycles / 2 + 37 * lane as u64);
+        // independent process launches. Both shift together under a
+        // retransmission defer — the endpoints share the backoff
+        // schedule the way they share every other protocol constant.
+        eng.add_agent(Box::new(spy), defer);
+        eng.add_agent(Box::new(trojan), defer + params.slot_cycles / 2 + 37 * lane as u64);
         trace
     }
 
@@ -166,17 +202,30 @@ impl ChannelMedium for LinkCongestionMedium<'_> {
     fn install_lane(
         &self,
         eng: &mut Engine<'_>,
+        lane: usize,
+        frame: &[u8],
+        params: &ChannelParams,
+        listen: u64,
+    ) -> SpyTrace {
+        self.install_lane_deferred(eng, lane, frame, params, listen, 0)
+    }
+
+    fn install_lane_deferred(
+        &self,
+        eng: &mut Engine<'_>,
         _lane: usize,
         frame: &[u8],
         params: &ChannelParams,
         listen: u64,
+        defer: u64,
     ) -> SpyTrace {
         let spy = LinkSpyAgent::new(self.spy, self.channel.spy_lines, params, listen);
         let trace = spy.trace();
         // The spy starts slightly before the trojan (it must be
         // listening when the preamble begins); trojan streams stagger
-        // like independent thread-block launches.
-        eng.add_agent(Box::new(spy), 0);
+        // like independent thread-block launches. A retransmission
+        // defer shifts spy and trojans together.
+        eng.add_agent(Box::new(spy), defer);
         for s in 0..self.channel.trojan_streams {
             let trojan = LinkTrojanAgent::new(
                 self.trojan,
@@ -184,7 +233,7 @@ impl ChannelMedium for LinkCongestionMedium<'_> {
                 frame.to_vec(),
                 params,
             );
-            eng.add_agent(Box::new(trojan), params.slot_cycles / 2 + 37 * s as u64);
+            eng.add_agent(Box::new(trojan), defer + params.slot_cycles / 2 + 37 * s as u64);
         }
         trace
     }

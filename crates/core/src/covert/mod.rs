@@ -50,6 +50,11 @@
 //!   each medium's default pipeline — bit-identical to their PR 3
 //!   implementations (golden fingerprints in
 //!   `tests/channel_fingerprints.rs`).
+//! - **Resilient transport** ([`transmit_resilient`]): sequence-
+//!   numbered, CRC-protected frames with sync-loss detection and
+//!   bounded, deterministically backed-off retransmission on top of
+//!   any medium — the protocol hardening that keeps decoding through
+//!   the fabric's scheduled fault injection ([`gpubox_sim::fault`]).
 //!
 //! Both media share the slotted framing, alternating preamble phase
 //! lock and self-calibrated decision boundaries of [`protocol`]; the
@@ -63,6 +68,7 @@ mod link_agents;
 mod medium;
 mod pipeline;
 mod protocol;
+mod resilient;
 
 pub use agents::{SpyProbeAgent, SpyTrace, TrojanAgent};
 pub use channel::{
@@ -77,6 +83,8 @@ pub use pipeline::{
     SoftStripe, CONFIDENCE_SCALE,
 };
 pub use protocol::{
-    adaptive_boundary, bits_from_bytes, bytes_from_bits, decode_trace, decode_trace_with_boundary,
-    robust_boundary, stripe_bits, unstripe_bits, ChannelParams, DecodedStripe, ProbeSample,
+    adaptive_boundary, bits_from_bytes, bytes_from_bits, crc8_bits, decode_trace,
+    decode_trace_with_boundary, open_frame, robust_boundary, seal_frame, stripe_bits,
+    unstripe_bits, ChannelParams, DecodedStripe, ProbeSample, CRC_BITS, SEQ_BITS,
 };
+pub use resilient::{transmit_resilient, ResilientReport, RetryConfig};

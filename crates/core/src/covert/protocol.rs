@@ -44,6 +44,69 @@ impl ChannelParams {
     }
 }
 
+/// Sequence-number width of a resilient frame, bits. 8 bits bound one
+/// transmission to 256 frames — far beyond what a covert-channel
+/// payload needs per [`crate::covert::transmit_resilient`] call.
+pub const SEQ_BITS: usize = 8;
+
+/// CRC width of a resilient frame, bits (CRC-8, polynomial `0x07`).
+pub const CRC_BITS: usize = 8;
+
+/// CRC-8 over a bit stream: polynomial `x⁸+x²+x+1` (`0x07`), zero
+/// initial value, bits consumed MSB-first — over the bit expansion of
+/// `"123456789"` this is the standard check value `0xF4`. Operating on
+/// bits (not bytes) lets frames carry chunk sizes that are not byte
+/// multiples.
+pub fn crc8_bits(bits: &[u8]) -> u8 {
+    let mut reg = 0u8;
+    for &b in bits {
+        let feedback = (reg >> 7) ^ (b & 1);
+        reg <<= 1;
+        if feedback == 1 {
+            reg ^= 0x07;
+        }
+    }
+    reg
+}
+
+/// Builds one resilient frame body: `seq` (MSB-first, [`SEQ_BITS`] wide)
+/// ‖ `chunk` ‖ the *complement* of the CRC-8 over both ([`CRC_BITS`]).
+/// Storing the complement (the usual final-XOR trick) keeps an
+/// all-zero bit stream from verifying — a silent channel decodes to
+/// zeros, whose plain CRC is also zero, and would otherwise
+/// self-certify as frame 0 carrying a zero chunk. The body goes
+/// through the pipeline's coding stage and the lane preamble like any
+/// other payload; [`open_frame`] inverts it on the receive side.
+pub fn seal_frame(seq: u8, chunk: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(SEQ_BITS + chunk.len() + CRC_BITS);
+    for i in (0..SEQ_BITS).rev() {
+        f.push((seq >> i) & 1);
+    }
+    f.extend_from_slice(chunk);
+    let crc = !crc8_bits(&f);
+    for i in (0..CRC_BITS).rev() {
+        f.push((crc >> i) & 1);
+    }
+    f
+}
+
+/// Parses and verifies a resilient frame body of `chunk_bits` payload
+/// bits: checks the length and the CRC, and returns the sequence number
+/// and the chunk. `None` means the frame is corrupt (any bit error
+/// the coding stage could not repair) and must be retransmitted.
+pub fn open_frame(bits: &[u8], chunk_bits: usize) -> Option<(u8, &[u8])> {
+    if bits.len() != SEQ_BITS + chunk_bits + CRC_BITS {
+        return None;
+    }
+    let (body, crc_bits) = bits.split_at(SEQ_BITS + chunk_bits);
+    let got = crc_bits.iter().fold(0u8, |acc, &b| (acc << 1) | (b & 1));
+    if !crc8_bits(body) != got {
+        return None;
+    }
+    let seq = body[..SEQ_BITS].iter().fold(0u8, |acc, &b| (acc << 1) | (b & 1));
+    Some((seq, &body[SEQ_BITS..]))
+}
+
 /// Unpacks bytes into bits, MSB first (the order the Fig. 10 message trace
 /// uses).
 pub fn bits_from_bytes(bytes: &[u8]) -> Vec<u8> {
@@ -327,6 +390,35 @@ mod tests {
         let bits = bits_from_bytes(&msg);
         assert_eq!(bits.len(), msg.len() * 8);
         assert_eq!(bytes_from_bits(&bits), msg);
+    }
+
+    #[test]
+    fn crc8_matches_the_standard_check_value() {
+        assert_eq!(crc8_bits(&bits_from_bytes(b"123456789")), 0xF4);
+        assert_eq!(crc8_bits(&[]), 0);
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_corruption() {
+        let chunk: Vec<u8> = (0..16).map(|i| u8::from(i % 3 == 0)).collect();
+        let frame = seal_frame(0xA5, &chunk);
+        assert_eq!(frame.len(), SEQ_BITS + chunk.len() + CRC_BITS);
+        let (seq, got) = open_frame(&frame, chunk.len()).expect("clean frame must verify");
+        assert_eq!(seq, 0xA5);
+        assert_eq!(got, &chunk[..]);
+        // Any single-bit flip — in the seq, the chunk or the CRC — is
+        // caught (CRC-8 detects all single-bit errors).
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 1;
+            assert_eq!(open_frame(&bad, chunk.len()), None, "flip at {i}");
+        }
+        // A wrong length never verifies.
+        assert_eq!(open_frame(&frame[1..], chunk.len()), None);
+        assert_eq!(open_frame(&frame, chunk.len() - 1), None);
+        // A silent (all-zero) channel must not self-certify as frame 0
+        // with a zero chunk — the stored CRC complement prevents it.
+        assert_eq!(open_frame(&vec![0; frame.len()], chunk.len()), None);
     }
 
     #[test]

@@ -59,9 +59,9 @@ pub mod timing_re;
 pub use alignment::{align_classes, paired_sets, AlignmentConfig, ClassMatch};
 pub use cache_re::{derive_cache_architecture, CacheArchReport, DetectedPolicy};
 pub use covert::{
-    redecode_traces, transmit, transmit_link, transmit_over, BoundaryPolicy, ChannelMedium,
-    ChannelParams, ChannelReport, Coding, Decoder, L2SetMedium, LinkChannel,
-    LinkCongestionMedium, Pipeline, SetPair,
+    redecode_traces, transmit, transmit_link, transmit_over, transmit_resilient, BoundaryPolicy,
+    ChannelMedium, ChannelParams, ChannelReport, Coding, Decoder, L2SetMedium, LinkChannel,
+    LinkCongestionMedium, Pipeline, ResilientReport, RetryConfig, SetPair,
 };
 pub use eviction::{
     classify_pages, dedupe_aliased, discover_conflicts, sets_alias, validation_sweep, EvictionSet,

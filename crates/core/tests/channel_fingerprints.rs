@@ -16,8 +16,8 @@ use gpubox_attacks::{
     ChannelParams, ChannelReport, LinkChannel, Locality, SetPair, Thresholds,
 };
 use gpubox_sim::{
-    FabricConfig, GpuId, MultiGpuSystem, ProcessCtx, ProcessId, SchedulerKind, SystemConfig,
-    VirtAddr,
+    FabricConfig, FaultPlan, GpuId, MultiGpuSystem, ProcessCtx, ProcessId, SchedulerKind,
+    SystemConfig, VirtAddr,
 };
 
 fn fnv(h: &mut u64, x: u64) {
@@ -179,6 +179,53 @@ fn link_wrapper_reproduces_pr3_fingerprint_on_both_schedulers() {
         )
         .unwrap();
         assert_eq!(report_fingerprint(&rep), LINK_FP, "scheduler {sched:?}");
+    }
+}
+
+/// The fault-injection layer must be bit-invisible until a fault
+/// actually fires: the link golden must hold both with an explicit
+/// empty [`FaultPlan`] installed and with a plan whose outage is
+/// scheduled far beyond the end of the transmission (armed epochs,
+/// binary-searched per access, but the healthy epoch resolves every
+/// route).
+#[test]
+fn link_wrapper_is_bit_identical_with_faults_armed() {
+    let payload = bits_from_bytes(b"fingerprint link");
+    let params = ChannelParams {
+        spy_gap: 600,
+        ..Default::default()
+    };
+    let plans = [
+        ("empty plan", FaultPlan::none()),
+        (
+            "future outage",
+            FaultPlan::none().with_link_down(0, 1 << 40, 1 << 41),
+        ),
+    ];
+    for (label, plan) in plans {
+        for sched in [SchedulerKind::Heap, SchedulerKind::Linear] {
+            let (mut sys, trojan, spy, tl, sl) = link_fixture();
+            sys.set_fault_plan(plan.clone()).unwrap();
+            let rep = transmit_link(
+                &mut sys,
+                trojan,
+                spy,
+                &LinkChannel {
+                    trojan_lines: &tl,
+                    spy_lines: &sl,
+                    trojan_streams: 3,
+                },
+                &payload,
+                &params,
+                sched,
+            )
+            .unwrap();
+            assert_eq!(
+                report_fingerprint(&rep),
+                LINK_FP,
+                "({label}, scheduler {sched:?})"
+            );
+        }
     }
 }
 

@@ -187,6 +187,22 @@ pub enum SchedulerKind {
 /// tenant); beyond it the heap's O(log n) pop/push wins.
 pub const LINEAR_SCHED_MAX_AGENTS: usize = 4;
 
+/// Consecutive zero-duration dispatches [`Engine::run`] tolerates before
+/// declaring the simulation livelocked.
+///
+/// Every op except [`Op::Compute`]`(0)` advances its agent's clock (even
+/// an empty [`Op::LoadBatch`] is charged one cycle), so a run can only
+/// stop making progress when agents emit `Compute(0)` unboundedly. The
+/// deadline cannot catch that — the clock never reaches it — so the
+/// engine counts dispatches that leave the global minimum clock in place
+/// and aborts with [`crate::SimError::Livelocked`] once the streak
+/// exceeds this threshold. [`Op::Done`] counts as progress (it retires
+/// an agent), and any clock-advancing op resets the streak. The value is
+/// far above any legitimate same-cycle burst (a probe issues one op per
+/// staged batch, not per line) while still tripping in well under a
+/// second of wall time.
+pub const LIVELOCK_THRESHOLD: u64 = 1 << 20;
+
 struct Slot {
     agent: Box<dyn Agent>,
     agent_id: AgentId,
@@ -364,9 +380,14 @@ impl<'a> Engine<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates the first simulator error an agent's op produces.
+    /// Propagates the first simulator error an agent's op produces, and
+    /// returns [`crate::SimError::Livelocked`] when more than
+    /// [`LIVELOCK_THRESHOLD`] consecutive dispatches fail to advance any
+    /// clock (agents spinning on [`Op::Compute`]`(0)`), which a deadline
+    /// alone can never terminate.
     pub fn run(&mut self, deadline: u64) -> SimResult<u64> {
         self.prepare_scheduler();
+        let mut zero_streak: u64 = 0;
         while let Some(i) = self.next_runnable() {
             #[cfg(debug_assertions)]
             {
@@ -396,6 +417,7 @@ impl<'a> Engine<'a> {
                 Op::Done => {
                     self.slots[i].done = true;
                     self.reschedule(i);
+                    zero_streak = 0;
                     continue;
                 }
                 Op::Compute(c) => (c, 0),
@@ -428,6 +450,14 @@ impl<'a> Engine<'a> {
                     (b.duration, 0)
                 }
             };
+            if duration == 0 {
+                zero_streak += 1;
+                if zero_streak > LIVELOCK_THRESHOLD {
+                    return Err(crate::error::SimError::Livelocked { at: now });
+                }
+            } else {
+                zero_streak = 0;
+            }
             self.slots[i].clock = now + duration;
             self.reschedule(i);
             let res = OpResult {
@@ -775,6 +805,76 @@ mod tests {
                 "scheduler {kind:?}"
             );
         }
+    }
+
+    #[test]
+    fn livelocked_compute_zero_spinner_trips_the_watchdog() {
+        // An agent that only ever emits `Compute(0)` never advances its
+        // clock, so no deadline can end the run — the watchdog must.
+        struct Spinner(ProcessId);
+        impl Agent for Spinner {
+            fn next_op(&mut self, _now: u64, _stage: &mut ProbeStage) -> Op {
+                Op::Compute(0)
+            }
+            fn on_result(&mut self, _res: &OpResult<'_>) {}
+            fn process(&self) -> ProcessId {
+                self.0
+            }
+        }
+        for kind in [SchedulerKind::Linear, SchedulerKind::Heap] {
+            let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+            let p = sys.create_process(GpuId::new(0));
+            let mut eng = Engine::with_scheduler(&mut sys, kind);
+            eng.add_agent(Box::new(Spinner(p)), 7);
+            let err = eng.run(u64::MAX).unwrap_err();
+            assert_eq!(
+                err,
+                crate::error::SimError::Livelocked { at: 7 },
+                "scheduler {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_zero_duration_bursts_do_not_trip_the_watchdog() {
+        // Long—but finite—same-cycle bursts are legitimate (an agent
+        // polling its local clock before a timed wait); only an unbounded
+        // streak is a livelock. Interleaving a clock-advancing op resets
+        // the streak, so this run must complete.
+        struct Burster {
+            pid: ProcessId,
+            rounds: usize,
+        }
+        impl Agent for Burster {
+            fn next_op(&mut self, _now: u64, _stage: &mut ProbeStage) -> Op {
+                if self.rounds == 0 {
+                    return Op::Done;
+                }
+                self.rounds -= 1;
+                // Three zero-cost polls, then one advancing cycle.
+                if self.rounds.is_multiple_of(4) {
+                    Op::Compute(1)
+                } else {
+                    Op::Compute(0)
+                }
+            }
+            fn on_result(&mut self, _res: &OpResult<'_>) {}
+            fn process(&self) -> ProcessId {
+                self.pid
+            }
+        }
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let p = sys.create_process(GpuId::new(0));
+        let mut eng = Engine::new(&mut sys);
+        eng.add_agent(
+            Box::new(Burster {
+                pid: p,
+                rounds: 4_000,
+            }),
+            0,
+        );
+        eng.run(u64::MAX).unwrap();
+        assert!(eng.all_done());
     }
 
     #[test]

@@ -46,6 +46,24 @@ pub enum SimError {
     /// A [`crate::qos::QosConfig`] carried a degenerate parameter
     /// (zero rate, epoch or span); the message names it.
     InvalidQosConfig(&'static str),
+    /// A [`crate::fault::FaultPlan`] carried a degenerate parameter
+    /// (empty fault window, inert multiplier, bad stall rate); the
+    /// message names it.
+    InvalidFaultPlan(&'static str),
+    /// A scheduled link failure ([`crate::fault::LinkDown`]) has
+    /// partitioned the requester from the target GPU and the fault plan
+    /// refuses the PCIe root-complex fallback
+    /// ([`crate::fault::FaultPlan::without_pcie_fallback`]); carries the
+    /// lowest-numbered link down in the current fault epoch.
+    LinkDown(u32),
+    /// [`crate::engine::Engine::run`] detected a livelocked step: agents
+    /// kept dispatching zero-duration operations without ever advancing
+    /// the simulated clock ([`crate::engine::LIVELOCK_THRESHOLD`]
+    /// consecutive times); carries the stuck cycle.
+    Livelocked {
+        /// The simulated cycle the engine was stuck at.
+        at: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -73,6 +91,15 @@ impl fmt::Display for SimError {
             }
             SimError::NoSuchLink(l) => write!(f, "no such nvlink link {l}"),
             SimError::InvalidQosConfig(reason) => write!(f, "invalid qos config: {reason}"),
+            SimError::InvalidFaultPlan(reason) => write!(f, "invalid fault plan: {reason}"),
+            SimError::LinkDown(l) => write!(
+                f,
+                "nvlink link {l} is down and the pcie fallback is refused"
+            ),
+            SimError::Livelocked { at } => write!(
+                f,
+                "engine livelocked at cycle {at}: no agent advances the clock"
+            ),
         }
     }
 }
@@ -105,6 +132,9 @@ mod tests {
             SimError::FabricDisabled,
             SimError::NoSuchLink(99),
             SimError::InvalidQosConfig("rate limit needs a positive rate"),
+            SimError::InvalidFaultPlan("link outage must recover after it begins"),
+            SimError::LinkDown(4),
+            SimError::Livelocked { at: 1234 },
         ];
         for e in errs {
             let s = e.to_string();

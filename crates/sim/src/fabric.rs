@@ -56,6 +56,7 @@
 //! never consulted and simulations are bit-identical to the pre-fabric
 //! model — asserted against a golden fingerprint in `sim_benches`.
 
+use crate::fault::{FaultPlan, FaultState};
 use crate::qos::{QosConfig, QosState};
 use crate::stats::SystemStats;
 use crate::system::ProcessId;
@@ -91,6 +92,11 @@ pub struct FabricConfig {
     /// [`QosConfig::off`] — the default — reproduces the undefended
     /// fabric bit-for-bit.
     pub qos: QosConfig,
+    /// Deterministic fault-injection plan ([`crate::fault`]): scheduled
+    /// link outages with per-epoch rerouting, degraded links and seeded
+    /// transient stalls. [`FaultPlan::none`] — the default — reproduces
+    /// the healthy fabric bit-for-bit.
+    pub faults: FaultPlan,
 }
 
 impl FabricConfig {
@@ -102,6 +108,7 @@ impl FabricConfig {
             pcie_service_cycles_per_line: 0,
             per_direction: false,
             qos: QosConfig::off(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -113,6 +120,7 @@ impl FabricConfig {
             pcie_service_cycles_per_line: 60,
             per_direction: false,
             qos: QosConfig::off(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -128,6 +136,13 @@ impl FabricConfig {
     #[must_use]
     pub fn with_qos(mut self, qos: QosConfig) -> Self {
         self.qos = qos;
+        self
+    }
+
+    /// Replaces the fault-injection plan (builder-style).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -156,12 +171,22 @@ pub struct Fabric {
     /// QoS / defence runtime state (token buckets, shaping streams,
     /// valiant counters); inert when `qos_enabled` is false.
     qos: QosState,
+    /// Fault-injection runtime state ([`crate::fault`]): per-link
+    /// outage/degradation windows and the transient-stall stream.
+    /// `None` — the healthy fabric — costs nothing per hop.
+    faults: Option<FaultState>,
 }
 
 impl Fabric {
     /// Builds the fabric state for a topology (one occupancy window per
     /// link, or two in [`FabricConfig::per_direction`] mode). A disabled
     /// config allocates no per-link state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the config carries an invalid [`FaultPlan`]
+    /// ([`FaultPlan::validate`]) or one naming a link the topology does
+    /// not have.
     pub fn new(topo: &Topology, cfg: &FabricConfig) -> Self {
         let windows = topo.num_links() * if cfg.per_direction { 2 } else { 1 };
         Fabric {
@@ -173,6 +198,8 @@ impl Fabric {
             pcie_busy_until: 0,
             qos_enabled: cfg.enabled && cfg.qos.enabled(),
             qos: QosState::new(&cfg.qos, topo, windows),
+            faults: (cfg.enabled && cfg.faults.enabled())
+                .then(|| FaultState::new(&cfg.faults, topo.num_links())),
         }
     }
 
@@ -205,6 +232,9 @@ impl Fabric {
         }
         self.pcie_busy_until = 0;
         self.qos.reset();
+        if let Some(f) = &mut self.faults {
+            f.reset();
+        }
     }
 
     /// Picks (and consumes one counter tick of) the valiant
@@ -231,7 +261,10 @@ impl Fabric {
     /// in [`FabricConfig::per_direction`] mode it also selects which of
     /// the link's two occupancy windows the hop books. `pid` is the
     /// tenant charged by the QoS layer's token buckets (unused when QoS
-    /// is off). Per hop the QoS pipeline is:
+    /// is off). When a [`FaultPlan`] is active each hop first applies
+    /// its faults — outage wait, then transient stall, then degraded
+    /// service (see [`crate::fault`]) — and the delayed arrival then
+    /// enters the QoS pipeline, which per hop is:
     ///
     /// - the **token bucket** decides whether the line is in budget.
     ///   An in-budget line books the occupancy window exactly like the
@@ -276,6 +309,17 @@ impl Fabric {
             } else {
                 l.index()
             };
+            // Faults first: a line reaching a down link waits out the
+            // outage (stale routes stall mid-transfer), the transient
+            // stall stream may delay it, and a degraded window inflates
+            // this hop's service time. The (possibly delayed) arrival
+            // then enters the QoS pipeline unchanged.
+            let mut service = self.nv_service;
+            if let Some(fs) = &mut self.faults {
+                let (arr, svc) = fs.apply_hop(l, t, self.nv_service, stats.fault_mut());
+                t = arr;
+                service = svc;
+            }
             let horizon = if self.qos_enabled {
                 self.qos
                     .delivery_horizon(pid, w, t, line_bytes, stats.qos_mut())
@@ -296,8 +340,8 @@ impl Fabric {
                 };
                 let busy = &mut self.busy_until[w];
                 let s = granted.max(*busy);
-                *busy = s + self.nv_service;
-                (s, s - granted, self.nv_service)
+                *busy = s.saturating_add(service);
+                (s, s - granted, service)
             };
             let st = stats.link_mut(l);
             st.bytes += line_bytes;
@@ -309,7 +353,7 @@ impl Fabric {
             sd.requests += 1;
             sd.busy_cycles += occupied;
             sd.queue_cycles += queued;
-            t = start + self.nv_service;
+            t = start.saturating_add(service);
         }
         t - now
     }
@@ -504,5 +548,89 @@ mod tests {
         assert!(!fabric.qos_enabled());
         go(&topo, &mut fabric, &mut stats, 0, 2, 0);
         assert_eq!(*stats.qos(), crate::stats::QosStats::default());
+        assert_eq!(*stats.fault(), crate::stats::FaultStats::default());
+    }
+
+    #[test]
+    fn down_link_stalls_lines_until_recovery() {
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        // Link (0,1) down over [100, 400).
+        let cfg = FabricConfig::nvlink_v1()
+            .with_faults(FaultPlan::none().with_link_down(0, 100, 400));
+        let mut fabric = Fabric::new(&topo, &cfg);
+        let mut stats = SystemStats::new(3, topo.num_links());
+        // Before the outage: the healthy cost.
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 0, 1, 0), 10);
+        // During: the line waits at the dead link until 400, then serves.
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 0, 1, 150), 400 - 150 + 10);
+        let f = stats.fault();
+        assert_eq!(f.down_waits, 1);
+        assert_eq!(f.down_wait_cycles, 250);
+        // Other links are untouched by the outage.
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 1, 2, 150), 10);
+    }
+
+    #[test]
+    fn degraded_link_serves_at_the_multiplier() {
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let cfg = FabricConfig::nvlink_v1()
+            .with_faults(FaultPlan::none().with_degraded(0, 0, 1_000, 4));
+        let mut fabric = Fabric::new(&topo, &cfg);
+        let mut stats = SystemStats::new(3, topo.num_links());
+        // 4× service while degraded, and the inflated occupancy windows
+        // queue follow-up lines 4× further out.
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 0, 1, 0), 40);
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 0, 1, 0), 80);
+        assert_eq!(stats.link(LinkId(0)).unwrap().busy_cycles, 80);
+        assert_eq!(stats.fault().degraded_hops, 2);
+        assert_eq!(stats.fault().degraded_extra_cycles, 60);
+        // After the window the link is healthy again.
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 0, 1, 2_000), 10);
+    }
+
+    #[test]
+    fn transient_stalls_hit_deterministically_and_reset_rewinds() {
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        // per_1024 = 1024: every hop stalls, so the cost is exact.
+        let cfg = FabricConfig::nvlink_v1()
+            .with_faults(FaultPlan::none().with_stalls(7, 1024, 5));
+        let mut fabric = Fabric::new(&topo, &cfg);
+        let mut stats = SystemStats::new(3, topo.num_links());
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 0, 1, 1_000), 15);
+        assert_eq!(stats.fault().transient_stalls, 1);
+        assert_eq!(stats.fault().stall_cycles, 5);
+        // A fractional rate replays bit-identically after reset.
+        let cfg = FabricConfig::nvlink_v1()
+            .with_faults(FaultPlan::none().with_stalls(7, 512, 5));
+        let mut fabric = Fabric::new(&topo, &cfg);
+        let run = |fabric: &mut Fabric, stats: &mut SystemStats| -> Vec<u64> {
+            (0..32)
+                .map(|i| go(&topo, fabric, stats, 0, 2, i * 10_000))
+                .collect()
+        };
+        let first = run(&mut fabric, &mut stats);
+        fabric.reset();
+        let second = run(&mut fabric, &mut stats);
+        assert_eq!(first, second);
+        assert!(first.iter().any(|&x| x > 20), "some hops stalled");
+        assert!(first.contains(&20), "some hops passed clean");
+    }
+
+    #[test]
+    #[should_panic(expected = "link outage must recover")]
+    fn invalid_fault_plan_panics_at_construction() {
+        let topo = Topology::from_edges(2, &[(0, 1)]);
+        let cfg = FabricConfig::nvlink_v1()
+            .with_faults(FaultPlan::none().with_link_down(0, 50, 50));
+        let _ = Fabric::new(&topo, &cfg);
+    }
+
+    #[test]
+    fn fault_plan_on_disabled_fabric_is_inert() {
+        let topo = Topology::from_edges(2, &[(0, 1)]);
+        let cfg = FabricConfig::disabled()
+            .with_faults(FaultPlan::none().with_link_down(0, 0, 100));
+        let fabric = Fabric::new(&topo, &cfg);
+        assert!(!fabric.enabled());
     }
 }

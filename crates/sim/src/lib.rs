@@ -20,7 +20,10 @@
 //!   composable **QoS / defence layer** ([`qos`]) adds per-tenant
 //!   token-bucket link rate limiting, epoch pacing / seeded grant
 //!   jitter, and valiant routing — the interconnect-side mitigations
-//!   evaluated against both covert-channel families.
+//!   evaluated against both covert-channel families — and a
+//!   deterministic **fault-injection layer** ([`fault`]) schedules link
+//!   outages (with per-epoch rerouting and PCIe fallback), degraded
+//!   links and seeded transient stalls for robustness evaluation.
 //! - **Calibrated timing** reproducing the four Fig. 4 clusters
 //!   (270 / 450 / 630 / 950 cycles) with Gaussian jitter and
 //!   port-contention noise.
@@ -62,6 +65,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod fabric;
+pub mod fault;
 pub mod memory;
 pub mod noise;
 pub mod process;
@@ -80,11 +84,12 @@ pub use config::{CacheConfig, ReplacementKind, SmConfig, SystemConfig, TimingCon
 pub use engine::{Agent, Engine, Op, OpResult, ProbeStage, SchedulerKind};
 pub use error::{SimError, SimResult};
 pub use fabric::{Fabric, FabricConfig};
+pub use fault::{DegradedLink, FaultPlan, LinkDown, TransientStalls};
 pub use noise::{NoiseAgent, NoiseConfig};
 pub use process::ProcessCtx;
 pub use qos::{QosConfig, RateLimitConfig, RoutingPolicy, TrafficShaping};
 pub use sm::{KernelId, KernelLaunch, SmArray};
-pub use stats::{GpuStats, LinkStats, QosStats, SystemStats};
+pub use stats::{FaultStats, GpuStats, LinkStats, QosStats, SystemStats};
 pub use system::{
     AccessOracle, AgentId, BatchAccess, BatchSummary, MemAccess, MultiGpuSystem, ProcessId,
 };

@@ -70,6 +70,38 @@ pub struct QosStats {
     pub valiant_extra_hops: u64,
 }
 
+/// Counters of the fault-injection layer ([`crate::fault`]), maintained
+/// only while a [`crate::fault::FaultPlan`] is active; all zero
+/// otherwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Remote accesses that took a different NVLink path than the
+    /// healthy topology's because a scheduled outage removed a link on
+    /// (or changed the cost of) the canonical route.
+    pub reroutes: u64,
+    /// Remote accesses that fell back to the PCIe root complex because
+    /// outages partitioned the requester from the target GPU.
+    pub pcie_fallbacks: u64,
+    /// Remote accesses refused with [`crate::SimError::LinkDown`]
+    /// because the pair was partitioned and the plan forbids the PCIe
+    /// fallback.
+    pub refused_accesses: u64,
+    /// Lines that arrived at a down link on an already-resolved (stale)
+    /// route and stalled until recovery.
+    pub down_waits: u64,
+    /// Total cycles those lines spent waiting out outages (saturating:
+    /// a permanent failure contributes `u64::MAX` at the first wait).
+    pub down_wait_cycles: u64,
+    /// Hops served at a degraded link's multiplied service time.
+    pub degraded_hops: u64,
+    /// Extra service cycles degradation added beyond healthy service.
+    pub degraded_extra_cycles: u64,
+    /// Hops hit by a seeded transient stall.
+    pub transient_stalls: u64,
+    /// Total cycles of transient-stall delay.
+    pub stall_cycles: u64,
+}
+
 /// Statistics for the whole box.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SystemStats {
@@ -84,6 +116,7 @@ pub struct SystemStats {
     per_link_dir: Vec<LinkStats>,
     pcie_root: LinkStats,
     qos: QosStats,
+    fault: FaultStats,
 }
 
 impl SystemStats {
@@ -95,6 +128,7 @@ impl SystemStats {
             per_link_dir: vec![LinkStats::default(); links * 2],
             pcie_root: LinkStats::default(),
             qos: QosStats::default(),
+            fault: FaultStats::default(),
         }
     }
 
@@ -153,6 +187,16 @@ impl SystemStats {
         &mut self.qos
     }
 
+    /// Counters of the fault-injection layer.
+    pub fn fault(&self) -> &FaultStats {
+        &self.fault
+    }
+
+    /// Mutable counters of the fault-injection layer.
+    pub fn fault_mut(&mut self) -> &mut FaultStats {
+        &mut self.fault
+    }
+
     /// Counters of the shared PCIe root complex.
     pub fn pcie_root(&self) -> &LinkStats {
         &self.pcie_root
@@ -203,6 +247,7 @@ impl SystemStats {
         }
         self.pcie_root = LinkStats::default();
         self.qos = QosStats::default();
+        self.fault = FaultStats::default();
     }
 }
 
@@ -242,12 +287,15 @@ mod tests {
         s.link_dir_mut(LinkId(0), true).busy_cycles = 3;
         s.pcie_root_mut().requests = 2;
         s.qos_mut().shaped_bytes = 11;
+        s.fault_mut().reroutes = 6;
+        s.fault_mut().down_wait_cycles = 77;
         s.reset();
         assert_eq!(s.gpu(GpuId::new(0)).l2_misses, 0);
         assert_eq!(s.link(LinkId(0)).unwrap().busy_cycles, 0);
         assert_eq!(s.link_dir(LinkId(0), true).unwrap().busy_cycles, 0);
         assert_eq!(s.pcie_root().requests, 0);
         assert_eq!(*s.qos(), QosStats::default());
+        assert_eq!(*s.fault(), FaultStats::default());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::cache::L2Cache;
 use crate::config::SystemConfig;
 use crate::error::{SimError, SimResult};
 use crate::fabric::Fabric;
+use crate::fault::{build_epochs, FaultEpoch, FaultPlan};
 use crate::memory::Hbm;
 use crate::sm::{KernelId, KernelLaunch, SmArray};
 use crate::stats::{LinkStats, SystemStats};
@@ -228,6 +229,12 @@ pub struct MultiGpuSystem {
     /// Timed per-link interconnect state; inert when the config leaves
     /// the fabric disabled (the scalar PR 2 model).
     fabric: Fabric,
+    /// Precomputed routing epochs of the fault plan's scheduled link
+    /// outages ([`crate::fault`]), sorted by start cycle; empty — the
+    /// common case — means "always route canonically". Rebuilt by
+    /// [`MultiGpuSystem::set_fault_plan`]; the per-access lookup is a
+    /// binary search, so the steady state stays allocation-free.
+    fault_epochs: Vec<FaultEpoch>,
     stats: SystemStats,
     rng: ChaCha8Rng,
     next_agent: u32,
@@ -275,6 +282,11 @@ impl MultiGpuSystem {
             .collect();
         let congested_until = vec![0u64; cfg.num_gpus as usize];
         let fabric = Fabric::new(&cfg.topology, &cfg.fabric);
+        let fault_epochs = if cfg.fabric.enabled {
+            build_epochs(&cfg.fabric.faults, &cfg.topology)
+        } else {
+            Vec::new()
+        };
         let stats = SystemStats::new(cfg.num_gpus, cfg.topology.num_links());
         let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         MultiGpuSystem {
@@ -286,6 +298,7 @@ impl MultiGpuSystem {
             remote_pressure,
             congested_until,
             fabric,
+            fault_epochs,
             stats,
             rng,
             next_agent: 0,
@@ -382,6 +395,80 @@ impl MultiGpuSystem {
             self.fabric.register_process();
         }
         Ok(())
+    }
+
+    /// Deploys (or retracts, with [`FaultPlan::none`]) a fault-injection
+    /// plan **at runtime**: scheduled link outages (with per-epoch
+    /// rerouting and PCIe fallback), degraded links and seeded transient
+    /// stalls take effect from the next access on. Fabric occupancy
+    /// state is rebuilt (token buckets refill for every existing
+    /// process) and the outage routing epochs are precomputed here, so
+    /// the access paths stay allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FabricDisabled`] when the system was booted
+    /// without the timed link fabric — faults have nothing to act on
+    /// there — [`SimError::InvalidFaultPlan`] for degenerate parameters
+    /// ([`FaultPlan::validate`]), and [`SimError::NoSuchLink`] when the
+    /// plan names a link the topology does not have.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> SimResult<()> {
+        if !self.fabric.enabled() {
+            return Err(SimError::FabricDisabled);
+        }
+        plan.validate().map_err(SimError::InvalidFaultPlan)?;
+        if let Some(l) = plan.max_link() {
+            if (l as usize) >= self.cfg.topology.num_links() {
+                return Err(SimError::NoSuchLink(l));
+            }
+        }
+        self.cfg.fabric.faults = plan;
+        self.fabric = Fabric::new(&self.cfg.topology, &self.cfg.fabric);
+        for _ in 0..self.processes.len() {
+            self.fabric.register_process();
+        }
+        self.fault_epochs = build_epochs(&self.cfg.fabric.faults, &self.cfg.topology);
+        Ok(())
+    }
+
+    /// Epoch-aware route resolution: with no outage epochs (the common
+    /// case, and always when faults are off) this is exactly
+    /// [`crate::topology::Topology::route`] on the canonical topology.
+    /// Otherwise the epoch covering `now` decides: the surviving graph's
+    /// route (counting a reroute when it changed the canonical NVLink
+    /// path), the PCIe root complex when the pair is partitioned, or —
+    /// when the plan refuses the fallback — [`SimError::LinkDown`].
+    fn resolve_route(&mut self, issuer: GpuId, home: GpuId, now: u64) -> SimResult<Route> {
+        if issuer == home || self.fault_epochs.is_empty() {
+            return Ok(self.cfg.topology.route(issuer, home));
+        }
+        // Epochs start at cycle 0 and are sorted, so the partition point
+        // is always ≥ 1.
+        let idx = self.fault_epochs.partition_point(|e| e.start <= now) - 1;
+        let ep = &self.fault_epochs[idx];
+        let Some(topo) = &ep.topo else {
+            return Ok(self.cfg.topology.route(issuer, home));
+        };
+        let route = topo.route(issuer, home);
+        if self.cfg.topology.route(issuer, home).kind == LinkKind::NvLink {
+            match route.kind {
+                LinkKind::NvLink => {
+                    if topo.path(issuer, home) != self.cfg.topology.path(issuer, home) {
+                        self.stats.fault_mut().reroutes += 1;
+                    }
+                }
+                LinkKind::Pcie => {
+                    if self.cfg.fabric.faults.pcie_fallback {
+                        self.stats.fault_mut().pcie_fallbacks += 1;
+                    } else {
+                        self.stats.fault_mut().refused_accesses += 1;
+                        return Err(SimError::LinkDown(ep.first_down));
+                    }
+                }
+                LinkKind::Local => {}
+            }
+        }
+        Ok(route)
     }
 
     /// Counters of one NVLink link (bytes, requests, busy/queue cycles);
@@ -549,7 +636,7 @@ impl MultiGpuSystem {
                 p.partition,
             )
         };
-        let route = self.cfg.topology.route(issuer, home.gpu);
+        let route = self.resolve_route(issuer, home.gpu, now)?;
         let (hit, set, latency) =
             self.access_resolved(pid, issuer, home.gpu, home.addr, partition, agent, now, route);
 
@@ -622,13 +709,31 @@ impl MultiGpuSystem {
             0
         };
 
+        // Fault epochs: the routing table covering this access's issue
+        // time (`None` = canonical). A batch access may carry a route
+        // resolved at batch start into a later epoch; paths below then
+        // come from the issue-time epoch, falling back to the canonical
+        // path (and its down-link stall) when the epoch has none.
+        let epoch_topo = if self.fault_epochs.is_empty() {
+            None
+        } else {
+            let idx = self.fault_epochs.partition_point(|e| e.start <= now) - 1;
+            self.fault_epochs[idx].topo.as_ref()
+        };
+
         // Valiant routing (QoS defence): pick this line's intermediate
         // *before* the latency draw so the per-hop latency term covers
         // the hops actually traversed. The pick consumes no RNG, so the
         // canonical path — and every QoS-off simulation — is untouched.
+        // Suspended during outage epochs: a detour segment could cross a
+        // failed link the rerouted table avoids.
         let mut fabric_route = route;
         let mut valiant_mid = None;
-        if home != issuer && self.fabric.enabled() && route.kind == LinkKind::NvLink {
+        if home != issuer
+            && self.fabric.enabled()
+            && route.kind == LinkKind::NvLink
+            && epoch_topo.is_none()
+        {
             if let Some(mid) = self.fabric.valiant_pick(&self.cfg.topology, issuer, home) {
                 let hops = (self.cfg.topology.path(issuer, mid).len()
                     + self.cfg.topology.path(mid, home).len()) as u32;
@@ -701,8 +806,17 @@ impl MultiGpuSystem {
                             .traverse(pid, p2, d2, now + e1, line, &mut self.stats)
                     }
                     None => {
-                        let path = self.cfg.topology.path(issuer, home);
-                        let dirs = self.cfg.topology.path_dirs(issuer, home);
+                        let topo = epoch_topo.unwrap_or(&self.cfg.topology);
+                        let mut path = topo.path(issuer, home);
+                        let mut dirs = topo.path_dirs(issuer, home);
+                        if path.is_empty() {
+                            // A stale NVLink route carried into an epoch
+                            // that partitions the pair: the in-flight
+                            // line follows the canonical path and stalls
+                            // at the dead link until recovery.
+                            path = self.cfg.topology.path(issuer, home);
+                            dirs = self.cfg.topology.path_dirs(issuer, home);
+                        }
                         self.fabric.traverse(pid, path, dirs, now, line, &mut self.stats)
                     }
                 },
@@ -816,7 +930,13 @@ impl MultiGpuSystem {
             let vpn = va.0 >> page_shift;
             if vpn != cached_vpn {
                 let m = self.processes[pid.0 as usize].translate_page(vpn, va)?;
-                route = self.cfg.topology.route(issuer, m.gpu);
+                // Routes are resolved against the fault epoch at batch
+                // start: a warp commits its transfers to the link engine
+                // when it issues, so lines of a batch that straddles an
+                // outage boundary follow their already-resolved route
+                // and stall at the dead link (down-wait) rather than
+                // rerouting mid-batch.
+                route = self.resolve_route(issuer, m.gpu, now)?;
                 cached_vpn = vpn;
                 cached = m;
             }
@@ -1512,6 +1632,120 @@ mod tests {
         // And retracting it restores the undefended fabric.
         sys.set_qos(QosConfig::off()).unwrap();
         let acc = sys.access(spy, a, buf, 10_001, None).unwrap();
+        assert_eq!(acc.latency, 640);
+    }
+
+    #[test]
+    fn fault_link_down_reroutes_over_survivors() {
+        use crate::fault::FaultPlan;
+        // Triangle 0-1-2: the direct (0,1) link has a 2-hop detour via 2.
+        let mut cfg = SystemConfig::small_test()
+            .noiseless()
+            .with_fabric(crate::fabric::FabricConfig::nvlink_v1().with_faults(
+                FaultPlan::none().with_link_down(0, 10_000, u64::MAX),
+            ));
+        cfg.num_gpus = 3;
+        cfg.topology = crate::topology::Topology::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        cfg.allow_indirect_peer = true;
+        let mut sys = MultiGpuSystem::new(cfg);
+        let p = sys.create_process(GpuId::new(1));
+        sys.enable_peer_access(p, GpuId::new(0)).unwrap();
+        let buf = sys.malloc_on(p, GpuId::new(0), 4096).unwrap();
+        let a = sys.default_agent(p);
+        // Healthy epoch: the direct link, usual fabric-on latency.
+        let before = sys.access(p, a, buf, 0, None).unwrap();
+        assert_eq!(before.latency, 960);
+        assert_eq!(before.oracle.route.hops, 1);
+        // Outage epoch: rerouted over 1-2-0, two hops, counted.
+        let after = sys.access(p, a, buf, 20_000, None).unwrap();
+        assert_eq!(after.oracle.route.kind, LinkKind::NvLink);
+        assert_eq!(after.oracle.route.hops, 2);
+        assert_eq!(sys.stats().fault().reroutes, 1);
+        // Warm 2-hop over two idle links: 630 + 360 + 2·10.
+        assert_eq!(after.latency, 630 + 360 + 20);
+        // The dead link carried nothing new; the detour links did.
+        assert_eq!(sys.link_stats(LinkId(0)).unwrap().requests, 1);
+        assert_eq!(sys.link_stats(LinkId(1)).unwrap().requests, 1);
+        assert_eq!(sys.link_stats(LinkId(2)).unwrap().requests, 1);
+    }
+
+    #[test]
+    fn fault_partition_falls_back_to_pcie_or_refuses() {
+        use crate::fault::FaultPlan;
+        // 2-GPU box with a single link: downing it partitions the pair.
+        let boot_with = |plan: FaultPlan| {
+            let cfg = SystemConfig::small_test()
+                .noiseless()
+                .with_fabric(crate::fabric::FabricConfig::nvlink_v1().with_faults(plan));
+            let mut sys = MultiGpuSystem::new(cfg);
+            let p = sys.create_process(GpuId::new(1));
+            sys.enable_peer_access(p, GpuId::new(0)).unwrap();
+            let buf = sys.malloc_on(p, GpuId::new(0), 4096).unwrap();
+            (sys, p, buf)
+        };
+        // Default plan: the access silently degrades to PCIe.
+        let plan = FaultPlan::none().with_link_down(0, 1_000, 2_000);
+        let (mut sys, p, buf) = boot_with(plan.clone());
+        let a = sys.default_agent(p);
+        let acc = sys.access(p, a, buf, 1_500, None).unwrap();
+        assert_eq!(acc.oracle.route.kind, LinkKind::Pcie);
+        assert_eq!(sys.stats().fault().pcie_fallbacks, 1);
+        assert_eq!(sys.stats().pcie_root().requests, 1);
+        // After recovery the NVLink route is back.
+        let acc = sys.access(p, a, buf, 3_000, None).unwrap();
+        assert_eq!(acc.oracle.route.kind, LinkKind::NvLink);
+        // Refusing the fallback turns the access into an error.
+        let (mut sys, p, buf) = boot_with(plan.without_pcie_fallback());
+        let a = sys.default_agent(p);
+        assert_eq!(
+            sys.access(p, a, buf, 1_500, None).unwrap_err(),
+            SimError::LinkDown(0)
+        );
+        assert_eq!(sys.stats().fault().refused_accesses, 1);
+        // Outside the outage window the access still works.
+        assert!(sys.access(p, a, buf, 2_500, None).is_ok());
+    }
+
+    #[test]
+    fn fault_plan_deploys_at_runtime_and_requires_the_fabric() {
+        use crate::fault::FaultPlan;
+        let mut sys = boot();
+        assert_eq!(
+            sys.set_fault_plan(FaultPlan::none().with_link_down(0, 0, 100)),
+            Err(SimError::FabricDisabled)
+        );
+        let cfg = SystemConfig::small_test()
+            .noiseless()
+            .with_fabric(crate::fabric::FabricConfig::nvlink_v1());
+        let mut sys = MultiGpuSystem::new(cfg);
+        assert_eq!(
+            sys.set_fault_plan(FaultPlan::none().with_link_down(0, 100, 100)),
+            Err(SimError::InvalidFaultPlan(
+                "link outage must recover after it begins"
+            )),
+            "degenerate plans come back as errors, not panics"
+        );
+        assert_eq!(
+            sys.set_fault_plan(FaultPlan::none().with_link_down(7, 0, 100)),
+            Err(SimError::NoSuchLink(7)),
+            "plans must name links of this topology"
+        );
+        let spy = sys.create_process(GpuId::new(1));
+        sys.enable_peer_access(spy, GpuId::new(0)).unwrap();
+        let buf = sys.malloc_on(spy, GpuId::new(0), 4096).unwrap();
+        let a = sys.default_agent(spy);
+        assert_eq!(sys.access(spy, a, buf, 1, None).unwrap().latency, 960);
+        // Fault plan deployed mid-life: the single link goes down, the
+        // already-existing process's next access degrades to PCIe.
+        sys.set_fault_plan(FaultPlan::none().with_link_down(0, 2_000, 4_000))
+            .unwrap();
+        let acc = sys.access(spy, a, buf, 3_000, None).unwrap();
+        assert_eq!(acc.oracle.route.kind, LinkKind::Pcie);
+        assert_eq!(sys.stats().fault().pcie_fallbacks, 1);
+        // Retracting the plan restores the healthy fabric.
+        sys.set_fault_plan(FaultPlan::none()).unwrap();
+        let acc = sys.access(spy, a, buf, 3_000, None).unwrap();
+        assert_eq!(acc.oracle.route.kind, LinkKind::NvLink);
         assert_eq!(acc.latency, 640);
     }
 

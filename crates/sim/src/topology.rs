@@ -380,6 +380,43 @@ impl Topology {
         (0..self.n).filter(|&w| valid(w)).nth(k as usize).map(GpuId::new)
     }
 
+    /// Recomputes routing over the surviving graph after removing
+    /// `failed` links: the returned topology keeps the original
+    /// canonical edge list (so [`LinkId`] numbering — and everything
+    /// indexed by it, fabric occupancy windows and per-link stats —
+    /// stays stable) but drops the failed links from adjacency,
+    /// distances and precomputed paths. GPU pairs the failures
+    /// partition end up with [`Topology::nvlink_hops`] `== None`, an
+    /// empty [`Topology::path`] and a [`LinkKind::Pcie`] route, exactly
+    /// like natively unreachable pairs. Out-of-range ids in `failed`
+    /// are ignored. Used by [`crate::fault`] to build one routing table
+    /// per fault epoch.
+    #[must_use]
+    pub fn excluding_links(&self, failed: &[LinkId]) -> Topology {
+        let mut adj = self.adj.clone();
+        let mut link_of = self.link_of.clone();
+        for &l in failed {
+            if let Some(&(a, b)) = self.edges.get(l.index()) {
+                adj[a as usize][b as usize] = false;
+                adj[b as usize][a as usize] = false;
+                link_of[a as usize][b as usize] = None;
+                link_of[b as usize][a as usize] = None;
+            }
+        }
+        let dist = Self::all_pairs(&adj);
+        let (paths, path_dirs, path_span) = Self::all_paths(self.n as usize, &dist, &adj, &link_of);
+        Topology {
+            n: self.n,
+            adj,
+            dist,
+            edges: self.edges.clone(),
+            link_of,
+            paths,
+            path_dirs,
+            path_span,
+        }
+    }
+
     /// Iterates over the direct NVLink peers of `g`.
     pub fn peers(&self, g: GpuId) -> impl Iterator<Item = GpuId> + '_ {
         let gi = g.index();
@@ -621,6 +658,48 @@ mod tests {
                 Some(GpuId::new(1))
             );
         }
+    }
+
+    #[test]
+    fn excluding_links_reroutes_and_keeps_link_numbering() {
+        let t = Topology::dgx1();
+        // Fail both links of the canonical 0-1-5 path: (0,1) and (1,5).
+        let l01 = t.link_between(GpuId::new(0), GpuId::new(1)).unwrap();
+        let l15 = t.link_between(GpuId::new(1), GpuId::new(5)).unwrap();
+        let s = t.excluding_links(&[l01, l15]);
+        // Link ids and endpoints are unchanged — only routing moved.
+        assert_eq!(s.num_links(), t.num_links());
+        for l in 0..16u32 {
+            assert_eq!(s.link_endpoints(LinkId(l)), t.link_endpoints(LinkId(l)));
+        }
+        assert_eq!(s.link_between(GpuId::new(0), GpuId::new(1)), None);
+        assert!(!s.direct_nvlink(GpuId::new(0), GpuId::new(1)));
+        // {0,5} still routes in 2 hops, now avoiding the failed links.
+        assert_eq!(s.nvlink_hops(GpuId::new(0), GpuId::new(5)), Some(2));
+        let p = s.path(GpuId::new(0), GpuId::new(5));
+        assert_eq!(p.len(), 2);
+        assert!(!p.contains(&l01) && !p.contains(&l15));
+        // {0,1} reroutes around its dead direct link.
+        assert_eq!(s.nvlink_hops(GpuId::new(0), GpuId::new(1)), Some(2));
+        // The original topology is untouched.
+        assert_eq!(t.nvlink_hops(GpuId::new(0), GpuId::new(1)), Some(1));
+    }
+
+    #[test]
+    fn excluding_links_partitions_to_pcie() {
+        // A 0-1-2 line: failing (0,1) cuts GPU0 off.
+        let t = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let s = t.excluding_links(&[LinkId(0)]);
+        assert_eq!(s.nvlink_hops(GpuId::new(0), GpuId::new(1)), None);
+        assert_eq!(s.nvlink_hops(GpuId::new(0), GpuId::new(2)), None);
+        assert!(s.path(GpuId::new(0), GpuId::new(2)).is_empty());
+        assert_eq!(s.route(GpuId::new(0), GpuId::new(2)).kind, LinkKind::Pcie);
+        // The surviving half still routes over NVLink.
+        assert_eq!(s.nvlink_hops(GpuId::new(1), GpuId::new(2)), Some(1));
+        assert_eq!(s.path(GpuId::new(1), GpuId::new(2)), &[LinkId(1)]);
+        // Out-of-range failures are ignored.
+        let u = t.excluding_links(&[LinkId(99)]);
+        assert_eq!(u.path(GpuId::new(0), GpuId::new(2)), t.path(GpuId::new(0), GpuId::new(2)));
     }
 
     #[test]

@@ -22,6 +22,15 @@
 //! state growth), and valiant detours reuse the topology's precomputed
 //! path slices.
 //!
+//! A fourth set proves it for the **fault-injection layer** with an
+//! active `FaultPlan` (always-on transient stalls plus a degraded
+//! window and a link outage both scheduled *inside* the measured run):
+//! fault epochs and their rerouted topologies are precomputed when the
+//! plan is installed, the per-access epoch lookup is a binary search
+//! over a fixed slice, and stall draws are counter-indexed splitmix64
+//! — so even while the outage is forcing PCIe fallbacks and reroutes,
+//! the steady-state loop allocates nothing.
+//!
 //! The counter is **thread-local**: the engine loop under test runs on
 //! the test's own thread, while the libtest main thread keeps doing its
 //! own bookkeeping (event messages, stdout buffering) concurrently — a
@@ -30,8 +39,8 @@
 //! loop and nothing else.
 
 use gpubox_sim::{
-    Agent, Engine, FabricConfig, GpuId, MultiGpuSystem, Op, OpResult, ProbeStage, ProcessId,
-    QosConfig, SchedulerKind, SystemConfig, Topology, VirtAddr,
+    Agent, Engine, FabricConfig, FaultPlan, GpuId, MultiGpuSystem, Op, OpResult, ProbeStage,
+    ProcessId, QosConfig, SchedulerKind, SystemConfig, Topology, VirtAddr,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -132,6 +141,27 @@ fn engine_steady_state_loop_is_allocation_free() {
 }
 
 #[test]
+fn fault_steady_state_loop_is_allocation_free() {
+    // Every fault mechanism at once, live inside the measured window
+    // (warm-up ends at 600k, measurement runs to 6.6M): stalls fire
+    // throughout, link (0,1) degrades over [700k, 3M), and link (1,2)
+    // goes down over [3M, 5M) — which partitions GPU2's agents from
+    // GPU0 and forces their traffic through the PCIe fallback.
+    let plan = FaultPlan::none()
+        .with_stalls(7, 16, 450)
+        .with_degraded(0, 700_000, 3_000_000, 4)
+        .with_link_down(1, 3_000_000, 5_000_000);
+    for kind in [SchedulerKind::Linear, SchedulerKind::Heap] {
+        let allocs = fabric_steady_state_allocs_under(kind, 4, QosConfig::off(), plan.clone());
+        assert_eq!(
+            allocs, 0,
+            "fault-injected steady-state loop allocated {allocs} times \
+             (scheduler {kind:?})"
+        );
+    }
+}
+
+#[test]
 fn qos_steady_state_loop_is_allocation_free() {
     // Each defence mechanism in turn, plus the full stack at once, on
     // both schedulers. Deliberately tight budgets so the rate limiter
@@ -190,9 +220,20 @@ fn steady_state_allocs(kind: SchedulerKind, agents: usize) -> u64 {
 /// traversal shape runs under the counting allocator — with the given
 /// QoS / defence configuration layered on top.
 fn fabric_steady_state_allocs(kind: SchedulerKind, agents: usize, qos: QosConfig) -> u64 {
+    fabric_steady_state_allocs_under(kind, agents, qos, FaultPlan::none())
+}
+
+/// As [`fabric_steady_state_allocs`] with a fault-injection plan
+/// installed on the fabric.
+fn fabric_steady_state_allocs_under(
+    kind: SchedulerKind,
+    agents: usize,
+    qos: QosConfig,
+    faults: FaultPlan,
+) -> u64 {
     let mut cfg = SystemConfig::small_test()
         .noiseless()
-        .with_fabric(FabricConfig::nvlink_v1().with_qos(qos));
+        .with_fabric(FabricConfig::nvlink_v1().with_qos(qos).with_faults(faults));
     cfg.num_gpus = 4;
     cfg.topology = Topology::from_edges(4, &[(0, 1), (1, 2)]);
     cfg.allow_indirect_peer = true;

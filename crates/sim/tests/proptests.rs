@@ -315,6 +315,83 @@ proptest! {
         prop_assert!(n == 1 || b.duration <= sum, "no overlap at all?");
     }
 
+    /// Fault-aware rerouting on arbitrary link graphs with arbitrary
+    /// failed-link subsets: the recomputed paths of
+    /// [`Topology::excluding_links`] are valid walks that never touch a
+    /// failed link, shortest among the *surviving* links (reference BFS
+    /// over the surviving graph), and the PCIe fallback engages exactly
+    /// when the survivors leave a pair partitioned.
+    #[test]
+    fn fault_rerouting_matches_surviving_graph(
+        n in 2u8..=8,
+        mask in 0u32..(1 << 28),
+        fail_mask in 0u32..(1 << 16),
+    ) {
+        use gpubox_sim::LinkId;
+        let edges = edges_from_mask(n, mask);
+        let t = Topology::from_edges(n, &edges);
+        let failed: Vec<LinkId> = (0..t.num_links())
+            .filter(|&l| fail_mask & (1 << (l % 16)) != 0)
+            .map(|l| LinkId(l as u32))
+            .collect();
+        let survived = t.excluding_links(&failed);
+        // Link ids stay stable across the recomputation.
+        prop_assert_eq!(survived.num_links(), t.num_links());
+        for l in 0..t.num_links() {
+            let l = LinkId(l as u32);
+            prop_assert_eq!(survived.link_endpoints(l), t.link_endpoints(l));
+        }
+        let surviving_edges: Vec<(u8, u8)> = (0..t.num_links())
+            .map(|l| LinkId(l as u32))
+            .filter(|l| !failed.contains(l))
+            .map(|l| {
+                let (a, b) = t.link_endpoints(l).expect("link exists");
+                (a.index() as u8, b.index() as u8)
+            })
+            .collect();
+        let dist = reference_bfs(n, &surviving_edges);
+        for a in 0..n {
+            for b in 0..n {
+                let (ga, gb) = (GpuId::new(a), GpuId::new(b));
+                let p = survived.path(ga, gb);
+                match dist[a as usize][b as usize] {
+                    Some(d) if a != b => {
+                        prop_assert_eq!(p.len() as u32, d,
+                            "path not shortest among survivors");
+                        prop_assert_eq!(
+                            survived.route(ga, gb).kind,
+                            gpubox_sim::LinkKind::NvLink
+                        );
+                        // Valid walk a -> b that avoids every failed link.
+                        let mut cur = ga;
+                        for &l in p {
+                            prop_assert!(!failed.contains(&l), "walk uses a failed link");
+                            let (x, y) = survived.link_endpoints(l).expect("link exists");
+                            prop_assert!(cur == x || cur == y, "walk broke at {}", cur);
+                            cur = if cur == x { y } else { x };
+                        }
+                        prop_assert_eq!(cur, gb, "walk must end at the destination");
+                    }
+                    Some(_) => {
+                        prop_assert!(p.is_empty());
+                        prop_assert_eq!(
+                            survived.route(ga, gb).kind,
+                            gpubox_sim::LinkKind::Local
+                        );
+                    }
+                    None => {
+                        // Partitioned: the PCIe fallback, and only then.
+                        prop_assert!(p.is_empty());
+                        prop_assert_eq!(
+                            survived.route(ga, gb).kind,
+                            gpubox_sim::LinkKind::Pcie
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// Valiant intermediates on arbitrary link graphs: whenever one is
     /// returned it names a GPU distinct from both endpoints whose two
     /// canonical segments are valid link walks ending at the
