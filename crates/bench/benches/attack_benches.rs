@@ -44,6 +44,7 @@ fn bench_discovery(c: &mut Criterion) {
                 16,
                 &Thresholds::paper_defaults(),
                 Locality::Local,
+                &ScanConfig::classify_default(),
             )
             .unwrap()
         })

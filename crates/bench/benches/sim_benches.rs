@@ -35,8 +35,8 @@
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use gpubox_attacks::covert::{decode_trace, stripe_bits, unstripe_bits, ProbeSample};
 use gpubox_attacks::{
-    align_classes, classify_pages, paired_sets, AlignmentConfig, ChannelParams, Locality, SetPair,
-    Thresholds, TrialRunner,
+    align_classes, classify_pages, classify_pages_fast, paired_sets, AlignmentConfig,
+    ChannelParams, Locality, ScanConfig, SetPair, Thresholds, TrialRunner,
 };
 use gpubox_sim::{
     Agent, CacheConfig, Engine, FabricConfig, GpuId, L2Cache, MultiGpuSystem, Op, OpResult,
@@ -579,12 +579,12 @@ fn channel_fixture(seed: u64) -> (MultiGpuSystem, ProcessId, ProcessId, Vec<SetP
     let tclasses = {
         let mut ctx = ProcessCtx::new(&mut sys, trojan, 0);
         let b = ctx.malloc_on(GpuId::new(0), bytes).unwrap();
-        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Local).unwrap()
+        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Local, &ScanConfig::classify_default()).unwrap()
     };
     let sclasses = {
         let mut ctx = ProcessCtx::new(&mut sys, spy, 0);
         let b = ctx.malloc_on(GpuId::new(0), bytes).unwrap();
-        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Remote).unwrap()
+        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Remote, &ScanConfig::classify_default()).unwrap()
     };
     let matches = align_classes(
         &mut sys,
@@ -898,6 +898,49 @@ fn bench_system_boot(c: &mut Criterion) {
     });
 }
 
+/// Eviction-set discovery rung: the faithful Algorithm-1 page classifier
+/// vs the group-testing scan, on the small noiseless box (96 pages). The
+/// `bench_discovery` binary gates the full DGX-scale numbers (simulated
+/// accesses, >= 5x ratio); this rung tracks the host-side wall-clock of
+/// both paths so classifier regressions show up in the criterion trend.
+fn bench_discovery_scan(c: &mut Criterion) {
+    let thr = Thresholds::paper_defaults();
+    let scan = ScanConfig::classify_default();
+    let run = |fast: bool| {
+        let mut sys = MultiGpuSystem::new(SystemConfig::small_test().noiseless());
+        let pid = sys.create_process(GpuId::new(0));
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        let buf = ctx.malloc_on(GpuId::new(0), 96 * 4096).unwrap();
+        let f = if fast { classify_pages_fast } else { classify_pages };
+        let classes = f(&mut ctx, buf, 96 * 4096, 4096, 128, 16, &thr, Locality::Local, &scan)
+            .unwrap();
+        (
+            classes,
+            ctx.system().stats().gpu(GpuId::new(0)).issued_accesses,
+        )
+    };
+
+    // Sanity before timing: identical classes, strictly fewer accesses.
+    let (classic, classic_accesses) = run(false);
+    let (grouped, grouped_accesses) = run(true);
+    assert_eq!(
+        classic.classes, grouped.classes,
+        "group-testing scan must classify identically to Algorithm 1"
+    );
+    assert!(
+        grouped_accesses * 2 < classic_accesses,
+        "group-testing scan lost its access advantage \
+         (classic {classic_accesses}, grouped {grouped_accesses})"
+    );
+
+    c.bench_function("classify_pages_alg1_small", |b| {
+        b.iter(|| black_box(run(false)).1)
+    });
+    c.bench_function("classify_pages_grouped_small", |b| {
+        b.iter(|| black_box(run(true)).1)
+    });
+}
+
 criterion_group!(
     benches,
     bench_cache_layer,
@@ -905,6 +948,7 @@ criterion_group!(
     bench_trial_fanout,
     bench_engine_overhead,
     bench_covert_e2e,
+    bench_discovery_scan,
     bench_fabric,
     bench_system_boot
 );

@@ -1,0 +1,313 @@
+//! Eviction-set discovery rung: Algorithm 1 vs the group-testing scan.
+//!
+//! Classifies the standard 16 MiB attack buffer on a DGX-1 with both
+//! page classifiers — the faithful serial pointer-chase
+//! ([`classify_pages`]) and the warp-parallel group-testing scan
+//! ([`classify_pages_fast`]) — locally and over NVLink, and reports
+//! simulated accesses-to-converge, classification throughput
+//! (sets/second of host wall-clock) and the end-to-end
+//! [`AttackSetup`] prepare time (old-style serial offline phase, the
+//! production fast phase, and a cache-hit re-prepare).
+//!
+//! This binary is a CI gate, not just a report:
+//!
+//! - both classifiers must produce **identical** page classes, and the
+//!   fast one must pass the simulator's address-oracle audit;
+//! - the fast path must converge in at most [`MAX_FAST_ACCESSES`]
+//!   simulated accesses and at least [`MIN_ACCESS_RATIO`]× fewer than
+//!   Algorithm 1, per locality;
+//! - a cache-hit prepare must skip derivation entirely.
+//!
+//! Usage: `bench_discovery [trials]` (default 3; seeds vary per trial).
+
+use std::time::Instant;
+
+use gpubox_attacks::timing_re::measure_timing;
+use gpubox_attacks::{
+    classify_pages, classify_pages_fast, verify_classes_against_oracle, Locality, OfflineCache,
+    PageClasses, ScanConfig, Thresholds,
+};
+use gpubox_bench::{report, AttackSetup, ATTACK_BUFFER_BYTES};
+use gpubox_sim::{GpuId, MultiGpuSystem, ProcessCtx, SystemConfig};
+
+/// Gate: minimum ratio of Algorithm-1 accesses to group-testing accesses.
+const MIN_ACCESS_RATIO: f64 = 5.0;
+
+/// Gate: ceiling on the fast path's simulated accesses for one 16 MiB
+/// buffer classification (256 pages, 4 alignment classes).
+const MAX_FAST_ACCESSES: u64 = 40_000;
+
+#[derive(Debug, serde::Serialize)]
+struct Row {
+    locality: &'static str,
+    classifier: &'static str,
+    accesses_median: u64,
+    wall_ms_median: f64,
+    sets_per_sec: f64,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct PrepareRow {
+    flavor: &'static str,
+    wall_ms: f64,
+    offline_cached: bool,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct Artefact {
+    rows: Vec<Row>,
+    access_ratio_local: f64,
+    access_ratio_remote: f64,
+    min_access_ratio_gate: f64,
+    max_fast_accesses_gate: u64,
+    prepare: Vec<PrepareRow>,
+}
+
+/// One classification of the standard buffer on a fresh DGX-1. Returns
+/// the classes, total simulated accesses and host wall-clock seconds.
+fn classify_run(fast: bool, remote: bool, seed: u64) -> (PageClasses, u64, f64) {
+    let cfg = SystemConfig::dgx1().with_seed(seed);
+    let mut sys = MultiGpuSystem::new(cfg);
+    let home = GpuId::new(0);
+    let (pid, loc) = if remote {
+        let pid = sys.create_process(GpuId::new(1));
+        sys.enable_peer_access(pid, home).expect("peer access");
+        (pid, Locality::Remote)
+    } else {
+        (sys.create_process(home), Locality::Local)
+    };
+    let page = sys.config().page_size;
+    let line = sys.config().cache.line_size;
+    let ways = sys.config().cache.ways as usize;
+    let thr = Thresholds::paper_defaults();
+    let scan = ScanConfig::classify_default();
+    let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+    let buf = ctx.malloc_on(home, ATTACK_BUFFER_BYTES).unwrap();
+    let t0 = Instant::now();
+    let classes = if fast {
+        classify_pages_fast(
+            &mut ctx,
+            buf,
+            ATTACK_BUFFER_BYTES,
+            page,
+            line,
+            ways,
+            &thr,
+            loc,
+            &scan,
+        )
+    } else {
+        classify_pages(
+            &mut ctx,
+            buf,
+            ATTACK_BUFFER_BYTES,
+            page,
+            line,
+            ways,
+            &thr,
+            loc,
+            &scan,
+        )
+    }
+    .expect("classification");
+    let wall = t0.elapsed().as_secs_f64();
+    let accesses = ctx.system().stats().total().issued_accesses;
+    let num_pages = ATTACK_BUFFER_BYTES / page;
+    verify_classes_against_oracle(&sys, pid, &classes, num_pages).expect("oracle audit");
+    (classes, accesses, wall)
+}
+
+fn median_u64(xs: &mut [u64]) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn median_f64(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// The pre-cache offline phase, timed end to end: timing RE + two serial
+/// Algorithm-1 classifications, exactly what `AttackSetup::prepare` did
+/// before the group-testing scan landed.
+fn old_style_prepare(seed: u64) -> f64 {
+    let t0 = Instant::now();
+    let mut sys = MultiGpuSystem::new(SystemConfig::dgx1().with_seed(seed));
+    let timing = measure_timing(&mut sys, GpuId::new(0), GpuId::new(1), 48).expect("timing");
+    let trojan = sys.create_process(GpuId::new(0));
+    let spy = sys.create_process(GpuId::new(1));
+    sys.enable_peer_access(spy, GpuId::new(0)).expect("peer");
+    let page = sys.config().page_size;
+    let line = sys.config().cache.line_size;
+    let ways = sys.config().cache.ways as usize;
+    let scan = ScanConfig::classify_default();
+    for (pid, loc) in [(trojan, Locality::Local), (spy, Locality::Remote)] {
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        let buf = ctx.malloc_on(GpuId::new(0), ATTACK_BUFFER_BYTES).unwrap();
+        classify_pages(
+            &mut ctx,
+            buf,
+            ATTACK_BUFFER_BYTES,
+            page,
+            line,
+            ways,
+            &timing.thresholds,
+            loc,
+            &scan,
+        )
+        .expect("classification");
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(3);
+    report::header(
+        "Eviction-set discovery at production speed",
+        "Alg. 1 serial scan vs group-testing scan (Vila et al. S&P'19 idiom)",
+    );
+    println!(
+        "{trials} trials per point, 16 MiB buffer (256 pages) on a DGX-1;\n\
+         gates: identical classes, oracle audit, >= {MIN_ACCESS_RATIO}x fewer accesses,\n\
+         fast path <= {MAX_FAST_ACCESSES} accesses\n"
+    );
+
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    let mut gate_failures: Vec<String> = Vec::new();
+    for (remote, loc_name) in [(false, "local"), (true, "remote (NVLink)")] {
+        let mut acc = [Vec::new(), Vec::new()];
+        let mut wall = [Vec::new(), Vec::new()];
+        let mut num_sets = 0usize;
+        for t in 0..trials {
+            let seed = 0xD15C + t as u64;
+            let (classic, ca, cw) = classify_run(false, remote, seed);
+            let (fast, fa, fw) = classify_run(true, remote, seed);
+            assert_eq!(
+                classic.classes, fast.classes,
+                "classifiers diverge ({loc_name}, seed {seed})"
+            );
+            num_sets = classic.classes.len() * classic.lines_per_page() as usize;
+            acc[0].push(ca);
+            acc[1].push(fa);
+            wall[0].push(cw);
+            wall[1].push(fw);
+        }
+        for (i, name) in [(0usize, "Algorithm 1"), (1, "group testing")] {
+            let am = median_u64(&mut acc[i]);
+            let wm = median_f64(&mut wall[i]);
+            rows.push(Row {
+                locality: loc_name,
+                classifier: name,
+                accesses_median: am,
+                wall_ms_median: wm * 1e3,
+                sets_per_sec: num_sets as f64 / wm,
+            });
+        }
+        let ratio = rows[rows.len() - 2].accesses_median as f64
+            / rows[rows.len() - 1].accesses_median as f64;
+        ratios.push(ratio);
+        let fast_accesses = rows[rows.len() - 1].accesses_median;
+        if ratio < MIN_ACCESS_RATIO {
+            gate_failures.push(format!(
+                "{loc_name}: access ratio {ratio:.1}x below the {MIN_ACCESS_RATIO}x gate"
+            ));
+        }
+        if fast_accesses > MAX_FAST_ACCESSES {
+            gate_failures.push(format!(
+                "{loc_name}: fast path took {fast_accesses} accesses (gate {MAX_FAST_ACCESSES})"
+            ));
+        }
+    }
+
+    report::table4(
+        ("locality", "classifier", "sim accesses (median)", "sets/s (host)"),
+        &rows
+            .iter()
+            .map(|r| {
+                (
+                    r.locality,
+                    r.classifier,
+                    format!("{}", r.accesses_median),
+                    format!("{:.0}", r.sets_per_sec),
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\naccess ratio: {:.1}x local, {:.1}x remote (gate >= {MIN_ACCESS_RATIO}x)",
+        ratios[0], ratios[1]
+    );
+
+    // End-to-end offline-phase timings.
+    let seed = 0x0FF1;
+    let old_ms = old_style_prepare(seed) * 1e3;
+    let cache = OfflineCache::new();
+    let t0 = Instant::now();
+    let fresh = AttackSetup::prepare_with_cache(
+        SystemConfig::dgx1().with_seed(seed),
+        GpuId::new(0),
+        GpuId::new(1),
+        Some(&cache),
+    );
+    let fresh_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let hit = AttackSetup::prepare_with_cache(
+        SystemConfig::dgx1().with_seed(seed),
+        GpuId::new(0),
+        GpuId::new(1),
+        Some(&cache),
+    );
+    let hit_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(!fresh.offline_cached, "first prepare must derive");
+    assert!(hit.offline_cached, "second prepare must reuse the cache");
+    assert_eq!(
+        fresh.trojan_classes.classes, hit.trojan_classes.classes,
+        "cache returned different classes"
+    );
+
+    let prepare = vec![
+        PrepareRow {
+            flavor: "old (serial Alg. 1)",
+            wall_ms: old_ms,
+            offline_cached: false,
+        },
+        PrepareRow {
+            flavor: "fast (group testing)",
+            wall_ms: fresh_ms,
+            offline_cached: false,
+        },
+        PrepareRow {
+            flavor: "cache hit",
+            wall_ms: hit_ms,
+            offline_cached: true,
+        },
+    ];
+    println!("\nend-to-end AttackSetup::prepare (timing RE + offline phase):");
+    report::table3(
+        ("flavor", "wall ms", "cached"),
+        &prepare
+            .iter()
+            .map(|p| (p.flavor, format!("{:.1}", p.wall_ms), p.offline_cached))
+            .collect::<Vec<_>>(),
+    );
+
+    report::write_json(
+        "BENCH_discovery",
+        &Artefact {
+            rows,
+            access_ratio_local: ratios[0],
+            access_ratio_remote: ratios[1],
+            min_access_ratio_gate: MIN_ACCESS_RATIO,
+            max_fast_accesses_gate: MAX_FAST_ACCESSES,
+            prepare,
+        },
+    );
+    assert!(
+        gate_failures.is_empty(),
+        "discovery gates failed:\n  {}",
+        gate_failures.join("\n  ")
+    );
+    println!("\nall discovery gates passed");
+}

@@ -51,7 +51,7 @@
 
 use gpubox_attacks::{
     redecode_traces, transmit_link, transmit_over, BoundaryPolicy, ChannelParams, L2SetMedium,
-    LinkChannel, Pipeline, TrialRunner,
+    LinkChannel, OfflineCache, Pipeline, TrialRunner,
 };
 use gpubox_bench::{report, AttackSetup};
 use gpubox_sim::{
@@ -385,6 +385,58 @@ fn main() {
         run_l2(defs[0].qos, &payload, seed, SchedulerKind::Linear),
         "L2 baseline diverged across schedulers"
     );
+
+    // --- offline-cache transparency at the L2 baseline point -----------
+    // Re-run the baseline three ways — cache miss (derives), cache hit
+    // (skips discovery entirely), and cache-free — through one explicit
+    // local cache, and demand bit-identical channel output: the offline
+    // cache must never change what the attack does, only what it costs.
+    {
+        let params = ChannelParams::default();
+        let run_with = |cache: Option<&OfflineCache>| {
+            let mut cfg = SystemConfig::dgx1()
+                .with_seed(seed)
+                .with_fabric(FabricConfig::nvlink_v1().with_qos(defs[0].qos));
+            cfg.allow_indirect_peer = true;
+            let mut setup =
+                AttackSetup::prepare_with_cache(cfg, GpuId::new(0), GpuId::new(5), cache);
+            let cached = setup.offline_cached;
+            let pairs = setup.aligned_pairs(4);
+            let medium = L2SetMedium {
+                trojan: setup.trojan,
+                spy: setup.spy,
+                pairs: &pairs,
+                thresholds: setup.thresholds,
+            };
+            let rep = transmit_over(
+                &mut setup.sys,
+                &medium,
+                &payload,
+                &params,
+                &Pipeline::vote(BoundaryPolicy::TwoMeans),
+                SchedulerKind::Heap,
+            )
+            .expect("L2 baseline transmission");
+            (cached, rep.received, rep.bit_errors, rep.duration_cycles)
+        };
+        let local_cache = OfflineCache::new();
+        let derived = run_with(Some(&local_cache));
+        let reused = run_with(Some(&local_cache));
+        let cache_free = run_with(None);
+        assert!(!derived.0, "first cache run must derive");
+        assert!(reused.0, "second cache run must reuse");
+        assert!(!cache_free.0);
+        assert_eq!(
+            (&derived.1, derived.2, derived.3),
+            (&reused.1, reused.2, reused.3),
+            "cache hit changed the L2 baseline channel"
+        );
+        assert_eq!(
+            (&derived.1, derived.2, derived.3),
+            (&cache_free.1, cache_free.2, cache_free.3),
+            "cache participation changed the L2 baseline channel"
+        );
+    }
 
     // --- gates ---------------------------------------------------------
     let ber = |e: usize| e as f64 / payload.len() as f64;

@@ -400,60 +400,73 @@ fn main() {
         l2.push(heap);
     }
 
-    // --- gates ---------------------------------------------------------
+    // --- gates (collected; asserted after the report prints) -----------
     let ber = |e: usize| e as f64 / payload.len() as f64;
+    let mut gate_failures: Vec<String> = Vec::new();
+    let mut gate = |ok: bool, msg: String| {
+        if !ok {
+            gate_failures.push(msg);
+        }
+    };
     for (c, o) in cases.iter().zip(&link) {
-        assert!(
+        gate(
             ber(o.hardened_errors) <= 0.05,
-            "[link/{}] hardened pipeline must stay <= 5% BER: {:.1}%",
-            c.label,
-            100.0 * ber(o.hardened_errors)
+            format!(
+                "[link/{}] hardened pipeline must stay <= 5% BER: {:.1}%",
+                c.label,
+                100.0 * ber(o.hardened_errors)
+            ),
         );
         if matches!(c.kind, FaultKind::Healthy) {
-            assert!(
+            gate(
                 ber(o.naive_errors) <= 0.05,
-                "[link/healthy] naive baseline must decode: {:.1}%",
-                100.0 * ber(o.naive_errors)
+                format!(
+                    "[link/healthy] naive baseline must decode: {:.1}%",
+                    100.0 * ber(o.naive_errors)
+                ),
             );
         }
         if c.gated {
-            assert!(
+            gate(
                 ber(o.naive_errors) >= 0.25,
-                "[link/{}] the naive vote pipeline must collapse: {:.1}%",
-                c.label,
-                100.0 * ber(o.naive_errors)
+                format!(
+                    "[link/{}] the naive vote pipeline must collapse: {:.1}%",
+                    c.label,
+                    100.0 * ber(o.naive_errors)
+                ),
             );
-            assert!(
+            gate(
                 o.pcie_fallbacks + o.reroutes > 0,
-                "[link/{}] the outage must actually disturb the route",
-                c.label
+                format!("[link/{}] the outage must actually disturb the route", c.label),
             );
-            assert!(
+            gate(
                 o.retransmissions > 0 && o.rounds > 1,
-                "[link/{}] surviving the outage must cost retries",
-                c.label
+                format!("[link/{}] surviving the outage must cost retries", c.label),
             );
         }
     }
     for (c, o) in l2_cases.iter().zip(&l2) {
-        assert!(
+        gate(
             ber(o.hardened_errors) <= 0.05,
-            "[L2/{}] hardened pipeline must stay <= 5% BER: {:.1}%",
-            c.label,
-            100.0 * ber(o.hardened_errors)
+            format!(
+                "[L2/{}] hardened pipeline must stay <= 5% BER: {:.1}%",
+                c.label,
+                100.0 * ber(o.hardened_errors)
+            ),
         );
         if matches!(c.kind, FaultKind::Healthy) {
-            assert!(
+            gate(
                 ber(o.naive_errors) <= 0.05,
-                "[L2/healthy] naive baseline must decode: {:.1}%",
-                100.0 * ber(o.naive_errors)
+                format!(
+                    "[L2/healthy] naive baseline must decode: {:.1}%",
+                    100.0 * ber(o.naive_errors)
+                ),
             );
         }
         if c.gated {
-            assert!(
+            gate(
                 o.reroutes + o.pcie_fallbacks > 0,
-                "[L2/{}] the outage must reroute the spy's probes",
-                c.label
+                format!("[L2/{}] the outage must reroute the spy's probes", c.label),
             );
         }
     }
@@ -524,5 +537,10 @@ fn main() {
          probes moved — while stalls, which no reroute can dodge, break\n\
          the naive decode on both families and only the retry stack\n\
          recovers."
+    );
+    assert!(
+        gate_failures.is_empty(),
+        "fault-resilience gates failed:\n  {}",
+        gate_failures.join("\n  ")
     );
 }

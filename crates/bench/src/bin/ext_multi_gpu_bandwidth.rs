@@ -12,7 +12,8 @@ use gpubox_attacks::covert::{
 };
 use gpubox_attacks::timing_re::measure_timing;
 use gpubox_attacks::{
-    align_classes, classify_pages, paired_sets, AlignmentConfig, ChannelParams, Locality, SetPair,
+    align_classes, classify_pages, paired_sets, AlignmentConfig, ChannelParams, Locality,
+    ScanConfig, SetPair,
 };
 use gpubox_bench::report;
 use gpubox_sim::{Engine, GpuId, MultiGpuSystem, ProcessCtx, ProcessId, SystemConfig};
@@ -47,6 +48,7 @@ fn prepare_pair(
             16,
             &timing.thresholds,
             Locality::Local,
+                &ScanConfig::classify_default(),
         )
         .unwrap()
     };
@@ -62,6 +64,7 @@ fn prepare_pair(
             16,
             &timing.thresholds,
             Locality::Remote,
+                &ScanConfig::classify_default(),
         )
         .unwrap()
     };

@@ -9,10 +9,13 @@ use gpubox_attacks::covert::{bits_from_bytes, bytes_from_bits};
 use gpubox_attacks::{transmit, ChannelParams};
 use gpubox_bench::{report, AttackSetup};
 
-/// Golden `(bit_errors, fnv1a(received), duration_cycles)` captured at
-/// the PR 3 HEAD (commit af72b35): the unified pipeline's `transmit`
-/// wrapper must reproduce the pre-pipeline decode bit-for-bit.
-const GOLDEN: (usize, u64, u64) = (0, 0x6efe_f0d3_d812_3d07, 3_336_100);
+/// Golden `(bit_errors, fnv1a(received), duration_cycles)`. The decoded
+/// bits (and their PR 3 fingerprint, commit af72b35) survived the move
+/// to group-testing discovery; only the end clock shifted when the
+/// offline phase started ending at a canonical boundary
+/// ([`gpubox_sim::MultiGpuSystem::canonicalize_phase`] reseeds the
+/// jitter RNG). Any *further* drift is a regression.
+const GOLDEN: (usize, u64, u64) = (0, 0x6efe_f0d3_d812_3d07, 3_336_535);
 
 fn main() {
     report::header(

@@ -1,9 +1,21 @@
 //! Shared experiment scaffolding: boots a DGX-1, runs the offline
 //! reverse-engineering pipeline, and hands out aligned eviction sets.
+//!
+//! The offline phase here is the **production path**: group-testing page
+//! classification ([`gpubox_attacks::classify_pages_fast`]) and an
+//! [`OfflineCache`] consulted by every default `prepare*` entry point, so
+//! sweeps that boot identical configurations stop re-deriving identical
+//! artifacts. Both the derive and the reuse path end by collapsing the
+//! system to a canonical phase boundary
+//! ([`MultiGpuSystem::canonicalize_phase`]), which makes a cached prepare
+//! bit-identical to an uncached one for everything downstream — asserted
+//! by `ext_fabric_defense` at its L2 baseline sweep point.
 
 use gpubox_attacks::timing_re::measure_timing;
 use gpubox_attacks::{
-    align_classes, classify_pages, AlignmentConfig, Locality, PageClasses, SetPair, Thresholds,
+    align_classes, classify_pages_fast, offline_fingerprint, verify_classes_against_oracle,
+    AlignmentConfig, CacheOutcome, Locality, OfflineArtifacts, OfflineCache, PageClasses,
+    ScanConfig, SetPair, Thresholds,
 };
 use gpubox_sim::{
     FabricConfig, GpuId, MultiGpuSystem, ProcessCtx, ProcessId, QosConfig, SystemConfig,
@@ -12,6 +24,11 @@ use gpubox_sim::{
 /// The standard experiment scale: attacker buffers of this many bytes on
 /// the target GPU (256 pages of 64 KiB → ~64 pages per alignment class).
 pub const ATTACK_BUFFER_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Phase tag for [`MultiGpuSystem::canonicalize_phase`] at the end of the
+/// offline phase (arbitrary, fixed: part of the repo's determinism
+/// contract).
+const OFFLINE_PHASE_TAG: u64 = 0x0FF1_14E5_E55A_0001;
 
 /// A fully prepared cross-GPU attack: trojan on GPU0, spy on GPU1, both
 /// with classified page buffers on GPU0 and derived thresholds.
@@ -29,6 +46,9 @@ pub struct AttackSetup {
     pub spy_classes: PageClasses,
     /// Derived timing thresholds.
     pub thresholds: Thresholds,
+    /// Whether the page classes came from the offline cache (true) or
+    /// were derived by discovery this boot (false).
+    pub offline_cached: bool,
 }
 
 impl AttackSetup {
@@ -91,12 +111,36 @@ impl AttackSetup {
 
     /// As [`AttackSetup::prepare`], for an arbitrary configuration and
     /// GPU pair (the trojan's GPU is the attack target whose L2 carries
-    /// the channel).
+    /// the channel). Consults the process-wide [`OfflineCache`].
     ///
     /// # Panics
     ///
     /// Panics on simulator errors.
     pub fn prepare_between(cfg: SystemConfig, trojan_gpu: GpuId, spy_gpu: GpuId) -> Self {
+        Self::prepare_with_cache(cfg, trojan_gpu, spy_gpu, Some(OfflineCache::global()))
+    }
+
+    /// As [`AttackSetup::prepare_between`] with explicit control over the
+    /// offline cache: `Some(cache)` memoises/reuses artifacts there,
+    /// `None` always derives (benchmarks measuring discovery cost, and
+    /// equivalence tests, need a guaranteed derivation).
+    ///
+    /// Both paths run the cheap timing reverse engineering live (its
+    /// ~200 accesses also keep the RNG stream and frame pool identical
+    /// between hit and miss runs), allocate both attack buffers, and end
+    /// with [`MultiGpuSystem::canonicalize_phase`] — so a cache hit is
+    /// bit-identical to a derivation for everything that follows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on simulator errors, and on a cached entry failing its
+    /// first-reuse oracle verification.
+    pub fn prepare_with_cache(
+        cfg: SystemConfig,
+        trojan_gpu: GpuId,
+        spy_gpu: GpuId,
+        cache: Option<&OfflineCache>,
+    ) -> Self {
         let mut sys = MultiGpuSystem::new(cfg);
         let timing =
             measure_timing(&mut sys, trojan_gpu, spy_gpu, 48).expect("timing reverse engineering");
@@ -110,41 +154,95 @@ impl AttackSetup {
         let page = sys.config().page_size;
         let line = sys.config().cache.line_size;
         let ways = sys.config().cache.ways as usize;
+        let scan = ScanConfig::classify_default();
 
-        let trojan_classes = {
-            let mut ctx = ProcessCtx::new(&mut sys, trojan, 0);
-            let buf = ctx
-                .malloc_on(trojan_gpu, ATTACK_BUFFER_BYTES)
-                .expect("trojan buffer");
-            classify_pages(
-                &mut ctx,
-                buf,
+        // Both buffers are allocated before any (potentially skipped)
+        // discovery access: allocation draws placement RNG and consumes
+        // frames, so it must happen identically on the hit and miss
+        // paths for the post-offline state to be canonical.
+        let trojan_buf = sys
+            .malloc_on(trojan, trojan_gpu, ATTACK_BUFFER_BYTES)
+            .expect("trojan buffer");
+        let spy_buf = sys
+            .malloc_on(spy, trojan_gpu, ATTACK_BUFFER_BYTES)
+            .expect("spy buffer");
+
+        let fp = offline_fingerprint(
+            sys.config(),
+            &[
+                1, // role: trojan/spy attack pair
+                trojan_gpu.index() as u64,
+                spy_gpu.index() as u64,
                 ATTACK_BUFFER_BYTES,
-                page,
-                line,
-                ways,
-                &thresholds,
-                Locality::Local,
-            )
-            .expect("trojan page classification")
+                scan.skip as u64,
+                u64::from(scan.votes),
+            ],
+        );
+        let num_pages = ATTACK_BUFFER_BYTES / page;
+        let outcome = match cache {
+            Some(c) => c.lookup(fp),
+            None => CacheOutcome::Miss,
         };
-        let spy_classes = {
-            let mut ctx = ProcessCtx::new(&mut sys, spy, 0);
-            let buf = ctx
-                .malloc_on(trojan_gpu, ATTACK_BUFFER_BYTES)
-                .expect("spy buffer");
-            classify_pages(
-                &mut ctx,
-                buf,
-                ATTACK_BUFFER_BYTES,
-                page,
-                line,
-                ways,
-                &thresholds,
-                Locality::Remote,
-            )
-            .expect("spy page classification")
+        let (trojan_classes, spy_classes, offline_cached) = match outcome {
+            CacheOutcome::Hit(art) => (art.classes[0].clone(), art.classes[1].clone(), true),
+            CacheOutcome::FirstReuse(art) => {
+                assert_eq!(
+                    art.thresholds, thresholds,
+                    "cached thresholds diverge from a fresh derivation"
+                );
+                assert_eq!(art.classes[0].base, trojan_buf, "trojan buffer moved");
+                assert_eq!(art.classes[1].base, spy_buf, "spy buffer moved");
+                verify_classes_against_oracle(&sys, trojan, &art.classes[0], num_pages)
+                    .expect("cached trojan classes fail oracle verification");
+                verify_classes_against_oracle(&sys, spy, &art.classes[1], num_pages)
+                    .expect("cached spy classes fail oracle verification");
+                (art.classes[0].clone(), art.classes[1].clone(), true)
+            }
+            CacheOutcome::Miss => {
+                let trojan_classes = {
+                    let mut ctx = ProcessCtx::new(&mut sys, trojan, 0);
+                    classify_pages_fast(
+                        &mut ctx,
+                        trojan_buf,
+                        ATTACK_BUFFER_BYTES,
+                        page,
+                        line,
+                        ways,
+                        &thresholds,
+                        Locality::Local,
+                        &scan,
+                    )
+                    .expect("trojan page classification")
+                };
+                let spy_classes = {
+                    let mut ctx = ProcessCtx::new(&mut sys, spy, 0);
+                    classify_pages_fast(
+                        &mut ctx,
+                        spy_buf,
+                        ATTACK_BUFFER_BYTES,
+                        page,
+                        line,
+                        ways,
+                        &thresholds,
+                        Locality::Remote,
+                        &scan,
+                    )
+                    .expect("spy page classification")
+                };
+                if let Some(c) = cache {
+                    c.insert(
+                        fp,
+                        OfflineArtifacts {
+                            thresholds,
+                            classes: vec![trojan_classes.clone(), spy_classes.clone()],
+                        },
+                    );
+                }
+                (trojan_classes, spy_classes, false)
+            }
         };
+
+        sys.canonicalize_phase(OFFLINE_PHASE_TAG);
         AttackSetup {
             sys,
             trojan,
@@ -152,6 +250,7 @@ impl AttackSetup {
             trojan_classes,
             spy_classes,
             thresholds,
+            offline_cached,
         }
     }
 
@@ -207,11 +306,15 @@ pub struct SideChannelSetup {
 }
 
 impl SideChannelSetup {
-    /// Prepares a spy on GPU1 monitoring `sets` cache sets of GPU0.
+    /// Prepares a spy on GPU1 monitoring `sets` cache sets of GPU0,
+    /// consulting the process-wide [`OfflineCache`] (the cached classes
+    /// are independent of `sets`, so sweeps over the monitored-set count
+    /// reuse one derivation).
     ///
     /// # Panics
     ///
-    /// Panics on simulator errors.
+    /// Panics on simulator errors, and on a cached entry failing its
+    /// first-reuse oracle verification.
     pub fn prepare(seed: u64, sets: usize) -> Self {
         let cfg = SystemConfig::dgx1().with_seed(seed);
         let mut sys = MultiGpuSystem::new(cfg);
@@ -224,23 +327,60 @@ impl SideChannelSetup {
         let page = sys.config().page_size;
         let line = sys.config().cache.line_size;
         let ways = sys.config().cache.ways as usize;
-        let classes = {
-            let mut ctx = ProcessCtx::new(&mut sys, spy, 0);
-            let buf = ctx
-                .malloc_on(GpuId::new(0), ATTACK_BUFFER_BYTES)
-                .expect("spy buffer");
-            classify_pages(
-                &mut ctx,
-                buf,
+        let scan = ScanConfig::classify_default();
+        let buf = sys
+            .malloc_on(spy, GpuId::new(0), ATTACK_BUFFER_BYTES)
+            .expect("spy buffer");
+        let fp = offline_fingerprint(
+            sys.config(),
+            &[
+                2, // role: spy-only side-channel setup
                 ATTACK_BUFFER_BYTES,
-                page,
-                line,
-                ways,
-                &thresholds,
-                Locality::Remote,
-            )
-            .expect("spy page classification")
+                scan.skip as u64,
+                u64::from(scan.votes),
+            ],
+        );
+        let cache = OfflineCache::global();
+        let num_pages = ATTACK_BUFFER_BYTES / page;
+        let classes = match cache.lookup(fp) {
+            CacheOutcome::Hit(art) => art.classes[0].clone(),
+            CacheOutcome::FirstReuse(art) => {
+                assert_eq!(
+                    art.thresholds, thresholds,
+                    "cached thresholds diverge from a fresh derivation"
+                );
+                assert_eq!(art.classes[0].base, buf, "spy buffer moved");
+                verify_classes_against_oracle(&sys, spy, &art.classes[0], num_pages)
+                    .expect("cached spy classes fail oracle verification");
+                art.classes[0].clone()
+            }
+            CacheOutcome::Miss => {
+                let classes = {
+                    let mut ctx = ProcessCtx::new(&mut sys, spy, 0);
+                    classify_pages_fast(
+                        &mut ctx,
+                        buf,
+                        ATTACK_BUFFER_BYTES,
+                        page,
+                        line,
+                        ways,
+                        &thresholds,
+                        Locality::Remote,
+                        &scan,
+                    )
+                    .expect("spy page classification")
+                };
+                cache.insert(
+                    fp,
+                    OfflineArtifacts {
+                        thresholds,
+                        classes: vec![classes.clone()],
+                    },
+                );
+                classes
+            }
         };
+        sys.canonicalize_phase(OFFLINE_PHASE_TAG);
         let monitored = classes.enumerate_sets(sets, ways);
         assert_eq!(monitored.len(), sets, "buffer too small for {sets} sets");
         SideChannelSetup {

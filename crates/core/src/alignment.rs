@@ -301,7 +301,7 @@ pub fn paired_sets(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::eviction::{classify_pages, Locality};
+    use crate::eviction::{classify_pages, Locality, ScanConfig};
     use crate::thresholds::Thresholds;
     use gpubox_sim::{GpuId, ProcessCtx, SystemConfig};
 
@@ -322,14 +322,14 @@ mod tests {
             let mut ctx = ProcessCtx::new(&mut sys, trojan, 0);
             let b = ctx.malloc_on(GpuId::new(0), bytes).unwrap();
             let c =
-                classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Local).unwrap();
+                classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Local, &ScanConfig::classify_default()).unwrap();
             (b, c)
         };
         let (_sbuf, sclasses) = {
             let mut ctx = ProcessCtx::new(&mut sys, spy, 0);
             let b = ctx.malloc_on(GpuId::new(0), bytes).unwrap();
             let c =
-                classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Remote).unwrap();
+                classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Remote, &ScanConfig::classify_default()).unwrap();
             (b, c)
         };
         let _ = tbuf;

@@ -197,7 +197,7 @@ pub fn derive_cache_architecture(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::eviction::classify_pages;
+    use crate::eviction::{classify_pages, ScanConfig};
     use gpubox_sim::{GpuId, MultiGpuSystem, ReplacementKind, SystemConfig};
 
     fn conflicts_on(
@@ -217,6 +217,7 @@ mod tests {
             16,
             &thr,
             Locality::Local,
+            &ScanConfig::classify_default(),
         )
         .unwrap();
         let pages = &classes.classes[0];

@@ -188,7 +188,7 @@ mod tests {
     use crate::alignment::{align_classes, paired_sets, AlignmentConfig};
     use crate::covert::pipeline::{BoundaryPolicy, Decoder};
     use crate::covert::protocol::bits_from_bytes;
-    use crate::eviction::{classify_pages, Locality};
+    use crate::eviction::{classify_pages, Locality, ScanConfig};
     use gpubox_sim::{FabricConfig, GpuId, ProcessCtx, SimError, SystemConfig};
 
     fn channel_fixture(noiseless: bool) -> (MultiGpuSystem, ProcessId, ProcessId, Vec<SetPair>) {
@@ -206,12 +206,12 @@ mod tests {
         let tclasses = {
             let mut ctx = ProcessCtx::new(&mut sys, trojan, 0);
             let b = ctx.malloc_on(GpuId::new(0), bytes).unwrap();
-            classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Local).unwrap()
+            classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Local, &ScanConfig::classify_default()).unwrap()
         };
         let sclasses = {
             let mut ctx = ProcessCtx::new(&mut sys, spy, 0);
             let b = ctx.malloc_on(GpuId::new(0), bytes).unwrap();
-            classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Remote).unwrap()
+            classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Remote, &ScanConfig::classify_default()).unwrap()
         };
         let matches = align_classes(
             &mut sys,

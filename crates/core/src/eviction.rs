@@ -1,15 +1,43 @@
 //! Eviction-set discovery from user space (paper Sec. III-B).
 //!
-//! Implements Algorithm 1 — the incremental pointer-chase scan that finds
-//! addresses conflicting with a chosen target — together with the paper's
-//! optimisations: skipping ahead with backtracking, and exploiting the
-//! observation that *"data belonging to a page is indexed consecutively in
-//! the cache"*. Because pages are placed at line-aligned frame boundaries,
-//! two pages either conflict line-for-line (same alignment class) or not
-//! at all; classifying pages therefore yields eviction sets for **every**
-//! set the buffer covers, without a quadratic per-set scan.
+//! Two discovery algorithms live here, sharing the page-class data model:
 //!
-//! Also provides the Fig. 5 validation sweep and the Fig. 6 aliasing test.
+//! **Algorithm 1 — the faithful-reproduction path.** The paper's
+//! incremental pointer-chase scan ([`discover_conflicts`] /
+//! [`classify_pages`]), with the paper's optimisations: skipping ahead
+//! with backtracking, and exploiting the observation that *"data
+//! belonging to a page is indexed consecutively in the cache"*. Every
+//! timed trial re-chases a serial dependent-load prefix, so a full scan
+//! costs O(n²) simulated accesses. The access sequence of this path is
+//! deliberately frozen — the `channel_fingerprints` golden tests pin the
+//! pipeline wrappers against it — so it keeps the serial `ldcg` chains.
+//!
+//! **Group testing — the production path.** Following Vila et al.,
+//! *Theory and Practice of Finding Eviction Sets* (S&P'19), and the
+//! GoFetch `evict-rs` inflate/reduce idiom: [`discover_conflicts_grouped`]
+//! starts from a conflicting superset, splits it into `ways + 1` groups
+//! and recursively discards groups whose removal still evicts the target,
+//! converging to a minimal `ways`-member set in O(w·n) accesses.
+//! [`classify_pages_fast`] then classifies every remaining page with one
+//! warp-parallel batched group test each (`ways − 1` known conflicts plus
+//! the candidate in a single [`gpubox_sim::ProcessCtx::probe_batch`]
+//! issue), instead of a serial chain per candidate. The decision in every
+//! group test is the timed re-access of the target alone, which under LRU
+//! is exact regardless of residual cache state: lines left by earlier
+//! tests are strictly older than this test's target access, so they are
+//! evicted first and the target falls out if and only if at least `ways`
+//! distinct same-set lines are accessed after it. Both classifiers
+//! produce identical [`PageClasses`] — asserted by the equivalence tests
+//! and the `bench_discovery` gate.
+//!
+//! Because pages are placed at line-aligned frame boundaries, two pages
+//! either conflict line-for-line (same alignment class) or not at all;
+//! classifying pages therefore yields eviction sets for **every** set the
+//! buffer covers, without a quadratic per-set scan.
+//!
+//! Also provides the Fig. 5 validation sweep and the Fig. 6 aliasing test
+//! (with [`dedupe_aliased`] testing one candidate against every kept set
+//! in a single batched probe).
 
 use crate::thresholds::Thresholds;
 use gpubox_sim::{ProcessCtx, SimResult, VirtAddr};
@@ -136,6 +164,44 @@ impl Default for ScanConfig {
     }
 }
 
+impl ScanConfig {
+    /// The preset every page classifier historically used internally
+    /// (`skip: 32`, exhaustive, single-vote). Callers that need the
+    /// pre-parameterisation access sequence bit-for-bit — the golden
+    /// fingerprint fixtures — pass this explicitly.
+    pub fn classify_default() -> Self {
+        ScanConfig {
+            skip: 32,
+            max_conflicts: 0,
+            votes: 1,
+        }
+    }
+}
+
+/// Host-side page membership bitset: O(1) test/insert instead of the
+/// O(n) `Vec::contains` scans the classifiers used to do per candidate
+/// (purely bookkeeping — touches no simulated state).
+#[derive(Debug, Clone)]
+struct PageBitset {
+    words: Vec<u64>,
+}
+
+impl PageBitset {
+    fn new(pages: u64) -> Self {
+        PageBitset {
+            words: vec![0u64; pages.div_ceil(64) as usize],
+        }
+    }
+
+    fn set(&mut self, p: u64) {
+        self.words[(p / 64) as usize] |= 1u64 << (p % 64);
+    }
+
+    fn test(&self, p: u64) -> bool {
+        self.words[(p / 64) as usize] >> (p % 64) & 1 == 1
+    }
+}
+
 /// One timed Algorithm-1 trial: access the target, pointer-chase the first
 /// `n` candidates, re-access the target and classify the second access.
 /// Returns `true` when the target was evicted.
@@ -242,6 +308,118 @@ pub fn conflicts_with(
     target_evicted(ctx, target, &chain, n, thr, loc, votes)
 }
 
+/// One batched group test: access the target, probe `group` in a single
+/// warp-parallel batch, re-access the target and classify the second
+/// access (majority over `votes`). Under LRU this is exact: the target is
+/// evicted iff at least `ways` distinct same-set lines sit in `group`
+/// (residual lines from earlier tests are older than this test's target
+/// access, so they are victimised first).
+fn group_evicts(
+    ctx: &mut ProcessCtx<'_>,
+    target: VirtAddr,
+    group: &[VirtAddr],
+    thr: &Thresholds,
+    loc: Locality,
+    votes: u32,
+    scratch: &mut Vec<u32>,
+) -> SimResult<bool> {
+    let mut miss_votes = 0u32;
+    for _ in 0..votes.max(1) {
+        ctx.ldcg(target)?;
+        ctx.compute(4);
+        ctx.probe_batch_into(group, scratch)?;
+        ctx.compute(4);
+        let (_, t2) = ctx.ldcg(target)?;
+        if loc.is_miss(thr, t2) {
+            miss_votes += 1;
+        }
+    }
+    Ok(miss_votes * 2 > votes.max(1))
+}
+
+/// Group-testing discovery (Vila et al. S&P'19): finds a **minimal**
+/// eviction set of exactly `ways` members for `target` among
+/// `candidates`, in O(w·n) simulated accesses.
+///
+/// Inflate: grow a candidate prefix (starting at `4 × ways`) until it
+/// evicts the target. Reduce: split the working set into `ways + 1`
+/// balanced groups and discard every group whose removal still evicts;
+/// by pigeonhole at least one such group always exists while more than
+/// `ways` members remain, so the loop converges to `ways` members under
+/// noise-free thresholds.
+///
+/// Returns `None` when no candidate prefix evicts the target (fewer than
+/// `ways` same-set candidates — e.g. a tail alignment class) or when
+/// noise stalls the reduction; callers fall back to Algorithm 1.
+///
+/// # Errors
+///
+/// Propagates simulator access errors.
+pub fn discover_conflicts_grouped(
+    ctx: &mut ProcessCtx<'_>,
+    target: VirtAddr,
+    candidates: &[VirtAddr],
+    ways: usize,
+    thr: &Thresholds,
+    loc: Locality,
+    cfg: &ScanConfig,
+) -> SimResult<Option<Vec<VirtAddr>>> {
+    if ways == 0 || candidates.len() < ways {
+        return Ok(None);
+    }
+    let mut scratch = Vec::new();
+    // Inflate: grow a prefix until it evicts. Starting at `4 × ways`
+    // keeps the first reduce pass cheap when the candidate pool is
+    // class-dense (the common case inside `classify_pages_fast`).
+    let mut take = (4 * ways).clamp(ways, candidates.len());
+    let mut working: Vec<VirtAddr> = loop {
+        let prefix = &candidates[..take];
+        if group_evicts(ctx, target, prefix, thr, loc, cfg.votes, &mut scratch)? {
+            break prefix.to_vec();
+        }
+        if take == candidates.len() {
+            return Ok(None);
+        }
+        take = (take * 2).min(candidates.len());
+    };
+    // Reduce. Each pass splits the working set into exactly `ways + 1`
+    // balanced groups — not fixed-size chunks: with at most `ways`
+    // essential (same-set) members spread over `ways + 1` groups, the
+    // pigeonhole principle guarantees one group is entirely disposable,
+    // so every pass makes progress under noise-free thresholds. Within a
+    // pass every disposable group is discarded (walking the ranges
+    // back-to-front keeps earlier ranges valid after a removal), so one
+    // pass typically sheds most non-members and the whole reduction
+    // converges in a handful of passes instead of one-removal-per-pass.
+    let mut rest: Vec<VirtAddr> = Vec::new();
+    while working.len() > ways {
+        let groups = (ways + 1).min(working.len());
+        let len = working.len();
+        let mut progressed = false;
+        for g in (0..groups).rev() {
+            let start = g * len / groups;
+            let end = (g + 1) * len / groups;
+            if start == end || working.len() - (end - start) < ways {
+                continue;
+            }
+            rest.clear();
+            rest.extend_from_slice(&working[..start]);
+            rest.extend_from_slice(&working[end..]);
+            if group_evicts(ctx, target, &rest, thr, loc, cfg.votes, &mut scratch)? {
+                working.drain(start..end);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            // Every group is load-bearing yet more than `ways` members
+            // remain: a mis-voted trial under noise. Give up; the caller
+            // falls back to the serial scan.
+            return Ok(None);
+        }
+    }
+    Ok(Some(working))
+}
+
 /// The Fig. 5 validation sweep: for each prefix length `n`, the latency of
 /// the target's re-access after chasing `n` conflict-set members. The step
 /// from hit to miss at `n == ways` confirms the set and exposes the
@@ -309,9 +487,18 @@ pub fn sets_alias(
 }
 
 /// Removes aliased duplicates from a collection of discovered eviction
-/// sets (paper Fig. 6): each new set is tested against every kept set
-/// with [`sets_alias`]; aliases are dropped so self-eviction cannot fake
-/// victim activity during the attack. Returns the surviving sets.
+/// sets (paper Fig. 6), so self-eviction cannot fake victim activity
+/// during the attack. Returns the surviving sets.
+///
+/// Kept sets are mutually non-aliased, so each acts as the unique
+/// representative of its alias class. A candidate is therefore tested
+/// against **all** representatives at once instead of pairwise: one
+/// combined batch holds `w/2 + 1` lines from the candidate and from every
+/// kept set. Distinct physical sets never interact, so after two warm-up
+/// passes every segment hits — except the one kept segment that shares
+/// the candidate's physical set, whose combined `w + 2` lines thrash
+/// (the same signal [`sets_alias`] reads, at a third of the pairwise
+/// access cost and warp-parallel).
 ///
 /// # Errors
 ///
@@ -323,15 +510,36 @@ pub fn dedupe_aliased(
     thr: &Thresholds,
     loc: Locality,
 ) -> SimResult<Vec<EvictionSet>> {
+    let half = ways / 2 + 1;
     let mut kept: Vec<EvictionSet> = Vec::with_capacity(sets.len());
+    let mut scratch = Vec::new();
     for candidate in sets {
-        let mut aliased = false;
-        for existing in &kept {
-            if sets_alias(ctx, existing, &candidate, ways, thr, loc)? {
-                aliased = true;
-                break;
-            }
+        if kept.is_empty() {
+            kept.push(candidate);
+            continue;
         }
+        // Segment 0 is the candidate's half; segment i+1 is kept[i]'s.
+        let mut combined: Vec<VirtAddr> = Vec::with_capacity((kept.len() + 1) * half);
+        combined.extend_from_slice(&candidate.lines()[..half.min(candidate.len())]);
+        let cand_len = combined.len();
+        let mut bounds = vec![(0usize, cand_len)];
+        for existing in &kept {
+            let lo = combined.len();
+            combined.extend_from_slice(&existing.lines()[..half.min(existing.len())]);
+            bounds.push((lo, combined.len()));
+        }
+        // Two warm-up passes, then a timed pass (as in `sets_alias`).
+        for _ in 0..2 {
+            ctx.probe_batch_into(&combined, &mut scratch)?;
+        }
+        ctx.probe_batch_into(&combined, &mut scratch)?;
+        let aliased = bounds[1..].iter().any(|&(lo, hi)| {
+            let misses = scratch[lo..hi]
+                .iter()
+                .filter(|&&t| loc.is_miss(thr, t))
+                .count();
+            misses > (hi - lo) / 3
+        });
         if !aliased {
             kept.push(candidate);
         }
@@ -428,6 +636,11 @@ impl PageClasses {
 /// group tests to recover the conflicts absorbed by the cache's
 /// associativity.
 ///
+/// This is the faithful-reproduction path: with
+/// [`ScanConfig::classify_default`] its access sequence is bit-identical
+/// to every earlier revision (the golden fingerprint fixtures depend on
+/// that). Production callers use [`classify_pages_fast`].
+///
 /// # Errors
 ///
 /// Propagates simulator access errors.
@@ -441,6 +654,7 @@ pub fn classify_pages(
     ways: usize,
     thr: &Thresholds,
     loc: Locality,
+    cfg: &ScanConfig,
 ) -> SimResult<PageClasses> {
     let num_pages = bytes / page_size;
     let page_line0 = |p: u64| base.offset(p * page_size);
@@ -451,33 +665,134 @@ pub fn classify_pages(
         let target_page = unclassified[0];
         let target = page_line0(target_page);
         let candidates: Vec<VirtAddr> = unclassified[1..].iter().map(|&p| page_line0(p)).collect();
-        let cfg = ScanConfig {
-            skip: 32,
-            max_conflicts: 0,
-            votes: 1,
-        };
-        let found = discover_conflicts(ctx, target, &candidates, thr, loc, &cfg)?;
+        let found = discover_conflicts(ctx, target, &candidates, thr, loc, cfg)?;
         let mut members: Vec<u64> = vec![target_page];
-        let found_pages: Vec<u64> = found
-            .iter()
-            .map(|va| (va.raw() - base.raw()) / page_size)
-            .collect();
-        members.extend_from_slice(&found_pages);
+        let mut in_class = PageBitset::new(num_pages);
+        in_class.set(target_page);
+        for va in &found {
+            let p = (va.raw() - base.raw()) / page_size;
+            members.push(p);
+            in_class.set(p);
+        }
 
         // Group-test the remaining pages: the scan absorbs the first
         // `ways - 1` same-class pages without a visible eviction.
         if found.len() >= ways - 1 {
             let known: Vec<VirtAddr> = found[..ways - 1].to_vec();
             for &p in &unclassified {
-                if p == target_page || members.contains(&p) {
+                if in_class.test(p) {
                     continue;
                 }
-                if conflicts_with(ctx, target, &known, page_line0(p), thr, loc, 1)? {
+                if conflicts_with(ctx, target, &known, page_line0(p), thr, loc, cfg.votes)? {
                     members.push(p);
+                    in_class.set(p);
                 }
             }
         }
-        unclassified.retain(|p| !members.contains(p));
+        unclassified.retain(|p| !in_class.test(*p));
+        members.sort_unstable();
+        classes.push(members);
+    }
+
+    Ok(PageClasses {
+        classes,
+        base,
+        page_size,
+        line_size,
+    })
+}
+
+/// Group-testing page classifier — the production path. Per round: find
+/// a minimal `ways`-member eviction set for the round's target with
+/// [`discover_conflicts_grouped`], then decide every remaining page with
+/// a single warp-parallel batched group test (`ways − 1` of the minimal
+/// set plus the candidate in one probe). Falls back to the Algorithm-1
+/// round body whenever the grouped reduction cannot produce a minimal
+/// set (tail classes with fewer than `ways` members, or noise), so the
+/// result is always total. On any buffer where each alignment class has
+/// at least `2 × ways − 1` pages — Algorithm 1's own correctness
+/// precondition, comfortably met at DGX-1 scale — the result is
+/// identical [`PageClasses`] to [`classify_pages`], at a fraction of
+/// the simulated accesses. Below that the grouped path stays
+/// oracle-exact while the serial scan fragments classes.
+///
+/// # Errors
+///
+/// Propagates simulator access errors.
+#[allow(clippy::too_many_arguments)]
+pub fn classify_pages_fast(
+    ctx: &mut ProcessCtx<'_>,
+    base: VirtAddr,
+    bytes: u64,
+    page_size: u64,
+    line_size: u64,
+    ways: usize,
+    thr: &Thresholds,
+    loc: Locality,
+    cfg: &ScanConfig,
+) -> SimResult<PageClasses> {
+    let num_pages = bytes / page_size;
+    let page_line0 = |p: u64| base.offset(p * page_size);
+    let page_of = |va: &VirtAddr| (va.raw() - base.raw()) / page_size;
+    let mut unclassified: Vec<u64> = (0..num_pages).collect();
+    let mut classes: Vec<Vec<u64>> = Vec::new();
+    let mut scratch: Vec<u32> = Vec::new();
+
+    while !unclassified.is_empty() {
+        let target_page = unclassified[0];
+        let target = page_line0(target_page);
+        let candidates: Vec<VirtAddr> = unclassified[1..].iter().map(|&p| page_line0(p)).collect();
+        let mut members: Vec<u64> = vec![target_page];
+        let mut in_class = PageBitset::new(num_pages);
+        in_class.set(target_page);
+
+        let minimal =
+            discover_conflicts_grouped(ctx, target, &candidates, ways, thr, loc, cfg)?;
+        match minimal {
+            Some(min_set) => {
+                for va in &min_set {
+                    let p = page_of(va);
+                    members.push(p);
+                    in_class.set(p);
+                }
+                // Membership scan: one batched test per remaining page.
+                let mut probe: Vec<VirtAddr> = min_set[..ways - 1].to_vec();
+                probe.push(target); // placeholder slot for the candidate
+                for &p in &unclassified[1..] {
+                    if in_class.test(p) {
+                        continue;
+                    }
+                    *probe.last_mut().expect("candidate slot") = page_line0(p);
+                    if group_evicts(ctx, target, &probe, thr, loc, cfg.votes, &mut scratch)? {
+                        members.push(p);
+                        in_class.set(p);
+                    }
+                }
+            }
+            None => {
+                // Algorithm-1 fallback, exactly the classify_pages round.
+                let found = discover_conflicts(ctx, target, &candidates, thr, loc, cfg)?;
+                for va in &found {
+                    let p = page_of(va);
+                    members.push(p);
+                    in_class.set(p);
+                }
+                if found.len() >= ways - 1 {
+                    let known: Vec<VirtAddr> = found[..ways - 1].to_vec();
+                    for &p in &unclassified {
+                        if in_class.test(p) {
+                            continue;
+                        }
+                        if conflicts_with(ctx, target, &known, page_line0(p), thr, loc, cfg.votes)?
+                        {
+                            members.push(p);
+                            in_class.set(p);
+                        }
+                    }
+                }
+            }
+        }
+        unclassified.retain(|p| !in_class.test(*p));
         members.sort_unstable();
         classes.push(members);
     }
@@ -547,6 +862,7 @@ mod tests {
             16,
             &thr,
             Locality::Local,
+            &ScanConfig::classify_default(),
         )
         .unwrap();
         // 64 sets / 32 lines-per-page = 2 classes.
@@ -589,6 +905,7 @@ mod tests {
             16,
             &thr,
             Locality::Local,
+            &ScanConfig::classify_default(),
         )
         .unwrap();
         let es = classes.eviction_set(0, 5, 16);
@@ -637,6 +954,7 @@ mod tests {
             16,
             &thr,
             Locality::Local,
+            &ScanConfig::classify_default(),
         )
         .unwrap();
         // Superset: 24 same-set lines.
@@ -670,6 +988,7 @@ mod tests {
             16,
             &thr,
             Locality::Local,
+            &ScanConfig::classify_default(),
         )
         .unwrap();
         let pages = &classes.classes[0];
@@ -734,6 +1053,7 @@ mod tests {
             16,
             &thr,
             Locality::Local,
+            &ScanConfig::classify_default(),
         )
         .unwrap();
         let sets = classes.enumerate_sets(48, 16);
@@ -749,6 +1069,145 @@ mod tests {
     #[should_panic(expected = "cannot be empty")]
     fn empty_eviction_set_rejected() {
         let _ = EvictionSet::new(vec![]);
+    }
+
+    #[test]
+    fn grouped_discovery_finds_minimal_set() {
+        let mut sys = boot();
+        let pid = sys.create_process(GpuId::new(0));
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        let buf = ctx.malloc_on(GpuId::new(0), 96 * 4096).unwrap();
+        let target = buf;
+        let candidates: Vec<VirtAddr> = (1..96u64).map(|p| buf.offset(p * 4096)).collect();
+        let thr = Thresholds::paper_defaults();
+        let found = discover_conflicts_grouped(
+            &mut ctx,
+            target,
+            &candidates,
+            16,
+            &thr,
+            Locality::Local,
+            &ScanConfig::classify_default(),
+        )
+        .unwrap()
+        .expect("enough same-set candidates for a minimal set");
+        assert_eq!(found.len(), 16, "minimal set has exactly `ways` members");
+        let (_, tset) = ctx.system().oracle_set_of(pid, target).unwrap();
+        for va in &found {
+            let (_, s) = ctx.system().oracle_set_of(pid, *va).unwrap();
+            assert_eq!(s, tset, "member {va} not in target set");
+        }
+    }
+
+    #[test]
+    fn grouped_discovery_gives_up_without_enough_conflicts() {
+        let mut sys = boot();
+        let pid = sys.create_process(GpuId::new(0));
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        // 8 pages → ~4 same-class candidates, far fewer than 16 ways.
+        let buf = ctx.malloc_on(GpuId::new(0), 8 * 4096).unwrap();
+        let candidates: Vec<VirtAddr> = (1..8u64).map(|p| buf.offset(p * 4096)).collect();
+        let thr = Thresholds::paper_defaults();
+        let found = discover_conflicts_grouped(
+            &mut ctx,
+            buf,
+            &candidates,
+            16,
+            &thr,
+            Locality::Local,
+            &ScanConfig::classify_default(),
+        )
+        .unwrap();
+        assert!(found.is_none(), "no minimal set exists below associativity");
+    }
+
+    #[test]
+    fn fast_classifier_matches_classic_with_fewer_accesses() {
+        let thr = Thresholds::paper_defaults();
+        let num_pages = 96u64;
+        let classify = |fast: bool| {
+            let mut sys = boot();
+            let pid = sys.create_process(GpuId::new(0));
+            let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+            let buf = ctx.malloc_on(GpuId::new(0), num_pages * 4096).unwrap();
+            let cfg = ScanConfig::classify_default();
+            let classes = if fast {
+                classify_pages_fast(
+                    &mut ctx,
+                    buf,
+                    num_pages * 4096,
+                    4096,
+                    128,
+                    16,
+                    &thr,
+                    Locality::Local,
+                    &cfg,
+                )
+                .unwrap()
+            } else {
+                classify_pages(
+                    &mut ctx,
+                    buf,
+                    num_pages * 4096,
+                    4096,
+                    128,
+                    16,
+                    &thr,
+                    Locality::Local,
+                    &cfg,
+                )
+                .unwrap()
+            };
+            let accesses = ctx.system().stats().gpu(GpuId::new(0)).issued_accesses;
+            (classes, accesses)
+        };
+        let (classic, classic_accesses) = classify(false);
+        let (fast, fast_accesses) = classify(true);
+        assert_eq!(classic.classes, fast.classes, "classifiers must agree");
+        assert_eq!(classic.base, fast.base);
+        assert!(
+            fast_accesses * 2 < classic_accesses,
+            "grouped path should cost well under half the accesses \
+             (classic {classic_accesses}, grouped {fast_accesses})"
+        );
+    }
+
+    #[test]
+    fn fast_classifier_works_remotely_over_nvlink() {
+        let mut sys = boot();
+        let pid = sys.create_process(GpuId::new(1));
+        let mut ctx = ProcessCtx::new(&mut sys, pid, 0);
+        ctx.enable_peer_access(GpuId::new(0)).unwrap();
+        let num_pages = 96u64;
+        let buf = ctx.malloc_on(GpuId::new(0), num_pages * 4096).unwrap();
+        let thr = Thresholds::paper_defaults();
+        let classes = classify_pages_fast(
+            &mut ctx,
+            buf,
+            num_pages * 4096,
+            4096,
+            128,
+            16,
+            &thr,
+            Locality::Remote,
+            &ScanConfig::classify_default(),
+        )
+        .unwrap();
+        assert_eq!(classes.classes.len(), 2);
+        let total: usize = classes.classes.iter().map(Vec::len).sum();
+        assert_eq!(total as u64, num_pages);
+        for group in &classes.classes {
+            let sets: Vec<_> = group
+                .iter()
+                .map(|&p| {
+                    ctx.system()
+                        .oracle_set_of(pid, buf.offset(p * 4096))
+                        .unwrap()
+                        .1
+                })
+                .collect();
+            assert!(sets.windows(2).all(|w| w[0] == w[1]));
+        }
     }
 
     #[test]
@@ -768,6 +1227,7 @@ mod tests {
             16,
             &thr,
             Locality::Local,
+            &ScanConfig::classify_default(),
         )
         .unwrap();
         let pages = &classes.classes[0];
@@ -794,3 +1254,4 @@ mod tests {
         assert_eq!(kept[1], b);
     }
 }
+

@@ -8,9 +8,12 @@
 //!    latency clusters and derive decision [`Thresholds`] (Fig. 4).
 //! 2. [`cache_re`] — derive line size, associativity, set count and the
 //!    replacement policy from user space (Table I).
-//! 3. [`eviction`] — Algorithm 1 pointer-chase eviction-set discovery,
-//!    page-class structure, aliasing detection and the Fig. 5 validation
-//!    sweep.
+//! 3. [`eviction`] — eviction-set discovery: the paper's Algorithm 1
+//!    pointer-chase scan (faithful-reproduction path) and the
+//!    group-testing scan with warp-parallel batched probes (production
+//!    path, Vila et al. S&P'19), page-class structure, aliasing
+//!    detection and the Fig. 5 validation sweep. [`offline`] caches the
+//!    derived artifacts across identically configured boots.
 //! 4. [`alignment`] — Algorithm 2: pair trojan and spy eviction sets that
 //!    share a physical cache set (Fig. 7).
 //! 5. [`covert`] — the covert channels across GPUs, organised as one
@@ -51,6 +54,7 @@ pub mod cache_re;
 pub mod covert;
 pub mod eviction;
 pub mod mitigation;
+pub mod offline;
 pub mod runner;
 pub mod side;
 pub mod thresholds;
@@ -64,10 +68,15 @@ pub use covert::{
     LinkCongestionMedium, Pipeline, ResilientReport, RetryConfig, SetPair,
 };
 pub use eviction::{
-    classify_pages, dedupe_aliased, discover_conflicts, sets_alias, validation_sweep, EvictionSet,
-    Locality, PageClasses, ScanConfig,
+    classify_pages, classify_pages_fast, dedupe_aliased, discover_conflicts,
+    discover_conflicts_grouped, sets_alias, validation_sweep, EvictionSet, Locality, PageClasses,
+    ScanConfig,
 };
 pub use mitigation::ExclusiveOccupancy;
+pub use offline::{
+    offline_fingerprint, verify_classes_against_oracle, CacheOutcome, OfflineArtifacts,
+    OfflineCache,
+};
 pub use runner::{trial_seed, Trial, TrialRunner};
 pub use side::{record_memorygram, FingerprintDataset, RecorderConfig};
 pub use thresholds::Thresholds;

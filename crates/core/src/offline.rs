@@ -1,0 +1,256 @@
+//! Offline-phase artifact cache: derived [`Thresholds`] and
+//! [`PageClasses`] keyed by a configuration fingerprint.
+//!
+//! The offline reverse-engineering phase (timing clusters, eviction-set
+//! discovery, page classification) is a pure function of the system
+//! configuration and the attack-buffer geometry: the simulator's frame
+//! placement and jitter are driven by the seeded RNG, so two boots of an
+//! identical [`SystemConfig`] derive identical artifacts. Sweeps that
+//! boot the same config for every payload seed — `ext_fabric_defense`
+//! runs the full offline phase per (seed × defence) point — therefore
+//! re-derive the same classes over and over. This cache memoises them.
+//!
+//! Safety rails:
+//!
+//! * The key is a fingerprint over the **serialised** [`SystemConfig`]
+//!   (seed, cache geometry, timing model, topology, fabric/QoS/fault
+//!   plan — everything that can influence placement or latencies) plus
+//!   the explicit salt the caller provides (GPU pair, buffer bytes, scan
+//!   parameters) and an algorithm tag that is bumped whenever the
+//!   discovery algorithm changes. Any difference means a different key —
+//!   stale entries are unreachable rather than invalidated in place.
+//! * On the **first reuse** of an entry the caller is told
+//!   ([`CacheOutcome::FirstReuse`]) so it can run
+//!   [`verify_classes_against_oracle`] — an explicit oracle-checked
+//!   equivalence assertion that the cached classes still describe the
+//!   freshly booted system.
+//! * Bit-identity of downstream behaviour additionally requires the
+//!   system to be collapsed to a canonical phase boundary after the
+//!   offline phase (hit or miss) — see
+//!   [`gpubox_sim::MultiGpuSystem::canonicalize_phase`].
+
+use crate::eviction::PageClasses;
+use crate::thresholds::Thresholds;
+use gpubox_sim::{MultiGpuSystem, ProcessId, SystemConfig};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Bumped whenever the discovery algorithm's *results* could change, so
+/// old entries can never be replayed against a new algorithm.
+const ALGORITHM_TAG: u64 = 2;
+
+/// Artifacts one offline phase derives: thresholds plus one
+/// [`PageClasses`] per classified buffer (in derivation order).
+#[derive(Debug, Clone)]
+pub struct OfflineArtifacts {
+    /// Decision thresholds from timing reverse engineering.
+    pub thresholds: Thresholds,
+    /// Page classes per classified buffer, in derivation order (e.g.
+    /// `[trojan, spy]` for an [`crate::eviction`]-based attack setup).
+    pub classes: Vec<PageClasses>,
+}
+
+/// What a cache lookup found.
+#[derive(Debug)]
+pub enum CacheOutcome {
+    /// No entry: the caller must derive and [`OfflineCache::insert`].
+    Miss,
+    /// First reuse of this entry: the caller must oracle-verify the
+    /// classes against the freshly booted system before trusting them.
+    FirstReuse(OfflineArtifacts),
+    /// Subsequent reuse of an already-verified entry.
+    Hit(OfflineArtifacts),
+}
+
+struct Slot {
+    artifacts: OfflineArtifacts,
+    verified: bool,
+}
+
+/// Thread-safe memo of offline artifacts keyed by config fingerprint.
+#[derive(Default)]
+pub struct OfflineCache {
+    slots: Mutex<HashMap<u64, Slot>>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl std::fmt::Debug for OfflineCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (h, m) = self.stats();
+        f.debug_struct("OfflineCache")
+            .field("entries", &self.slots.lock().expect("cache lock").len())
+            .field("hits", &h)
+            .field("misses", &m)
+            .finish()
+    }
+}
+
+impl OfflineCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide cache every default `prepare*` path consults.
+    pub fn global() -> &'static OfflineCache {
+        static GLOBAL: OnceLock<OfflineCache> = OnceLock::new();
+        GLOBAL.get_or_init(OfflineCache::new)
+    }
+
+    /// Looks up `fingerprint`, recording a hit or miss.
+    pub fn lookup(&self, fingerprint: u64) -> CacheOutcome {
+        let mut slots = self.slots.lock().expect("cache lock");
+        match slots.get_mut(&fingerprint) {
+            None => {
+                *self.misses.lock().expect("miss counter") += 1;
+                CacheOutcome::Miss
+            }
+            Some(slot) => {
+                *self.hits.lock().expect("hit counter") += 1;
+                if slot.verified {
+                    CacheOutcome::Hit(slot.artifacts.clone())
+                } else {
+                    slot.verified = true;
+                    CacheOutcome::FirstReuse(slot.artifacts.clone())
+                }
+            }
+        }
+    }
+
+    /// Stores freshly derived artifacts under `fingerprint`.
+    pub fn insert(&self, fingerprint: u64, artifacts: OfflineArtifacts) {
+        self.slots.lock().expect("cache lock").insert(
+            fingerprint,
+            Slot {
+                artifacts,
+                verified: false,
+            },
+        );
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            *self.hits.lock().expect("hit counter"),
+            *self.misses.lock().expect("miss counter"),
+        )
+    }
+}
+
+/// Fingerprints a [`SystemConfig`] plus caller-provided salt words (GPU
+/// pair, buffer geometry, scan parameters, locality — everything the
+/// derived artifacts depend on beyond the config itself).
+///
+/// FNV-1a over the JSON serialisation of the config: any field that can
+/// shift frame placement, latencies, QoS or the fault plan changes the
+/// serialisation and therefore the key.
+///
+/// # Panics
+///
+/// Panics if the config fails to serialise (derives `Serialize`; cannot
+/// happen for well-formed configs).
+pub fn offline_fingerprint(cfg: &SystemConfig, salt: &[u64]) -> u64 {
+    let json = serde_json::to_string(cfg).expect("SystemConfig serialises");
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for b in json.as_bytes() {
+        eat(*b);
+    }
+    for w in salt.iter().chain(std::iter::once(&ALGORITHM_TAG)) {
+        for b in w.to_le_bytes() {
+            eat(b);
+        }
+    }
+    h
+}
+
+/// The oracle-checked equivalence assertion run on the first reuse of a
+/// cached entry: every class must be homogeneous (all member pages map
+/// to one physical `(gpu, set)` for their base line), distinct classes
+/// must map to distinct sets, and the classes must partition the buffer.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn verify_classes_against_oracle(
+    sys: &MultiGpuSystem,
+    pid: ProcessId,
+    classes: &PageClasses,
+    num_pages: u64,
+) -> Result<(), String> {
+    let mut seen = vec![false; num_pages as usize];
+    let mut class_sets = Vec::with_capacity(classes.classes.len());
+    for (ci, group) in classes.classes.iter().enumerate() {
+        let mut first = None;
+        for &p in group {
+            if p >= num_pages {
+                return Err(format!("class {ci}: page {p} out of range"));
+            }
+            if std::mem::replace(&mut seen[p as usize], true) {
+                return Err(format!("page {p} classified twice"));
+            }
+            let va = classes.base.offset(p * classes.page_size);
+            let s = sys
+                .oracle_set_of(pid, va)
+                .map_err(|e| format!("class {ci}: oracle failed for page {p}: {e:?}"))?;
+            match first {
+                None => first = Some(s),
+                Some(f) if f != s => {
+                    return Err(format!(
+                        "class {ci} not homogeneous: page {p} maps to {s:?}, expected {f:?}"
+                    ))
+                }
+                Some(_) => {}
+            }
+        }
+        if let Some(f) = first {
+            if class_sets.contains(&f) {
+                return Err(format!("class {ci} aliases an earlier class at {f:?}"));
+            }
+            class_sets.push(f);
+        }
+    }
+    if let Some(p) = seen.iter().position(|&s| !s) {
+        return Err(format!("page {p} unclassified"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_separates_configs_and_salt() {
+        let a = SystemConfig::small_test();
+        let b = SystemConfig::small_test().with_seed(43);
+        assert_ne!(offline_fingerprint(&a, &[]), offline_fingerprint(&b, &[]));
+        assert_ne!(
+            offline_fingerprint(&a, &[1]),
+            offline_fingerprint(&a, &[2])
+        );
+        assert_eq!(
+            offline_fingerprint(&a, &[7, 9]),
+            offline_fingerprint(&SystemConfig::small_test(), &[7, 9])
+        );
+    }
+
+    #[test]
+    fn lookup_protocol_miss_first_reuse_hit() {
+        let cache = OfflineCache::new();
+        let fp = 0xfeed;
+        assert!(matches!(cache.lookup(fp), CacheOutcome::Miss));
+        let art = OfflineArtifacts {
+            thresholds: Thresholds::paper_defaults(),
+            classes: Vec::new(),
+        };
+        cache.insert(fp, art);
+        assert!(matches!(cache.lookup(fp), CacheOutcome::FirstReuse(_)));
+        assert!(matches!(cache.lookup(fp), CacheOutcome::Hit(_)));
+        assert_eq!(cache.stats(), (2, 1));
+    }
+}

@@ -121,7 +121,7 @@ pub fn record_memorygram(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::eviction::{classify_pages, Locality};
+    use crate::eviction::{classify_pages, Locality, ScanConfig};
     use gpubox_sim::{GpuId, NoiseAgent, NoiseConfig, ProcessCtx, SystemConfig};
 
     fn spy_sets(sys: &mut MultiGpuSystem) -> (ProcessId, Vec<EvictionSet>) {
@@ -132,7 +132,7 @@ mod tests {
         let classes = {
             let mut ctx = ProcessCtx::new(sys, spy, 0);
             let b = ctx.malloc_on(GpuId::new(0), bytes).unwrap();
-            classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Remote).unwrap()
+            classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Remote, &ScanConfig::classify_default()).unwrap()
         };
         let sets = classes.enumerate_sets(32, 16);
         (spy, sets)

@@ -130,7 +130,7 @@ fn eviction_set_probe_classifies_remote_hits_and_misses() {
     let classes = {
         let mut ctx = ProcessCtx::new(&mut sys, spy, 0);
         let b = ctx.malloc_on(GpuId::new(0), bytes).unwrap();
-        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Remote).unwrap()
+        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Remote, &ScanConfig::classify_default()).unwrap()
     };
     let es: EvictionSet = classes.eviction_set(0, 0, 16);
     // Classification left lines resident; flush for a cold start.
@@ -166,12 +166,12 @@ fn empty_payload_transmits_without_panicking() {
     let tclasses = {
         let mut ctx = ProcessCtx::new(&mut sys, trojan, 0);
         let b = ctx.malloc_on(GpuId::new(0), bytes).unwrap();
-        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Local).unwrap()
+        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Local, &ScanConfig::classify_default()).unwrap()
     };
     let sclasses = {
         let mut ctx = ProcessCtx::new(&mut sys, spy, 0);
         let b = ctx.malloc_on(GpuId::new(0), bytes).unwrap();
-        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Remote).unwrap()
+        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Remote, &ScanConfig::classify_default()).unwrap()
     };
     // Pairing via ground truth is irrelevant here — any pair works for an
     // empty payload; use matching (class 0, offset 0) representatives.

@@ -13,7 +13,7 @@
 use gpubox_attacks::covert::bits_from_bytes;
 use gpubox_attacks::{
     align_classes, classify_pages, paired_sets, transmit, transmit_link, AlignmentConfig,
-    ChannelParams, ChannelReport, LinkChannel, Locality, SetPair, Thresholds,
+    ChannelParams, ChannelReport, LinkChannel, Locality, ScanConfig, SetPair, Thresholds,
 };
 use gpubox_sim::{
     FabricConfig, FaultPlan, GpuId, MultiGpuSystem, ProcessCtx, ProcessId, SchedulerKind,
@@ -61,12 +61,12 @@ fn l2_fixture(noiseless: bool) -> (MultiGpuSystem, ProcessId, ProcessId, Vec<Set
     let tclasses = {
         let mut ctx = ProcessCtx::new(&mut sys, trojan, 0);
         let b = ctx.malloc_on(GpuId::new(0), bytes).unwrap();
-        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Local).unwrap()
+        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Local, &ScanConfig::classify_default()).unwrap()
     };
     let sclasses = {
         let mut ctx = ProcessCtx::new(&mut sys, spy, 0);
         let b = ctx.malloc_on(GpuId::new(0), bytes).unwrap();
-        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Remote).unwrap()
+        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Remote, &ScanConfig::classify_default()).unwrap()
     };
     let matches = align_classes(
         &mut sys,

@@ -21,7 +21,8 @@
 
 use gpubox_attacks::covert::{ChannelMedium, L2SetMedium, LinkCongestionMedium, SpyTrace};
 use gpubox_attacks::{
-    align_classes, classify_pages, AlignmentConfig, ChannelParams, LinkChannel, Locality, SetPair,
+    align_classes, classify_pages, AlignmentConfig, ChannelParams, LinkChannel, Locality,
+    ScanConfig, SetPair,
     Thresholds,
 };
 use gpubox_sim::{
@@ -82,12 +83,12 @@ fn l2_fixture() -> (MultiGpuSystem, ProcessId, ProcessId, Vec<SetPair>) {
     let tclasses = {
         let mut ctx = ProcessCtx::new(&mut sys, trojan, 0);
         let b = ctx.malloc_on(GpuId::new(0), bytes).unwrap();
-        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Local).unwrap()
+        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Local, &ScanConfig::classify_default()).unwrap()
     };
     let sclasses = {
         let mut ctx = ProcessCtx::new(&mut sys, spy, 0);
         let b = ctx.malloc_on(GpuId::new(0), bytes).unwrap();
-        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Remote).unwrap()
+        classify_pages(&mut ctx, b, bytes, 4096, 128, 16, &thr, Locality::Remote, &ScanConfig::classify_default()).unwrap()
     };
     let matches = align_classes(
         &mut sys,

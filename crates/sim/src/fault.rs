@@ -34,10 +34,13 @@
 //!   unchanged; only the queueing model slows down, so congestion (and
 //!   the congestion channel's signal) *amplifies* on the degraded link.
 //! - **Transient stalls** ([`TransientStalls`]): every hop draws from a
-//!   counter-indexed splitmix64 stream (the QoS jitter idiom — no
-//!   system RNG, bit-reproducible across schedulers) and with
-//!   probability `per_1024/1024` the line is stalled `stall_cycles`
-//!   before service — replay/CRC-retry blips on a flaky link.
+//!   splitmix64 stream keyed on the hop counter *and* the hop's
+//!   512-cycle arrival window (the QoS jitter idiom — no system RNG,
+//!   bit-reproducible across schedulers) and with probability
+//!   `per_1024/1024` the line is stalled `stall_cycles` before
+//!   service — replay/CRC-retry blips on a flaky link. The time key
+//!   means an exact replay stalls identically while a time-shifted one
+//!   (a backed-off retransmission) draws independently.
 //!
 //! # Determinism and cost
 //!
@@ -82,7 +85,8 @@ pub struct DegradedLink {
 }
 
 /// Seeded transient stalls: every fabric hop flips a deterministic
-/// `per_1024/1024` coin (counter-indexed splitmix64, the
+/// `per_1024/1024` coin (splitmix64 keyed on the hop counter and the
+/// hop's 512-cycle arrival window, the
 /// [`crate::qos::TrafficShaping::Jitter`] idiom) and on a hit delays the
 /// line `stall_cycles` before service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -376,7 +380,16 @@ impl FaultState {
             }
         }
         if let Some(s) = self.stalls {
-            let draw = crate::qos::splitmix64(s.seed ^ self.stall_counter) % 1024;
+            // Keyed on the hop counter *and* the (512-cycle-windowed)
+            // arrival time: transient faults are a property of when the
+            // line crosses the link, not of how many lines crossed
+            // before it. An identical replay (same hops, same clocks)
+            // draws identically, but a time-shifted replay — e.g. a
+            // backed-off retransmission round — gets an independent
+            // draw instead of deterministically re-hitting the stalls
+            // that killed the first attempt.
+            let window = (arr >> 9).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let draw = crate::qos::splitmix64(s.seed ^ self.stall_counter ^ window) % 1024;
             self.stall_counter += 1;
             if draw < s.per_1024 {
                 fs.transient_stalls += 1;

@@ -6,7 +6,7 @@
 
 use crate::address::{GpuId, VirtAddr};
 use crate::error::SimResult;
-use crate::system::{AgentId, BatchAccess, MultiGpuSystem, ProcessId};
+use crate::system::{AgentId, BatchAccess, BatchSummary, MultiGpuSystem, ProcessId};
 
 /// A borrowed execution context for one process.
 #[derive(Debug)]
@@ -112,6 +112,27 @@ impl<'a> ProcessCtx<'a> {
             .access_batch(self.pid, self.agent, vas, self.clock)?;
         self.clock += b.duration;
         Ok(b)
+    }
+
+    /// As [`ProcessCtx::probe_batch`], but writes the per-line latencies
+    /// into a caller-provided buffer (cleared first) — the allocation-free
+    /// variant for hot discovery loops that issue thousands of group
+    /// tests. Advances the clock by the batch duration.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped addresses or missing peer access.
+    pub fn probe_batch_into(
+        &mut self,
+        vas: &[VirtAddr],
+        latencies: &mut Vec<u32>,
+    ) -> SimResult<BatchSummary> {
+        latencies.clear();
+        let s = self
+            .sys
+            .access_batch_into(self.pid, self.agent, vas, self.clock, latencies)?;
+        self.clock += s.duration;
+        Ok(s)
     }
 
     /// Spends `cycles` on computation (the paper's "dummy operations" /

@@ -363,6 +363,33 @@ impl MultiGpuSystem {
         self.fabric.reset();
     }
 
+    /// Collapses the box to a canonical phase boundary: flushes every
+    /// GPU's L2 (contents and per-set counters), clears transient timing
+    /// state, resets statistics and reseeds the RNG deterministically
+    /// from `cfg.seed ^ tag` (splitmix64-mixed so distinct tags give
+    /// unrelated streams).
+    ///
+    /// The point is *path-independence*: two runs that reach the same
+    /// boundary with the same processes and allocations — no matter how
+    /// many accesses each issued to get there — behave bit-identically
+    /// afterwards. The offline-phase cache relies on this: a prepare that
+    /// reuses cached page classes (issuing no discovery accesses) and one
+    /// that derives them from scratch canonicalise to the same state, so
+    /// downstream channel output is asserted equal. Frame placement is
+    /// the one piece of history that survives (allocations are not
+    /// undone), which is why both paths must malloc identically first.
+    pub fn canonicalize_phase(&mut self, tag: u64) {
+        for g in &mut self.gpus {
+            g.l2.flush();
+        }
+        self.reset_timing_state();
+        self.reset_stats();
+        let mut z = (self.cfg.seed ^ tag).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.rng = ChaCha8Rng::seed_from_u64(z ^ (z >> 31));
+    }
+
     /// Whether the timed per-link fabric model is active.
     pub fn fabric_enabled(&self) -> bool {
         self.fabric.enabled()

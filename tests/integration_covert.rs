@@ -76,7 +76,8 @@ fn channel_works_between_other_gpu_pairs() {
     // works (here: 2 and 6, cross-quad neighbours on the cube mesh).
     use gpubox_attacks::timing_re::measure_timing;
     use gpubox_attacks::{
-        align_classes, classify_pages, paired_sets, AlignmentConfig, Locality, SetPair,
+        align_classes, classify_pages, paired_sets, AlignmentConfig, Locality, ScanConfig,
+        SetPair,
     };
     use gpubox_sim::{GpuId, MultiGpuSystem, ProcessCtx, SystemConfig};
 
@@ -99,6 +100,7 @@ fn channel_works_between_other_gpu_pairs() {
             16,
             &timing.thresholds,
             Locality::Local,
+            &ScanConfig::classify_default(),
         )
         .unwrap()
     };
@@ -114,6 +116,7 @@ fn channel_works_between_other_gpu_pairs() {
             16,
             &timing.thresholds,
             Locality::Remote,
+            &ScanConfig::classify_default(),
         )
         .unwrap()
     };
