@@ -30,7 +30,10 @@
 //!   bit-for-bit ([`PRE_FABRIC_FINGERPRINT`]); then the per-access cost
 //!   of the timed link model on 1-hop and 2-hop remote routes
 //!   (`remote_nvlink_access_fabric_on`, `remote_2hop_access_fabric_on` /
-//!   `_off`).
+//!   `_off`);
+//! - the telemetry layer: full tracing on the e2e covert channel must be
+//!   bit-invisible and within its 15% budget before
+//!   `covert_transmit_e2e_traced` is timed (`bench_trace_overhead`).
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use gpubox_attacks::covert::{decode_trace, stripe_bits, unstripe_bits, ProbeSample};
@@ -643,6 +646,80 @@ fn bench_covert_e2e(c: &mut Criterion) {
     });
 }
 
+/// Telemetry rung: full tracing on the end-to-end covert channel.
+///
+/// Two gates run before timing (they hold in CI's `--test` smoke mode):
+///
+/// - **bit-invisibility** — the traced transmission decodes the exact
+///   bit stream of the untraced one on an identically seeded fixture
+///   (hooks consume no RNG and add no cycles);
+/// - **overhead budget** — min-of-N wall clock of the traced run stays
+///   within 15% of the untraced run (`covert_transmit_e2e`'s workload),
+///   the telemetry module's stated budget.
+///
+/// The `covert_transmit_e2e_traced` criterion bench then tracks the
+/// traced cost in the trend next to its untraced sibling above.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let payload = gpubox_attacks::covert::bits_from_bytes(b"PR2 rung");
+    let params = ChannelParams::default();
+    let thr = Thresholds::paper_defaults();
+
+    // Bit-invisibility gate.
+    let run = |tracing: bool| {
+        let (mut sys, t, s, pairs) = channel_fixture(1234);
+        if tracing {
+            sys.enable_tracing(1 << 16);
+        }
+        gpubox_attacks::transmit(&mut sys, t, s, &pairs, &payload, &params, thr)
+            .unwrap()
+            .received
+    };
+    assert_eq!(
+        run(false),
+        run(true),
+        "tracing must be bit-invisible to the covert channel"
+    );
+
+    // Overhead gate: interleaved min-of-N so machine noise hits both
+    // sides alike. The ring wraps (capacity 64Ki) — the record path
+    // costs the same wrapped or not, which is what's being measured.
+    let (mut sys_off, t_off, s_off, pairs_off) = channel_fixture(77);
+    let (mut sys_on, t_on, s_on, pairs_on) = channel_fixture(77);
+    sys_on.enable_tracing(1 << 16);
+    let mut best_off = u128::MAX;
+    let mut best_on = u128::MAX;
+    for _ in 0..7 {
+        let t0 = std::time::Instant::now();
+        black_box(
+            gpubox_attacks::transmit(&mut sys_off, t_off, s_off, &pairs_off, &payload, &params, thr)
+                .unwrap()
+                .bit_errors,
+        );
+        best_off = best_off.min(t0.elapsed().as_nanos());
+        let t0 = std::time::Instant::now();
+        black_box(
+            gpubox_attacks::transmit(&mut sys_on, t_on, s_on, &pairs_on, &payload, &params, thr)
+                .unwrap()
+                .bit_errors,
+        );
+        best_on = best_on.min(t0.elapsed().as_nanos());
+    }
+    let ratio = best_on as f64 / best_off as f64;
+    println!("trace overhead on covert_transmit_e2e: {ratio:.3}x (budget 1.15x)");
+    assert!(
+        ratio <= 1.15,
+        "full tracing costs {ratio:.3}x on covert_transmit_e2e — over the 15% budget"
+    );
+
+    c.bench_function("covert_transmit_e2e_traced", |b| {
+        b.iter(|| {
+            gpubox_attacks::transmit(&mut sys_on, t_on, s_on, &pairs_on, &payload, &params, thr)
+                .unwrap()
+                .bit_errors
+        })
+    });
+}
+
 /// Issues `n` dependent loads over a fixed intra-page line list, then
 /// finishes — for measuring pure engine-step overhead.
 struct FixedLoads {
@@ -948,6 +1025,7 @@ criterion_group!(
     bench_trial_fanout,
     bench_engine_overhead,
     bench_covert_e2e,
+    bench_trace_overhead,
     bench_discovery_scan,
     bench_fabric,
     bench_system_boot

@@ -94,6 +94,11 @@ struct Outcome {
     listen_cycles: u64,
     duration_cycles: u64,
     bandwidth_bytes_per_sec: f64,
+    /// Slot-latency percentiles (log2-bucket floors, cycles) — part of
+    /// the bit-for-bit comparison like everything else the run observes.
+    slot_latency_p50: u64,
+    slot_latency_p95: u64,
+    slot_latency_p99: u64,
 }
 
 /// The one shared system configuration both families run on.
@@ -174,6 +179,9 @@ fn run_family(family: Family, payload: &[u8], seed: u64, sched: SchedulerKind) -
         listen_cycles: rep.listen_cycles,
         duration_cycles: rep.duration_cycles,
         bandwidth_bytes_per_sec: rep.bandwidth_bytes_per_sec,
+        slot_latency_p50: rep.slot_latency_p50,
+        slot_latency_p95: rep.slot_latency_p95,
+        slot_latency_p99: rep.slot_latency_p99,
     }
 }
 
@@ -234,19 +242,24 @@ fn main() {
     }
 
     println!(
-        "\n{:>38} | {:>14} | {:>14} | {:>14}",
-        "family (one DGX-1, fabric on, noisy)", "bandwidth", "vote BER", "m.filter BER"
+        "\n{:>38} | {:>14} | {:>14} | {:>14} | {:>20}",
+        "family (one DGX-1, fabric on, noisy)",
+        "bandwidth",
+        "vote BER",
+        "m.filter BER",
+        "slot lat p50/p95/p99"
     );
     println!(
-        "{}-+-{}-+-{}-+-{}",
+        "{}-+-{}-+-{}-+-{}-+-{}",
         "-".repeat(38),
         "-".repeat(14),
         "-".repeat(14),
-        "-".repeat(14)
+        "-".repeat(14),
+        "-".repeat(20)
     );
     for (f, o) in families.iter().zip(&outcomes) {
         println!(
-            "{:>38} | {:>14} | {:>14} | {:>14}",
+            "{:>38} | {:>14} | {:>14} | {:>14} | {:>20}",
             f.label(),
             format!("{:.1} KB/s", o.bandwidth_bytes_per_sec / 1e3),
             format!(
@@ -260,6 +273,10 @@ fn main() {
                 o.mf_errors,
                 payload.len(),
                 100.0 * o.mf_errors as f64 / payload.len() as f64
+            ),
+            format!(
+                "{}/{}/{}",
+                o.slot_latency_p50, o.slot_latency_p95, o.slot_latency_p99
             ),
         );
     }

@@ -25,6 +25,11 @@ struct Point {
     sets: usize,
     bandwidth_mb_s: f64,
     error_rate_pct: f64,
+    /// Slot-latency percentiles (log2-bucket floors, cycles) from the
+    /// spy's probe traces — see `ChannelReport::slot_latency_p50`.
+    slot_latency_p50: u64,
+    slot_latency_p95: u64,
+    slot_latency_p99: u64,
 }
 
 /// Golden `(sets, bit_errors, fnv1a(received), duration_cycles)` per
@@ -77,6 +82,9 @@ fn main() {
                     sets: k,
                     bandwidth_mb_s: rep.bandwidth_bytes_per_sec / 1e6,
                     error_rate_pct: rep.error_rate * 100.0,
+                    slot_latency_p50: rep.slot_latency_p50,
+                    slot_latency_p95: rep.slot_latency_p95,
+                    slot_latency_p99: rep.slot_latency_p99,
                 },
                 rep.bit_errors,
                 report::fnv1a_bits(&rep.received),
@@ -97,14 +105,20 @@ fn main() {
 
     let points: Vec<Point> = results.into_iter().map(|(p, ..)| p).collect();
     println!(
-        "\n{:>6} | {:>16} | {:>12}",
-        "sets", "bandwidth (MB/s)", "error (%)"
+        "\n{:>6} | {:>16} | {:>12} | {:>22}",
+        "sets", "bandwidth (MB/s)", "error (%)", "slot lat p50/p95/p99"
     );
-    println!("-------+------------------+-------------");
+    println!("-------+------------------+--------------+-----------------------");
     for p in &points {
         println!(
-            "{:>6} | {:>16.3} | {:>12.2}",
-            p.sets, p.bandwidth_mb_s, p.error_rate_pct
+            "{:>6} | {:>16.3} | {:>12.2} | {:>22}",
+            p.sets,
+            p.bandwidth_mb_s,
+            p.error_rate_pct,
+            format!(
+                "{}/{}/{}",
+                p.slot_latency_p50, p.slot_latency_p95, p.slot_latency_p99
+            )
         );
     }
 

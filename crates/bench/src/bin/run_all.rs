@@ -1,9 +1,37 @@
 //! Runs every experiment binary in paper order — the one-shot full
 //! reproduction. Skips the slow fingerprinting run unless `--full`.
 //!
+//! Besides the per-bin stdout, emits one machine-readable
+//! `results/RESULTS.json` artefact: per-bin status (`pass` / `fail` /
+//! `unlaunchable`), exit code and wall-clock duration, plus the suite
+//! totals — the unified report CI uploads.
+//!
 //! Usage: `cargo run --release -p gpubox-bench --bin run_all [--full]`
 
+use gpubox_bench::report::write_json;
+use serde::Serialize;
 use std::process::Command;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct BinResult {
+    bin: String,
+    /// `pass`, `fail` (ran, nonzero exit — a gate tripped) or
+    /// `unlaunchable` (missing / not built).
+    status: String,
+    /// Exit code when the process ran and reported one.
+    exit_code: Option<i32>,
+    duration_ms: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct SuiteResults {
+    total: usize,
+    passed: usize,
+    failed: Vec<String>,
+    duration_ms: u64,
+    bins: Vec<BinResult>,
+}
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -28,6 +56,7 @@ fn main() {
         "ext_link_congestion_channel",
         "ext_fabric_defense",
         "ext_fault_resilience",
+        "ext_trace_anatomy",
     ];
     if full {
         bins.insert(6, "fig12_confusion_matrix");
@@ -36,27 +65,48 @@ fn main() {
     }
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
-    let mut failed = Vec::new();
+    let suite_started = Instant::now();
+    let mut results: Vec<BinResult> = Vec::with_capacity(bins.len());
     for bin in &bins {
         println!("\n################ {bin} ################");
         // A binary that cannot even launch (missing, not built) is a
         // failure of that experiment, not of the whole suite: record it
         // and keep going so the final report still covers the rest.
-        match Command::new(dir.join(bin)).status() {
-            Ok(status) if status.success() => {}
+        let started = Instant::now();
+        let (status, exit_code) = match Command::new(dir.join(bin)).status() {
+            Ok(status) if status.success() => ("pass", status.code()),
             Ok(status) => {
                 eprintln!("{bin} exited with {status}");
-                failed.push(*bin);
+                ("fail", status.code())
             }
             Err(e) => {
                 eprintln!("could not launch {bin}: {e}");
-                failed.push(*bin);
+                ("unlaunchable", None)
             }
-        }
+        };
+        results.push(BinResult {
+            bin: (*bin).to_string(),
+            status: status.to_string(),
+            exit_code,
+            duration_ms: started.elapsed().as_millis() as u64,
+        });
     }
+    let failed: Vec<String> = results
+        .iter()
+        .filter(|r| r.status != "pass")
+        .map(|r| r.bin.clone())
+        .collect();
+    let suite = SuiteResults {
+        total: results.len(),
+        passed: results.len() - failed.len(),
+        failed: failed.clone(),
+        duration_ms: suite_started.elapsed().as_millis() as u64,
+        bins: results,
+    };
+    write_json("RESULTS", &suite);
     println!("\n================================================================");
     if failed.is_empty() {
-        println!("all {} experiments completed successfully", bins.len());
+        println!("all {} experiments completed successfully", suite.total);
     } else {
         println!("FAILED: {failed:?}");
         std::process::exit(1);

@@ -51,6 +51,16 @@ pub struct ChannelReport {
     /// Codeword corrections applied by the pipeline's coding stage (0
     /// without coding).
     pub ecc_corrections: usize,
+    /// Median spy-observed per-slot mean latency, as a log2-bucket
+    /// floor (see [`gpubox_sim::telemetry::LogHistogram`] — exact to
+    /// within one power of two), pooled across lanes.
+    pub slot_latency_p50: u64,
+    /// 95th percentile of the spy-observed per-slot mean latencies
+    /// (log2-bucket floor).
+    pub slot_latency_p95: u64,
+    /// 99th percentile of the spy-observed per-slot mean latencies
+    /// (log2-bucket floor).
+    pub slot_latency_p99: u64,
     /// Raw per-lane spy traces (lane index → probe samples), e.g. for
     /// the Fig. 10 message trace.
     pub traces: Vec<Vec<ProbeSample>>,

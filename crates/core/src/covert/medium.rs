@@ -302,6 +302,7 @@ pub fn transmit_over(
         redecode_traces(&sample_traces, params, pipeline, payload.len());
     let bit_errors = received.iter().zip(payload).filter(|(a, b)| a != b).count();
     let secs = sys.latency_model().cycles_to_seconds(listen);
+    let lat = super::obs::slot_latency_histogram(&sample_traces);
     Ok(ChannelReport {
         sent: payload.to_vec(),
         received,
@@ -311,6 +312,9 @@ pub fn transmit_over(
         listen_cycles: listen,
         bandwidth_bytes_per_sec: payload.len() as f64 / 8.0 / secs,
         ecc_corrections,
+        slot_latency_p50: lat.p50(),
+        slot_latency_p95: lat.p95(),
+        slot_latency_p99: lat.p99(),
         traces: sample_traces,
     })
 }

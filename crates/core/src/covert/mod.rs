@@ -66,6 +66,7 @@ mod channel;
 pub mod ecc;
 mod link_agents;
 mod medium;
+pub mod obs;
 mod pipeline;
 mod protocol;
 mod resilient;
@@ -78,6 +79,7 @@ pub use link_agents::{LinkSpyAgent, LinkTrojanAgent, SPY_DITHER_SPAN};
 pub use medium::{
     redecode_traces, transmit_over, ChannelMedium, L2SetMedium, LinkCongestionMedium,
 };
+pub use obs::{extract_anatomy, slot_latency_histogram, ChannelAnatomy};
 pub use pipeline::{
     matched_filter_decode, matched_filter_decode_soft, BoundaryPolicy, Coding, Decoder, Pipeline,
     SoftStripe, CONFIDENCE_SCALE,

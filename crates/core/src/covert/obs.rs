@@ -1,0 +1,208 @@
+//! Channel-side observability: latency percentiles over spy traces and
+//! trace-derived anatomy of a hardened transmission.
+//!
+//! The simulator-side tracer ([`gpubox_sim::telemetry`]) records *what
+//! the box did*; this module interprets those records (plus the spy's
+//! own probe traces) in covert-channel terms: per-slot latency
+//! percentiles for [`super::ChannelReport`], and the fault-window /
+//! retry-round / resync anatomy that `ext_trace_anatomy` renders as
+//! overlapping spans.
+
+use super::protocol::ProbeSample;
+use gpubox_sim::telemetry::{LogHistogram, TraceKind, TraceRecord, TraceSpan};
+
+/// Folds every per-lane probe sample's mean latency into one
+/// [`LogHistogram`] — the source of [`super::ChannelReport`]'s
+/// p50/p95/p99 slot-latency fields.
+pub fn slot_latency_histogram(traces: &[Vec<ProbeSample>]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for lane in traces {
+        for s in lane {
+            h.record(u64::from(s.mean_latency));
+        }
+    }
+    h
+}
+
+/// Trace-derived anatomy of one hardened transmission: the installed
+/// fault windows, the stalls actually observed inside them, every
+/// retransmission round, and the receive-side recovery events.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelAnatomy {
+    /// Installed outage windows, one span per
+    /// [`TraceKind::FaultEpoch`] record (`[at, recover_at)`, the span
+    /// name carries the link).
+    pub fault_epochs: Vec<TraceSpan>,
+    /// The window of fault responses the fabric *observed* — down-link
+    /// stall waits ([`TraceKind::FaultDownWait`], first stall cycle to
+    /// last stall's release), degraded-link stalls
+    /// ([`TraceKind::FaultStall`]) and the reroute / PCIe-fallback
+    /// decisions taken instead of stalling — if any line actually hit
+    /// a faulted link.
+    pub observed_fault: Option<TraceSpan>,
+    /// Accesses rerouted around a down link
+    /// ([`TraceKind::FaultReroute`]).
+    pub reroutes: u64,
+    /// Accesses diverted to the PCIe fallback path
+    /// ([`TraceKind::PcieFallback`]).
+    pub pcie_fallbacks: u64,
+    /// One span per engine round of the resilient transport
+    /// ([`TraceKind::RetryRound`]): launch defer to end-of-run clock.
+    pub rounds: Vec<TraceSpan>,
+    /// Frames sealed for transmission (all rounds).
+    pub frame_seals: u64,
+    /// Frames opened and delivered.
+    pub frame_opens_ok: u64,
+    /// Frames that failed verification on open.
+    pub frame_opens_failed: u64,
+    /// Sync-loss re-decodes attempted ([`TraceKind::Resync`]).
+    pub resyncs: u64,
+    /// Decision boundaries chosen ([`TraceKind::BoundaryChosen`]).
+    pub boundaries_chosen: u64,
+}
+
+impl ChannelAnatomy {
+    /// All spans on their display tracks — fault epochs on track 0,
+    /// the observed stall window on track 1, rounds on track 2 — ready
+    /// for [`gpubox_sim::telemetry::chrome_trace_json`]. Overlap between
+    /// tracks is the point: the renderer shows which rounds ran inside
+    /// the outage.
+    pub fn spans(&self) -> Vec<TraceSpan> {
+        let mut out = self.fault_epochs.clone();
+        out.extend(self.observed_fault.clone());
+        out.extend(self.rounds.iter().cloned());
+        out
+    }
+}
+
+/// Builds a [`ChannelAnatomy`] from drained trace records
+/// (chronological, as [`gpubox_sim::telemetry::TraceSink::records`]
+/// returns them).
+pub fn extract_anatomy(records: &[TraceRecord]) -> ChannelAnatomy {
+    let mut a = ChannelAnatomy::default();
+    let mut stall_window: Option<(u64, u64)> = None;
+    for r in records {
+        match r.kind {
+            TraceKind::FaultEpoch => a.fault_epochs.push(TraceSpan {
+                name: format!("outage link {}", r.b),
+                start: r.cycle,
+                end: r.a,
+                track: 0,
+            }),
+            TraceKind::FaultDownWait | TraceKind::FaultStall => {
+                let release = r.cycle.saturating_add(r.a);
+                stall_window = Some(match stall_window {
+                    None => (r.cycle, release),
+                    Some((lo, hi)) => (lo.min(r.cycle), hi.max(release)),
+                });
+            }
+            TraceKind::FaultReroute | TraceKind::PcieFallback => {
+                if r.kind == TraceKind::FaultReroute {
+                    a.reroutes += 1;
+                } else {
+                    a.pcie_fallbacks += 1;
+                }
+                stall_window = Some(match stall_window {
+                    None => (r.cycle, r.cycle),
+                    Some((lo, hi)) => (lo.min(r.cycle), hi.max(r.cycle)),
+                });
+            }
+            TraceKind::RetryRound => a.rounds.push(TraceSpan {
+                name: format!("round {}", r.b),
+                start: r.cycle,
+                end: r.a,
+                track: 2,
+            }),
+            TraceKind::FrameSeal => a.frame_seals += 1,
+            TraceKind::FrameOpen => {
+                if r.b == 1 {
+                    a.frame_opens_ok += 1;
+                } else {
+                    a.frame_opens_failed += 1;
+                }
+            }
+            TraceKind::Resync => a.resyncs += 1,
+            TraceKind::BoundaryChosen => a.boundaries_chosen += 1,
+            _ => {}
+        }
+    }
+    a.observed_fault = stall_window.map(|(lo, hi)| TraceSpan {
+        name: "observed fault responses".to_string(),
+        start: lo,
+        end: hi,
+        track: 1,
+    });
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpubox_sim::telemetry::NO_PROCESS;
+
+    fn rec(kind: TraceKind, cycle: u64, a: u64, b: u64) -> TraceRecord {
+        TraceRecord {
+            cycle,
+            a,
+            b,
+            process: NO_PROCESS,
+            kind,
+        }
+    }
+
+    #[test]
+    fn latency_histogram_pools_all_lanes() {
+        let mk = |lat: u32| ProbeSample {
+            at: 0,
+            misses: 0,
+            lines: 8,
+            mean_latency: lat,
+        };
+        let traces = vec![vec![mk(300), mk(700)], vec![mk(950)]];
+        let h = slot_latency_histogram(&traces);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.p50(), 512, "median bucket floor for 700");
+        assert_eq!(h.p99(), 512, "950 shares the 512..1023 bucket");
+    }
+
+    #[test]
+    fn anatomy_collects_windows_rounds_and_counts() {
+        let records = vec![
+            rec(TraceKind::FaultEpoch, 1_000, 5_000, 3),
+            rec(TraceKind::FrameSeal, 0, 0, 0),
+            rec(TraceKind::FrameSeal, 0, 1, 0),
+            rec(TraceKind::FaultDownWait, 1_200, 800, 3),
+            rec(TraceKind::PcieFallback, 1_100, 1, 0),
+            rec(TraceKind::FaultDownWait, 2_000, 500, 3),
+            rec(TraceKind::FaultReroute, 2_400, 1, 0),
+            rec(TraceKind::RetryRound, 0, 9_000, 0),
+            rec(TraceKind::Resync, 0, 0, 1),
+            rec(TraceKind::BoundaryChosen, 0, 640, 0),
+            rec(TraceKind::FrameOpen, 9_000, 0, 1),
+            rec(TraceKind::FrameOpen, 9_000, 1, 0),
+            rec(TraceKind::RetryRound, 4_000, 13_000, 1),
+        ];
+        let a = extract_anatomy(&records);
+        assert_eq!(a.fault_epochs.len(), 1);
+        assert_eq!(a.fault_epochs[0].start, 1_000);
+        assert_eq!(a.fault_epochs[0].end, 5_000);
+        let w = a.observed_fault.as_ref().expect("stalls were recorded");
+        assert_eq!((w.start, w.end), (1_100, 2_500));
+        assert_eq!(a.pcie_fallbacks, 1);
+        assert_eq!(a.reroutes, 1);
+        assert!(
+            w.start >= a.fault_epochs[0].start && w.end <= a.fault_epochs[0].end,
+            "observed stalls sit inside the installed window"
+        );
+        assert_eq!(a.rounds.len(), 2);
+        assert_eq!(a.frame_seals, 2);
+        assert_eq!(a.frame_opens_ok, 1);
+        assert_eq!(a.frame_opens_failed, 1);
+        assert_eq!(a.resyncs, 1);
+        assert_eq!(a.boundaries_chosen, 1);
+        // Track layout: epochs 0, observed 1, rounds 2.
+        let spans = a.spans();
+        assert_eq!(spans.len(), 4);
+        assert!(spans.iter().any(|s| s.track == 1));
+    }
+}

@@ -53,6 +53,7 @@ use super::protocol::{
     decode_trace_with_boundary, open_frame, seal_frame, ChannelParams, DecodedStripe, ProbeSample,
     CRC_BITS, SEQ_BITS,
 };
+use gpubox_sim::telemetry::{TraceKind, NO_PROCESS};
 use gpubox_sim::{Engine, MultiGpuSystem, SchedulerKind, SimResult};
 
 /// Retransmission policy of [`transmit_resilient`] — protocol constants
@@ -277,6 +278,12 @@ pub fn transmit_resilient(
 
         let defer = attempt as u64 * retry.backoff_slots * params.slot_cycles;
         let listen = listen_horizon(&lane_bits, params) + defer;
+        if sys.tracing_enabled() {
+            for &seq in &pending {
+                sys.trace_mut()
+                    .record(TraceKind::FrameSeal, defer, NO_PROCESS, seq as u64, attempt as u64);
+            }
+        }
 
         medium.prepare(sys)?;
         let mut eng = Engine::with_scheduler(sys, sched);
@@ -300,6 +307,8 @@ pub fn transmit_resilient(
         drop(eng);
         report.rounds += 1;
         report.duration_cycles += end;
+        sys.trace_mut()
+            .record(TraceKind::RetryRound, defer, NO_PROCESS, end, attempt as u64);
 
         for (lane, trace) in traces.iter().enumerate() {
             let Some(trace) = trace else { continue };
@@ -335,9 +344,23 @@ pub fn transmit_resilient(
                     if re.preamble_matches > dec.preamble_matches {
                         dec = re;
                         improved = true;
+                        sys.trace_mut().record(
+                            TraceKind::BoundaryChosen,
+                            defer,
+                            NO_PROCESS,
+                            boundary as u64,
+                            lane as u64,
+                        );
                     }
                 }
                 report.resyncs += usize::from(improved);
+                sys.trace_mut().record(
+                    TraceKind::Resync,
+                    defer,
+                    NO_PROCESS,
+                    lane as u64,
+                    u64::from(improved),
+                );
             }
             for (j, &seq) in lane_frames[lane].iter().enumerate() {
                 let coded = &dec.payload[j * frame_channel_bits..(j + 1) * frame_channel_bits];
@@ -349,8 +372,14 @@ pub fn transmit_resilient(
                     {
                         delivered[seq] = Some(chunk.to_vec());
                         report.frames_delivered += 1;
+                        sys.trace_mut()
+                            .record(TraceKind::FrameOpen, end, NO_PROCESS, seq as u64, 1);
                     }
-                    _ => report.frame_failures += 1,
+                    _ => {
+                        report.frame_failures += 1;
+                        sys.trace_mut()
+                            .record(TraceKind::FrameOpen, end, NO_PROCESS, seq as u64, 0);
+                    }
                 }
             }
         }

@@ -63,8 +63,9 @@ pub mod timing_re;
 pub use alignment::{align_classes, paired_sets, AlignmentConfig, ClassMatch};
 pub use cache_re::{derive_cache_architecture, CacheArchReport, DetectedPolicy};
 pub use covert::{
-    redecode_traces, transmit, transmit_link, transmit_over, transmit_resilient, BoundaryPolicy,
-    ChannelMedium, ChannelParams, ChannelReport, Coding, Decoder, L2SetMedium, LinkChannel,
+    extract_anatomy, redecode_traces, slot_latency_histogram, transmit, transmit_link,
+    transmit_over, transmit_resilient, BoundaryPolicy, ChannelAnatomy, ChannelMedium,
+    ChannelParams, ChannelReport, Coding, Decoder, L2SetMedium, LinkChannel,
     LinkCongestionMedium, Pipeline, ResilientReport, RetryConfig, SetPair,
 };
 pub use eviction::{

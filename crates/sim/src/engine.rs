@@ -450,6 +450,24 @@ impl<'a> Engine<'a> {
                     (b.duration, 0)
                 }
             };
+            if self.sys.tracing_enabled() {
+                // `Op::Done` never reaches here (its arm `continue`s).
+                let code: u64 = match op {
+                    Op::Compute(_) => 0,
+                    Op::Load(_) => 1,
+                    Op::Store(..) => 2,
+                    Op::LoadBatch => 3,
+                    Op::Done => unreachable!("Done short-circuits the dispatch"),
+                };
+                let pid = self.slots[i].agent.process();
+                self.sys.trace_mut().record(
+                    crate::telemetry::TraceKind::EngineOp,
+                    now,
+                    pid.0,
+                    duration,
+                    code,
+                );
+            }
             if duration == 0 {
                 zero_streak += 1;
                 if zero_streak > LIVELOCK_THRESHOLD {

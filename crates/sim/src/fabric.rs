@@ -60,6 +60,7 @@ use crate::fault::{FaultPlan, FaultState};
 use crate::qos::{QosConfig, QosState};
 use crate::stats::SystemStats;
 use crate::system::ProcessId;
+use crate::telemetry::{TraceKind, TraceSink};
 use crate::topology::{LinkId, Topology};
 use serde::{Deserialize, Serialize};
 
@@ -289,7 +290,18 @@ impl Fabric {
     /// `now` until the line was delivered past the last link, and
     /// records per-link and per-direction bytes/busy/queue statistics.
     ///
+    /// When `trace` is enabled each hop additionally emits
+    /// [`TraceKind::HopServe`] plus per-cause fault/QoS delay records
+    /// (attributed by diffing the stats counters around the fault and
+    /// QoS sub-steps, so those layers need no hooks of their own). The
+    /// hooks consume no RNG and change no timing — a traced run is
+    /// bit-identical to an untraced one.
+    ///
     /// Must only be called on an enabled fabric with a non-empty path.
+    // The hot-path signature deliberately takes everything by argument
+    // (no context struct) so the borrow checker can split the system's
+    // fields at the call sites.
+    #[allow(clippy::too_many_arguments)]
     #[inline]
     pub fn traverse(
         &mut self,
@@ -299,9 +311,11 @@ impl Fabric {
         now: u64,
         line_bytes: u64,
         stats: &mut SystemStats,
+        trace: &mut TraceSink,
     ) -> u64 {
         debug_assert!(self.enabled, "traverse on a disabled fabric");
         debug_assert_eq!(path.len(), dirs.len(), "one direction bit per hop");
+        let tracing = trace.is_enabled();
         let mut t = now;
         for (&l, &rev) in path.iter().zip(dirs) {
             let w = if self.per_direction {
@@ -316,10 +330,37 @@ impl Fabric {
             // then enters the QoS pipeline unchanged.
             let mut service = self.nv_service;
             if let Some(fs) = &mut self.faults {
+                let before = if tracing {
+                    *stats.fault()
+                } else {
+                    Default::default()
+                };
+                let arrived = t;
                 let (arr, svc) = fs.apply_hop(l, t, self.nv_service, stats.fault_mut());
                 t = arr;
                 service = svc;
+                if tracing {
+                    let after = stats.fault();
+                    let link = u64::from(l.0);
+                    if after.down_waits > before.down_waits {
+                        let wait = after.down_wait_cycles - before.down_wait_cycles;
+                        trace.record(TraceKind::FaultDownWait, arrived, pid.0, wait, link);
+                    }
+                    if after.transient_stalls > before.transient_stalls {
+                        let stall = after.stall_cycles - before.stall_cycles;
+                        trace.record(TraceKind::FaultStall, arrived, pid.0, stall, link);
+                    }
+                    if after.degraded_hops > before.degraded_hops {
+                        let extra = after.degraded_extra_cycles - before.degraded_extra_cycles;
+                        trace.record(TraceKind::FaultDegraded, arrived, pid.0, extra, link);
+                    }
+                }
             }
+            let qos_before = if tracing && self.qos_enabled {
+                *stats.qos()
+            } else {
+                Default::default()
+            };
             let horizon = if self.qos_enabled {
                 self.qos
                     .delivery_horizon(pid, w, t, line_bytes, stats.qos_mut())
@@ -343,6 +384,26 @@ impl Fabric {
                 *busy = s.saturating_add(service);
                 (s, s - granted, service)
             };
+            if tracing {
+                let link = u64::from(l.0);
+                if self.qos_enabled {
+                    let after = stats.qos();
+                    let throttle =
+                        after.throttle_delay_cycles - qos_before.throttle_delay_cycles;
+                    if throttle > 0 {
+                        trace.record(TraceKind::QosThrottle, t, pid.0, throttle, link);
+                    }
+                    let pace = after.pacing_delay_cycles - qos_before.pacing_delay_cycles;
+                    if pace > 0 {
+                        trace.record(TraceKind::QosPace, t, pid.0, pace, link);
+                    }
+                    let jitter = after.jitter_delay_cycles - qos_before.jitter_delay_cycles;
+                    if jitter > 0 {
+                        trace.record(TraceKind::QosJitter, t, pid.0, jitter, link);
+                    }
+                }
+                trace.record(TraceKind::HopServe, start, pid.0, link, queued);
+            }
             let st = stats.link_mut(l);
             st.bytes += line_bytes;
             st.requests += 1;
@@ -360,12 +421,27 @@ impl Fabric {
 
     /// Sends one line through the shared PCIe root complex starting at
     /// cycle `now`; returns the extra cycles beyond `now` (queue wait +
-    /// serialisation) and records root-complex statistics.
+    /// serialisation) and records root-complex statistics (plus a
+    /// [`TraceKind::PcieServe`] record when `trace` is enabled).
     #[inline]
-    pub fn traverse_pcie(&mut self, now: u64, line_bytes: u64, stats: &mut SystemStats) -> u64 {
+    pub fn traverse_pcie(
+        &mut self,
+        pid: ProcessId,
+        now: u64,
+        line_bytes: u64,
+        stats: &mut SystemStats,
+        trace: &mut TraceSink,
+    ) -> u64 {
         debug_assert!(self.enabled, "traverse on a disabled fabric");
         let start = now.max(self.pcie_busy_until);
         self.pcie_busy_until = start + self.pcie_service;
+        trace.record(
+            TraceKind::PcieServe,
+            start,
+            pid.0,
+            start - now,
+            self.pcie_service,
+        );
         let st = stats.pcie_root_mut();
         st.bytes += line_bytes;
         st.requests += 1;
@@ -405,6 +481,7 @@ mod tests {
             now,
             128,
             stats,
+            &mut TraceSink::disabled(),
         )
     }
 
@@ -479,8 +556,15 @@ mod tests {
     #[test]
     fn pcie_root_complex_is_one_shared_queue() {
         let (_topo, mut fabric, mut stats) = fixture();
-        assert_eq!(fabric.traverse_pcie(0, 128, &mut stats), 60);
-        assert_eq!(fabric.traverse_pcie(0, 128, &mut stats), 120);
+        let mut trace = TraceSink::disabled();
+        assert_eq!(
+            fabric.traverse_pcie(ProcessId(0), 0, 128, &mut stats, &mut trace),
+            60
+        );
+        assert_eq!(
+            fabric.traverse_pcie(ProcessId(0), 0, 128, &mut stats, &mut trace),
+            120
+        );
         assert_eq!(stats.pcie_root().queue_cycles, 60);
         assert_eq!(stats.pcie_root().bytes, 256);
     }

@@ -34,6 +34,11 @@
 //! - A **discrete-event engine** interleaving concurrent agents (trojan,
 //!   spy, victim, noise tenants) against the shared caches in true
 //!   timestamp order.
+//! - **Cycle-accurate telemetry** ([`telemetry`]): an allocation-free
+//!   ring-buffer event tracer (off by default, bit-invisible when off)
+//!   hooked into the engine, L2, fabric, QoS and fault layers, plus
+//!   mergeable streaming metrics and Chrome `trace_event` / human
+//!   timeline exporters.
 //!
 //! ## Quick example
 //!
@@ -74,6 +79,7 @@ pub mod replacement;
 pub mod sm;
 pub mod stats;
 pub mod system;
+pub mod telemetry;
 pub mod timing;
 pub mod topology;
 pub mod vm;
@@ -92,6 +98,10 @@ pub use sm::{KernelId, KernelLaunch, SmArray};
 pub use stats::{FaultStats, GpuStats, LinkStats, QosStats, SystemStats};
 pub use system::{
     AccessOracle, AgentId, BatchAccess, BatchSummary, MemAccess, MultiGpuSystem, ProcessId,
+};
+pub use telemetry::{
+    chrome_trace_json, human_timeline, validate_json, LogHistogram, MetricSet, TraceKind,
+    TraceRecord, TraceSink, TraceSpan, NO_PROCESS,
 };
 pub use timing::LatencyModel;
 pub use topology::{LinkId, LinkKind, Route, Topology};

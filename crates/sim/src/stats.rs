@@ -1,6 +1,14 @@
 //! System-wide statistics counters: per-GPU and per-link.
+//!
+//! Every counter struct supports `merge(&other)` (saturating
+//! element-wise add) and `reset()` (zero in place), so per-node stats
+//! aggregate by streaming fold instead of snapshot diffing —
+//! [`SystemStats::merge`] folds a whole node, and
+//! [`SystemStats::metric_set`] exports the aggregate into a
+//! [`crate::telemetry::MetricSet`] for fleet-level reporting.
 
 use crate::address::GpuId;
+use crate::telemetry::MetricSet;
 use crate::topology::LinkId;
 use serde::{Deserialize, Serialize};
 
@@ -25,6 +33,26 @@ pub struct GpuStats {
     pub congestion_episodes: u64,
 }
 
+impl GpuStats {
+    /// Folds `other` into `self` (saturating element-wise add).
+    pub fn merge(&mut self, other: &GpuStats) {
+        self.l2_hits = self.l2_hits.saturating_add(other.l2_hits);
+        self.l2_misses = self.l2_misses.saturating_add(other.l2_misses);
+        self.issued_accesses = self.issued_accesses.saturating_add(other.issued_accesses);
+        self.remote_served = self.remote_served.saturating_add(other.remote_served);
+        self.nvlink_bytes = self.nvlink_bytes.saturating_add(other.nvlink_bytes);
+        self.pcie_accesses = self.pcie_accesses.saturating_add(other.pcie_accesses);
+        self.congestion_episodes = self
+            .congestion_episodes
+            .saturating_add(other.congestion_episodes);
+    }
+
+    /// Zeroes every counter in place.
+    pub fn reset(&mut self) {
+        *self = GpuStats::default();
+    }
+}
+
 /// Counters for one interconnect resource (an NVLink link or the PCIe
 /// root complex), maintained by [`crate::fabric::Fabric`] when the timed
 /// link model is enabled; all zero otherwise.
@@ -42,6 +70,21 @@ pub struct LinkStats {
     pub busy_cycles: u64,
     /// Cycles transfers waited for the resource to free up (queueing).
     pub queue_cycles: u64,
+}
+
+impl LinkStats {
+    /// Folds `other` into `self` (saturating element-wise add).
+    pub fn merge(&mut self, other: &LinkStats) {
+        self.bytes = self.bytes.saturating_add(other.bytes);
+        self.requests = self.requests.saturating_add(other.requests);
+        self.busy_cycles = self.busy_cycles.saturating_add(other.busy_cycles);
+        self.queue_cycles = self.queue_cycles.saturating_add(other.queue_cycles);
+    }
+
+    /// Zeroes every counter in place.
+    pub fn reset(&mut self) {
+        *self = LinkStats::default();
+    }
 }
 
 /// Counters of the fabric QoS/defence layer ([`crate::qos`]), maintained
@@ -68,6 +111,33 @@ pub struct QosStats {
     /// Extra NVLink hops those detours traversed beyond the canonical
     /// hop count.
     pub valiant_extra_hops: u64,
+}
+
+impl QosStats {
+    /// Folds `other` into `self` (saturating element-wise add).
+    pub fn merge(&mut self, other: &QosStats) {
+        self.passed_bytes = self.passed_bytes.saturating_add(other.passed_bytes);
+        self.shaped_bytes = self.shaped_bytes.saturating_add(other.shaped_bytes);
+        self.throttle_delay_cycles = self
+            .throttle_delay_cycles
+            .saturating_add(other.throttle_delay_cycles);
+        self.pacing_delay_cycles = self
+            .pacing_delay_cycles
+            .saturating_add(other.pacing_delay_cycles);
+        self.jitter_delay_cycles = self
+            .jitter_delay_cycles
+            .saturating_add(other.jitter_delay_cycles);
+        self.valiant_detours = self.valiant_detours.saturating_add(other.valiant_detours);
+        self.valiant_extra_hops = self
+            .valiant_extra_hops
+            .saturating_add(other.valiant_extra_hops);
+    }
+
+    /// Zeroes every counter in place, so new QoS counters can never
+    /// silently leak across a phase boundary.
+    pub fn reset(&mut self) {
+        *self = QosStats::default();
+    }
 }
 
 /// Counters of the fault-injection layer ([`crate::fault`]), maintained
@@ -100,6 +170,29 @@ pub struct FaultStats {
     pub transient_stalls: u64,
     /// Total cycles of transient-stall delay.
     pub stall_cycles: u64,
+}
+
+impl FaultStats {
+    /// Folds `other` into `self` (saturating element-wise add).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.reroutes = self.reroutes.saturating_add(other.reroutes);
+        self.pcie_fallbacks = self.pcie_fallbacks.saturating_add(other.pcie_fallbacks);
+        self.refused_accesses = self.refused_accesses.saturating_add(other.refused_accesses);
+        self.down_waits = self.down_waits.saturating_add(other.down_waits);
+        self.down_wait_cycles = self.down_wait_cycles.saturating_add(other.down_wait_cycles);
+        self.degraded_hops = self.degraded_hops.saturating_add(other.degraded_hops);
+        self.degraded_extra_cycles = self
+            .degraded_extra_cycles
+            .saturating_add(other.degraded_extra_cycles);
+        self.transient_stalls = self.transient_stalls.saturating_add(other.transient_stalls);
+        self.stall_cycles = self.stall_cycles.saturating_add(other.stall_cycles);
+    }
+
+    /// Zeroes every counter in place, so new fault counters can never
+    /// silently leak across a phase boundary.
+    pub fn reset(&mut self) {
+        *self = FaultStats::default();
+    }
 }
 
 /// Statistics for the whole box.
@@ -234,20 +327,86 @@ impl SystemStats {
         t
     }
 
-    /// Resets every counter to zero.
+    /// Resets every counter to zero by delegating to each sub-struct's
+    /// own `reset()` — a counter added to any sub-struct is therefore
+    /// zeroed here (and at every phase boundary) automatically.
     pub fn reset(&mut self) {
         for g in &mut self.per_gpu {
-            *g = GpuStats::default();
+            g.reset();
         }
         for l in &mut self.per_link {
-            *l = LinkStats::default();
+            l.reset();
         }
         for l in &mut self.per_link_dir {
-            *l = LinkStats::default();
+            l.reset();
         }
-        self.pcie_root = LinkStats::default();
-        self.qos = QosStats::default();
-        self.fault = FaultStats::default();
+        self.pcie_root.reset();
+        self.qos.reset();
+        self.fault.reset();
+    }
+
+    /// Folds another node's stats into `self` element-wise (saturating).
+    /// Shorter per-resource vectors merge positionally; `other`'s extra
+    /// entries are appended, so heterogeneous nodes still fold.
+    pub fn merge(&mut self, other: &SystemStats) {
+        fn merge_vec<T: Copy>(into: &mut Vec<T>, from: &[T], f: impl Fn(&mut T, &T)) {
+            for (a, b) in into.iter_mut().zip(from.iter()) {
+                f(a, b);
+            }
+            if from.len() > into.len() {
+                into.extend_from_slice(&from[into.len()..]);
+            }
+        }
+        merge_vec(&mut self.per_gpu, &other.per_gpu, |a, b| a.merge(b));
+        merge_vec(&mut self.per_link, &other.per_link, |a, b| a.merge(b));
+        merge_vec(&mut self.per_link_dir, &other.per_link_dir, |a, b| {
+            a.merge(b)
+        });
+        self.pcie_root.merge(&other.pcie_root);
+        self.qos.merge(&other.qos);
+        self.fault.merge(&other.fault);
+    }
+
+    /// Exports the aggregate counters into a mergeable
+    /// [`crate::telemetry::MetricSet`] — the fleet-reporting surface:
+    /// collect one set per node, then fold them with
+    /// [`crate::telemetry::MetricSet::merge`].
+    pub fn metric_set(&self) -> MetricSet {
+        let mut m = MetricSet::new();
+        let t = self.total();
+        m.add("gpu.l2_hits", t.l2_hits);
+        m.add("gpu.l2_misses", t.l2_misses);
+        m.add("gpu.issued_accesses", t.issued_accesses);
+        m.add("gpu.remote_served", t.remote_served);
+        m.add("gpu.nvlink_bytes", t.nvlink_bytes);
+        m.add("gpu.pcie_accesses", t.pcie_accesses);
+        m.add("gpu.congestion_episodes", t.congestion_episodes);
+        let l = self.link_total();
+        m.add("link.bytes", l.bytes);
+        m.add("link.requests", l.requests);
+        m.add("link.busy_cycles", l.busy_cycles);
+        m.add("link.queue_cycles", l.queue_cycles);
+        m.add("pcie.bytes", self.pcie_root.bytes);
+        m.add("pcie.requests", self.pcie_root.requests);
+        m.add("pcie.busy_cycles", self.pcie_root.busy_cycles);
+        m.add("pcie.queue_cycles", self.pcie_root.queue_cycles);
+        m.add("qos.passed_bytes", self.qos.passed_bytes);
+        m.add("qos.shaped_bytes", self.qos.shaped_bytes);
+        m.add("qos.throttle_delay_cycles", self.qos.throttle_delay_cycles);
+        m.add("qos.pacing_delay_cycles", self.qos.pacing_delay_cycles);
+        m.add("qos.jitter_delay_cycles", self.qos.jitter_delay_cycles);
+        m.add("qos.valiant_detours", self.qos.valiant_detours);
+        m.add("qos.valiant_extra_hops", self.qos.valiant_extra_hops);
+        m.add("fault.reroutes", self.fault.reroutes);
+        m.add("fault.pcie_fallbacks", self.fault.pcie_fallbacks);
+        m.add("fault.refused_accesses", self.fault.refused_accesses);
+        m.add("fault.down_waits", self.fault.down_waits);
+        m.add("fault.down_wait_cycles", self.fault.down_wait_cycles);
+        m.add("fault.degraded_hops", self.fault.degraded_hops);
+        m.add("fault.degraded_extra_cycles", self.fault.degraded_extra_cycles);
+        m.add("fault.transient_stalls", self.fault.transient_stalls);
+        m.add("fault.stall_cycles", self.fault.stall_cycles);
+        m
     }
 }
 
@@ -296,6 +455,51 @@ mod tests {
         assert_eq!(s.pcie_root().requests, 0);
         assert_eq!(*s.qos(), QosStats::default());
         assert_eq!(*s.fault(), FaultStats::default());
+    }
+
+    #[test]
+    fn merge_folds_per_node_stats() {
+        let mut a = SystemStats::new(2, 1);
+        a.gpu_mut(GpuId::new(0)).l2_hits = 5;
+        a.link_mut(LinkId(0)).bytes = 100;
+        a.qos_mut().shaped_bytes = 7;
+        let mut b = SystemStats::new(2, 1);
+        b.gpu_mut(GpuId::new(0)).l2_hits = 2;
+        b.gpu_mut(GpuId::new(1)).l2_misses = 4;
+        b.link_dir_mut(LinkId(0), true).requests = 9;
+        b.fault_mut().reroutes = 1;
+        a.merge(&b);
+        assert_eq!(a.gpu(GpuId::new(0)).l2_hits, 7);
+        assert_eq!(a.gpu(GpuId::new(1)).l2_misses, 4);
+        assert_eq!(a.link(LinkId(0)).unwrap().bytes, 100);
+        assert_eq!(a.link_dir(LinkId(0), true).unwrap().requests, 9);
+        assert_eq!(a.qos().shaped_bytes, 7);
+        assert_eq!(a.fault().reroutes, 1);
+        // Merging a reset node is a no-op.
+        let snapshot = a.clone();
+        let mut z = SystemStats::new(2, 1);
+        z.reset();
+        a.merge(&z);
+        assert_eq!(a.total(), snapshot.total());
+        assert_eq!(a.link_total(), snapshot.link_total());
+    }
+
+    #[test]
+    fn metric_set_export_folds_like_stats() {
+        let mut a = SystemStats::new(1, 1);
+        a.gpu_mut(GpuId::new(0)).l2_hits = 3;
+        a.qos_mut().valiant_detours = 2;
+        let mut b = SystemStats::new(1, 1);
+        b.gpu_mut(GpuId::new(0)).l2_hits = 4;
+        b.fault_mut().stall_cycles = 10;
+        let mut per_node = a.metric_set();
+        per_node.merge(&b.metric_set());
+        let mut folded = a.clone();
+        folded.merge(&b);
+        assert_eq!(per_node, folded.metric_set());
+        assert_eq!(per_node.counter("gpu.l2_hits"), 7);
+        assert_eq!(per_node.counter("qos.valiant_detours"), 2);
+        assert_eq!(per_node.counter("fault.stall_cycles"), 10);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::fault::{build_epochs, FaultEpoch, FaultPlan};
 use crate::memory::Hbm;
 use crate::sm::{KernelId, KernelLaunch, SmArray};
 use crate::stats::{LinkStats, SystemStats};
+use crate::telemetry::{TraceKind, TraceSink};
 use crate::timing::LatencyModel;
 use crate::topology::{LinkId, LinkKind, Route};
 use crate::vm::{AddressSpace, Mapping};
@@ -236,6 +237,10 @@ pub struct MultiGpuSystem {
     /// binary search, so the steady state stays allocation-free.
     fault_epochs: Vec<FaultEpoch>,
     stats: SystemStats,
+    /// Cycle-accurate event tracer ([`crate::telemetry`]). Disabled by
+    /// default: every hook is then one branch, no RNG, no timing change
+    /// — a traced run is bit-identical to an untraced one either way.
+    trace: TraceSink,
     rng: ChaCha8Rng,
     next_agent: u32,
     tlb_entries: usize,
@@ -300,6 +305,7 @@ impl MultiGpuSystem {
             fabric,
             fault_epochs,
             stats,
+            trace: TraceSink::disabled(),
             rng,
             next_agent: 0,
             tlb_entries: DEFAULT_TLB_ENTRIES,
@@ -345,6 +351,33 @@ impl MultiGpuSystem {
         self.stats.reset();
     }
 
+    /// The cycle-accurate event tracer (read side: drain
+    /// [`TraceSink::records`] for export).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Mutable access to the tracer, for pipeline-level events recorded
+    /// outside the box (the covert transport does this) or for
+    /// clearing/disabling it.
+    pub fn trace_mut(&mut self) -> &mut TraceSink {
+        &mut self.trace
+    }
+
+    /// Enables cycle-accurate event tracing into a preallocated ring of
+    /// at least `capacity` records (see [`crate::telemetry`]). This is
+    /// the tracer's only allocation: recording afterwards is
+    /// allocation-free, consumes no RNG and changes no timing, so a
+    /// traced run stays bit-identical to an untraced one.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace.enable(capacity);
+    }
+
+    /// Whether event tracing is currently enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
     /// Clears transient timing state (pressure windows, congestion
     /// episodes, fabric link occupancy). Agent-local clocks restart from
     /// zero for every [`crate::engine::Engine`] run, so stale timestamps
@@ -379,6 +412,8 @@ impl MultiGpuSystem {
     /// the one piece of history that survives (allocations are not
     /// undone), which is why both paths must malloc identically first.
     pub fn canonicalize_phase(&mut self, tag: u64) {
+        self.trace
+            .record(TraceKind::PhaseMark, 0, crate::telemetry::NO_PROCESS, tag, 0);
         for g in &mut self.gpus {
             g.l2.flush();
         }
@@ -455,6 +490,19 @@ impl MultiGpuSystem {
             self.fabric.register_process();
         }
         self.fault_epochs = build_epochs(&self.cfg.fabric.faults, &self.cfg.topology);
+        if self.trace.is_enabled() {
+            // Put each *installed* outage window in the trace next to
+            // the stalls later *observed* inside it.
+            for d in &self.cfg.fabric.faults.link_downs {
+                self.trace.record(
+                    TraceKind::FaultEpoch,
+                    d.at,
+                    crate::telemetry::NO_PROCESS,
+                    d.recover_at,
+                    u64::from(d.link),
+                );
+            }
+        }
         Ok(())
     }
 
@@ -465,7 +513,13 @@ impl MultiGpuSystem {
     /// route (counting a reroute when it changed the canonical NVLink
     /// path), the PCIe root complex when the pair is partitioned, or —
     /// when the plan refuses the fallback — [`SimError::LinkDown`].
-    fn resolve_route(&mut self, issuer: GpuId, home: GpuId, now: u64) -> SimResult<Route> {
+    fn resolve_route(
+        &mut self,
+        pid: ProcessId,
+        issuer: GpuId,
+        home: GpuId,
+        now: u64,
+    ) -> SimResult<Route> {
         if issuer == home || self.fault_epochs.is_empty() {
             return Ok(self.cfg.topology.route(issuer, home));
         }
@@ -482,11 +536,25 @@ impl MultiGpuSystem {
                 LinkKind::NvLink => {
                     if topo.path(issuer, home) != self.cfg.topology.path(issuer, home) {
                         self.stats.fault_mut().reroutes += 1;
+                        self.trace.record(
+                            TraceKind::FaultReroute,
+                            now,
+                            pid.0,
+                            issuer.index() as u64,
+                            home.index() as u64,
+                        );
                     }
                 }
                 LinkKind::Pcie => {
                     if self.cfg.fabric.faults.pcie_fallback {
                         self.stats.fault_mut().pcie_fallbacks += 1;
+                        self.trace.record(
+                            TraceKind::PcieFallback,
+                            now,
+                            pid.0,
+                            issuer.index() as u64,
+                            home.index() as u64,
+                        );
                     } else {
                         self.stats.fault_mut().refused_accesses += 1;
                         return Err(SimError::LinkDown(ep.first_down));
@@ -663,7 +731,7 @@ impl MultiGpuSystem {
                 p.partition,
             )
         };
-        let route = self.resolve_route(issuer, home.gpu, now)?;
+        let route = self.resolve_route(pid, issuer, home.gpu, now)?;
         let (hit, set, latency) =
             self.access_resolved(pid, issuer, home.gpu, home.addr, partition, agent, now, route);
 
@@ -722,6 +790,20 @@ impl MultiGpuSystem {
                 .l2
                 .access_located(pa, &mut self.rng, partition);
         let hit = outcome.is_hit();
+        if self.trace.is_enabled() {
+            let set_w = set.raw() as u64;
+            match outcome {
+                crate::cache::AccessOutcome::Hit => {
+                    self.trace.record(TraceKind::L2Hit, now, pid.0, set_w, pa.0);
+                }
+                crate::cache::AccessOutcome::Miss { evicted } => {
+                    self.trace.record(TraceKind::L2Miss, now, pid.0, set_w, pa.0);
+                    if let Some(e) = evicted {
+                        self.trace.record(TraceKind::L2Evict, now, pid.0, set_w, e);
+                    }
+                }
+            }
+        }
 
         // Contention pressure on the home GPU's L2/ports. When no timing
         // term can observe pressure (noiseless configs) the window
@@ -767,6 +849,13 @@ impl MultiGpuSystem {
                 let q = self.stats.qos_mut();
                 q.valiant_detours += 1;
                 q.valiant_extra_hops += u64::from(hops - route.hops);
+                self.trace.record(
+                    TraceKind::ValiantDetour,
+                    now,
+                    pid.0,
+                    mid.index() as u64,
+                    u64::from(hops),
+                );
                 fabric_route = Route {
                     kind: LinkKind::NvLink,
                     hops,
@@ -825,12 +914,26 @@ impl MultiGpuSystem {
                     Some(mid) => {
                         let p1 = self.cfg.topology.path(issuer, mid);
                         let d1 = self.cfg.topology.path_dirs(issuer, mid);
-                        let e1 = self.fabric.traverse(pid, p1, d1, now, line, &mut self.stats);
+                        let e1 = self.fabric.traverse(
+                            pid,
+                            p1,
+                            d1,
+                            now,
+                            line,
+                            &mut self.stats,
+                            &mut self.trace,
+                        );
                         let p2 = self.cfg.topology.path(mid, home);
                         let d2 = self.cfg.topology.path_dirs(mid, home);
-                        e1 + self
-                            .fabric
-                            .traverse(pid, p2, d2, now + e1, line, &mut self.stats)
+                        e1 + self.fabric.traverse(
+                            pid,
+                            p2,
+                            d2,
+                            now + e1,
+                            line,
+                            &mut self.stats,
+                            &mut self.trace,
+                        )
                     }
                     None => {
                         let topo = epoch_topo.unwrap_or(&self.cfg.topology);
@@ -844,10 +947,21 @@ impl MultiGpuSystem {
                             path = self.cfg.topology.path(issuer, home);
                             dirs = self.cfg.topology.path_dirs(issuer, home);
                         }
-                        self.fabric.traverse(pid, path, dirs, now, line, &mut self.stats)
+                        self.fabric.traverse(
+                            pid,
+                            path,
+                            dirs,
+                            now,
+                            line,
+                            &mut self.stats,
+                            &mut self.trace,
+                        )
                     }
                 },
-                LinkKind::Pcie => self.fabric.traverse_pcie(now, line, &mut self.stats),
+                LinkKind::Pcie => {
+                    self.fabric
+                        .traverse_pcie(pid, now, line, &mut self.stats, &mut self.trace)
+                }
                 LinkKind::Local => 0,
             };
             latency = latency.saturating_add(u32::try_from(extra).unwrap_or(u32::MAX));
@@ -963,7 +1077,7 @@ impl MultiGpuSystem {
                 // outage boundary follow their already-resolved route
                 // and stall at the dead link (down-wait) rather than
                 // rerouting mid-batch.
-                route = self.resolve_route(issuer, m.gpu, now)?;
+                route = self.resolve_route(pid, issuer, m.gpu, now)?;
                 cached_vpn = vpn;
                 cached = m;
             }

@@ -1,0 +1,947 @@
+//! Cycle-accurate telemetry: an allocation-free ring-buffer event
+//! tracer, mergeable streaming metrics, and trace exporters.
+//!
+//! The paper's whole methodology is timing-resolved observation
+//! (memorygrams, per-slot latency traces, BER-vs-bandwidth frontiers),
+//! yet until this module the simulator itself was a black box between
+//! [`crate::engine::Engine::run`] and the final report. The tracer
+//! turns one run into an inspectable timeline: which cycle window an
+//! outage landed in, where QoS pacing stretched a grant, when the
+//! covert pipeline resynchronised.
+//!
+//! # Record format
+//!
+//! A [`TraceRecord`] is fixed-width (32 bytes): `cycle` (when), `kind`
+//! (a [`TraceKind`] discriminant), `process` (the tenant charged, or
+//! [`NO_PROCESS`] for unattributed events) and two `u64` payload words
+//! `a`/`b` whose meaning is per-kind (documented on each variant).
+//! Records live in a preallocated power-of-two ring
+//! ([`TraceSink::enable`]); when the ring wraps, the oldest records are
+//! overwritten and counted in [`TraceSink::dropped`].
+//!
+//! # Overhead budget
+//!
+//! Off — the default — the tracer is **bit-invisible**: hooks consume
+//! no RNG, change no timing and cost one predictable branch, so every
+//! golden fingerprint holds (asserted in `sim_benches`). On, a record
+//! is one masked index + a 32-byte store, **zero steady-state
+//! allocations** (the ring is preallocated; counting-allocator-tested
+//! in `tests/alloc_free.rs`), and the end-to-end covert-transmit rung
+//! stays within a 15% wall-clock envelope (asserted by the
+//! `trace_overhead` bench rung).
+//!
+//! # Opening a trace in Perfetto
+//!
+//! [`chrome_trace_json`] renders records and spans in the Chrome
+//! `trace_event` format. Write the string to a `.json` file and load it
+//! at <https://ui.perfetto.dev> (or `chrome://tracing`). Timestamps are
+//! **simulated cycles** presented as microseconds (1 µs = 1 cycle);
+//! instants group by kind, spans by their [`TraceSpan::track`]. The
+//! `ext_trace_anatomy` binary is the worked example: one hardened
+//! `transmit_resilient` run through a mid-transmission link outage,
+//! with the fault window, retry rounds and resyncs as overlapping
+//! spans.
+//!
+//! # Streaming metrics
+//!
+//! [`MetricSet`] — named saturating counters plus log2-bucketed
+//! latency histograms ([`LogHistogram`], p50/p95/p99 accessors) —
+//! supports `merge(&other)` and `reset()`, so fleet-scale aggregation
+//! is a fold over per-node sets instead of a snapshot diff
+//! ([`crate::stats::SystemStats::metric_set`] exports a system's
+//! counters into one).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// `process` value of a [`TraceRecord`] not attributable to one tenant.
+pub const NO_PROCESS: u32 = u32::MAX;
+
+/// What one [`TraceRecord`] describes. The `a`/`b` payload meaning is
+/// per-variant; unlisted words are zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum TraceKind {
+    /// One engine op dispatched: `a` = duration cycles, `b` = op code
+    /// (0 compute, 1 load, 2 store, 3 load-batch).
+    EngineOp = 0,
+    /// L2 hit on the home GPU: `a` = cache set, `b` = physical address.
+    L2Hit = 1,
+    /// L2 miss (line filled): `a` = cache set, `b` = physical address.
+    L2Miss = 2,
+    /// L2 eviction making room for a miss: `a` = cache set, `b` = the
+    /// displaced line address.
+    L2Evict = 3,
+    /// One NVLink hop served: `a` = link index, `b` = cycles queued
+    /// behind the link's occupancy window.
+    HopServe = 4,
+    /// Token bucket re-paced an over-budget line: `a` = delay cycles,
+    /// `b` = link index.
+    QosThrottle = 5,
+    /// Epoch pacing delayed a grant: `a` = delay cycles, `b` = link
+    /// index.
+    QosPace = 6,
+    /// Seeded grant jitter delayed a grant: `a` = delay cycles, `b` =
+    /// link index.
+    QosJitter = 7,
+    /// Valiant routing detoured a line: `a` = intermediate GPU, `b` =
+    /// total hops walked.
+    ValiantDetour = 8,
+    /// A line stalled at a down link: `a` = wait cycles, `b` = link
+    /// index.
+    FaultDownWait = 9,
+    /// A transient stall hit a hop: `a` = stall cycles, `b` = link
+    /// index.
+    FaultStall = 10,
+    /// A hop served at degraded speed: `a` = extra service cycles, `b`
+    /// = link index.
+    FaultDegraded = 11,
+    /// An outage epoch rerouted an access off its canonical path: `a` =
+    /// issuing GPU, `b` = home GPU.
+    FaultReroute = 12,
+    /// An access fell back to PCIe because outages partitioned the
+    /// pair: `a` = issuing GPU, `b` = home GPU.
+    PcieFallback = 13,
+    /// The PCIe root complex served a line: `a` = cycles queued, `b` =
+    /// service cycles.
+    PcieServe = 14,
+    /// A phase boundary (`canonicalize_phase`): `a` = the phase tag.
+    PhaseMark = 15,
+    /// A scheduled link outage installed by a fault plan: `cycle` = the
+    /// outage start, `a` = recovery cycle, `b` = link index. Recorded
+    /// at [`crate::system::MultiGpuSystem::set_fault_plan`] time so the
+    /// *installed* window is in the trace next to the *observed* stalls.
+    FaultEpoch = 16,
+    /// Covert pipeline: a frame was sealed for transmission: `a` =
+    /// sequence number, `b` = retransmission round.
+    FrameSeal = 17,
+    /// Covert pipeline: a received frame was opened: `a` = sequence
+    /// number, `b` = 1 delivered / 0 failed verification.
+    FrameOpen = 18,
+    /// Covert pipeline: one engine round completed: `cycle` = the
+    /// round's launch defer, `a` = the round's end-of-run clock, `b` =
+    /// round index.
+    RetryRound = 19,
+    /// Covert pipeline: a sync-lost lane was re-decoded: `a` = lane,
+    /// `b` = 1 if an alternate boundary improved the preamble lock.
+    Resync = 20,
+    /// Covert pipeline: a decision boundary was chosen for a lane:
+    /// `a` = the boundary in cycles (rounded), `b` = lane.
+    BoundaryChosen = 21,
+}
+
+impl TraceKind {
+    /// Stable short label (used by both exporters).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::EngineOp => "engine.op",
+            TraceKind::L2Hit => "l2.hit",
+            TraceKind::L2Miss => "l2.miss",
+            TraceKind::L2Evict => "l2.evict",
+            TraceKind::HopServe => "fabric.hop",
+            TraceKind::QosThrottle => "qos.throttle",
+            TraceKind::QosPace => "qos.pace",
+            TraceKind::QosJitter => "qos.jitter",
+            TraceKind::ValiantDetour => "qos.valiant",
+            TraceKind::FaultDownWait => "fault.down_wait",
+            TraceKind::FaultStall => "fault.stall",
+            TraceKind::FaultDegraded => "fault.degraded",
+            TraceKind::FaultReroute => "fault.reroute",
+            TraceKind::PcieFallback => "fault.pcie_fallback",
+            TraceKind::PcieServe => "pcie.serve",
+            TraceKind::PhaseMark => "phase.mark",
+            TraceKind::FaultEpoch => "fault.epoch",
+            TraceKind::FrameSeal => "frame.seal",
+            TraceKind::FrameOpen => "frame.open",
+            TraceKind::RetryRound => "retry.round",
+            TraceKind::Resync => "resync",
+            TraceKind::BoundaryChosen => "boundary.chosen",
+        }
+    }
+}
+
+/// One fixed-width trace record (32 bytes). See [`TraceKind`] for the
+/// per-kind meaning of `a` and `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Simulated cycle the event happened at (agent-local engine time).
+    pub cycle: u64,
+    /// First payload word (per-kind meaning).
+    pub a: u64,
+    /// Second payload word (per-kind meaning).
+    pub b: u64,
+    /// Tenant the event is charged to, or [`NO_PROCESS`].
+    pub process: u32,
+    /// Event kind.
+    pub kind: TraceKind,
+}
+
+impl Default for TraceRecord {
+    fn default() -> Self {
+        TraceRecord {
+            cycle: 0,
+            a: 0,
+            b: 0,
+            process: NO_PROCESS,
+            kind: TraceKind::PhaseMark,
+        }
+    }
+}
+
+/// Allocation-free ring-buffer event sink.
+///
+/// Off by default ([`TraceSink::disabled`]): every hook reduces to one
+/// branch and the simulation is bit-identical to an untraced run (the
+/// hooks consume no RNG and change no timing either way).
+/// [`TraceSink::enable`] preallocates the ring once; recording then
+/// never allocates — the oldest records are overwritten when the ring
+/// wraps ([`TraceSink::dropped`] counts them).
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    enabled: bool,
+    /// `capacity - 1` for the power-of-two ring.
+    mask: usize,
+    /// Preallocated ring storage (empty while disabled).
+    buf: Vec<TraceRecord>,
+    /// Total records ever pushed; `head & mask` is the next write slot.
+    head: u64,
+}
+
+impl TraceSink {
+    /// A disabled sink (no storage, hooks are one branch).
+    pub fn disabled() -> Self {
+        TraceSink::default()
+    }
+
+    /// Enables recording into a fresh ring of at least `capacity`
+    /// records (rounded up to a power of two, minimum 64). This is the
+    /// only allocation the sink ever performs.
+    pub fn enable(&mut self, capacity: usize) {
+        let cap = capacity.max(64).next_power_of_two();
+        self.buf.clear();
+        self.buf.resize(cap, TraceRecord::default());
+        self.mask = cap - 1;
+        self.head = 0;
+        self.enabled = true;
+    }
+
+    /// Stops recording and drops the ring storage. Recorded events are
+    /// discarded; call [`TraceSink::records`] first to keep them.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+        self.buf = Vec::new();
+        self.mask = 0;
+        self.head = 0;
+    }
+
+    /// Whether events are being recorded. Hook sites branch on this
+    /// once before doing any event-assembly work.
+    #[inline(always)]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event. A no-op (one branch) while disabled; a masked
+    /// index plus a 32-byte store while enabled. Never allocates.
+    #[inline(always)]
+    pub fn record(&mut self, kind: TraceKind, cycle: u64, process: u32, a: u64, b: u64) {
+        if !self.enabled {
+            return;
+        }
+        let i = (self.head as usize) & self.mask;
+        self.buf[i] = TraceRecord {
+            cycle,
+            a,
+            b,
+            process,
+            kind,
+        };
+        self.head += 1;
+    }
+
+    /// Records currently held, oldest first (insertion order — the
+    /// engine dispatches in timestamp order, so this is chronological
+    /// per agent). Allocates the returned vector; intended for export,
+    /// not hot paths.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        if self.buf.is_empty() {
+            return Vec::new();
+        }
+        let cap = self.buf.len();
+        let n = self.len();
+        let start = if self.head as usize > cap {
+            (self.head as usize) & self.mask
+        } else {
+            0
+        };
+        (0..n)
+            .map(|i| self.buf[(start + i) & self.mask])
+            .collect()
+    }
+
+    /// Records currently held in the ring.
+    pub fn len(&self) -> usize {
+        (self.head as usize).min(self.buf.len())
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.head == 0
+    }
+
+    /// Total records ever pushed (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head
+    }
+
+    /// Records lost to ring wrap-around (oldest-overwritten).
+    pub fn dropped(&self) -> u64 {
+        self.head.saturating_sub(self.buf.len() as u64)
+    }
+
+    /// Empties the ring without touching enablement or storage.
+    pub fn clear(&mut self) {
+        self.head = 0;
+    }
+}
+
+/// Log2-bucketed latency histogram: bucket `i` holds values whose bit
+/// length is `i` (bucket 0 = the value 0, bucket 1 = 1, bucket 2 =
+/// 2–3, bucket 10 = 512–1023, …). Fixed 64-bucket storage, so
+/// recording is branch-light and [`LogHistogram::merge`] is a
+/// saturating element-wise add — the streaming-aggregation primitive
+/// behind [`MetricSet`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// One counter per bit length (65 including the 0 bucket). A `Vec`
+    /// only because the vendored serde shim lacks array impls; the
+    /// length is always exactly 65 and it is allocated once at
+    /// construction, never on the record path.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Bucket index of a value: its bit length.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Lower bound of bucket `i` — the representative value percentile
+    /// accessors report (log2 buckets quantise upward, so percentiles
+    /// are exact to within one power of two).
+    #[inline]
+    fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] = self.buckets[Self::bucket_of(v)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0 for an empty histogram.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `p`-th percentile (`0..=100`) as the lower bound of the
+    /// bucket holding that rank; 0 for an empty histogram.
+    pub fn percentile(&self, p: u8) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = u64::from(p.min(100));
+        // Ceil rank so p=100 lands on the last sample and p=0 on the first.
+        let target = (self.count * p).div_ceil(100);
+        let target = target.max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= target {
+                return Self::bucket_floor(i);
+            }
+        }
+        Self::bucket_floor(64)
+    }
+
+    /// Median (50th percentile) bucket floor.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50)
+    }
+
+    /// 95th percentile bucket floor.
+    pub fn p95(&self) -> u64 {
+        self.percentile(95)
+    }
+
+    /// 99th percentile bucket floor.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99)
+    }
+
+    /// Folds `other` into `self` (saturating element-wise add).
+    /// Associative and commutative; a [`LogHistogram::reset`] histogram
+    /// is the identity.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Zeroes every bucket in place (no allocation).
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+    }
+}
+
+/// A mergeable set of named saturating counters and latency histograms.
+///
+/// The fleet-scale aggregation primitive: every node keeps its own
+/// `MetricSet`, and fleet totals are a fold —
+/// `sets.iter().fold(MetricSet::new(), |mut acc, s| { acc.merge(s); acc })`.
+/// [`MetricSet::merge`] is associative and commutative with
+/// [`MetricSet::reset`] as identity (property-tested in
+/// `tests/proptests.rs`). Equality ignores zero-valued counters and
+/// empty histograms, so a reset set compares equal to a fresh one.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricSet {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, LogHistogram>,
+}
+
+impl MetricSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        MetricSet::default()
+    }
+
+    /// Adds `delta` to counter `name` (saturating), creating it at zero
+    /// first if absent.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        let c = self
+            .counters
+            .entry(name.to_string())
+            .or_insert(0);
+        *c = c.saturating_add(delta);
+    }
+
+    /// Current value of counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one sample into histogram `name`, creating it if absent.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Histogram `name`, if any sample was ever recorded into it.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// All non-zero counters, name-sorted.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters
+            .iter()
+            .filter(|(_, &v)| v != 0)
+            .map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Folds `other` into `self`: counters add (saturating), histograms
+    /// merge. Zero counters and empty histograms in `other` are skipped
+    /// so a reset set is a true merge identity.
+    pub fn merge(&mut self, other: &MetricSet) {
+        for (k, &v) in &other.counters {
+            if v != 0 {
+                self.add(k, v);
+            }
+        }
+        for (k, h) in &other.histograms {
+            if h.count() != 0 {
+                self.histograms.entry(k.clone()).or_default().merge(h);
+            }
+        }
+    }
+
+    /// Zeroes every counter and histogram in place (keys are kept, so
+    /// this performs no allocation and the set becomes the merge
+    /// identity).
+    pub fn reset(&mut self) {
+        for v in self.counters.values_mut() {
+            *v = 0;
+        }
+        for h in self.histograms.values_mut() {
+            h.reset();
+        }
+    }
+}
+
+impl PartialEq for MetricSet {
+    /// Structural equality over *non-zero* state: zero counters and
+    /// empty histograms don't distinguish sets (a reset set equals a
+    /// fresh one).
+    fn eq(&self, other: &Self) -> bool {
+        if !self.counters().eq(other.counters()) {
+            return false;
+        }
+        let live = |m: &Self| -> Vec<(String, LogHistogram)> {
+            m.histograms
+                .iter()
+                .filter(|(_, h)| h.count() != 0)
+                .map(|(k, h)| (k.clone(), h.clone()))
+                .collect()
+        };
+        live(self) == live(other)
+    }
+}
+
+/// One named span for the exporters (e.g. a fault window, a
+/// retransmission round). Spans are not recorded by hooks — they are
+/// derived from records (or known plans) by the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Display name.
+    pub name: String,
+    /// Start cycle (inclusive).
+    pub start: u64,
+    /// End cycle (exclusive).
+    pub end: u64,
+    /// Display row: spans with the same track render on one row, so
+    /// overlapping phenomena (fault window vs retry rounds) go on
+    /// different tracks.
+    pub track: u32,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders records and spans as Chrome `trace_event` JSON (the
+/// "JSON array of objects in a `traceEvents` wrapper" flavour), loadable
+/// in Perfetto / `chrome://tracing`. Records become instant events
+/// (`ph:"i"`, one thread row per [`TraceKind`]); spans become complete
+/// events (`ph:"X"`, one thread row per [`TraceSpan::track`], offset so
+/// they never collide with the kind rows). Timestamps are simulated
+/// cycles presented as microseconds.
+pub fn chrome_trace_json(records: &[TraceRecord], spans: &[TraceSpan]) -> String {
+    let mut out = String::with_capacity(64 + records.len() * 96 + spans.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for s in spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}}}",
+            json_escape(&s.name),
+            s.start,
+            s.end.saturating_sub(s.start),
+            s.track,
+        ));
+    }
+    for r in records {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let pid = if r.process == NO_PROCESS {
+            -1i64
+        } else {
+            i64::from(r.process)
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"a\":{},\"b\":{},\"process\":{}}}}}",
+            r.kind.label(),
+            r.cycle,
+            1000 + r.kind as u8 as u32,
+            r.a,
+            r.b,
+            pid,
+        ));
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Renders spans and (up to `max_records`) records as a compact,
+/// cycle-sorted human timeline — the terminal-friendly counterpart of
+/// [`chrome_trace_json`].
+pub fn human_timeline(records: &[TraceRecord], spans: &[TraceSpan], max_records: usize) -> String {
+    let mut out = String::new();
+    let mut sorted_spans: Vec<&TraceSpan> = spans.iter().collect();
+    sorted_spans.sort_by_key(|s| (s.start, s.track));
+    for s in &sorted_spans {
+        out.push_str(&format!(
+            "[{:>10} .. {:>10}] ==== {}\n",
+            s.start, s.end, s.name
+        ));
+    }
+    let mut sorted: Vec<&TraceRecord> = records.iter().collect();
+    sorted.sort_by_key(|r| r.cycle);
+    let shown = sorted.len().min(max_records);
+    for r in &sorted[..shown] {
+        let who = if r.process == NO_PROCESS {
+            "-".to_string()
+        } else {
+            format!("p{}", r.process)
+        };
+        out.push_str(&format!(
+            "[{:>10}] {:<20} {:>4}  a={} b={}\n",
+            r.cycle,
+            r.kind.label(),
+            who,
+            r.a,
+            r.b
+        ));
+    }
+    if sorted.len() > shown {
+        out.push_str(&format!("... {} more records elided\n", sorted.len() - shown));
+    }
+    out
+}
+
+/// Minimal JSON well-formedness check (objects, arrays, strings,
+/// numbers, literals — no semantic validation). Used by
+/// `ext_trace_anatomy` to gate the exported trace without a JSON
+/// parsing dependency.
+///
+/// # Errors
+///
+/// Returns a byte offset and message for the first syntax error.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+    fn value(b: &[u8], i: &mut usize, depth: usize) -> Result<(), String> {
+        if depth > 256 {
+            return Err("nesting too deep".into());
+        }
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    skip_ws(b, i);
+                    string(b, i)?;
+                    skip_ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return Err(format!("expected ':' at byte {i}"));
+                    }
+                    *i += 1;
+                    value(b, i, depth + 1)?;
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(());
+                }
+                loop {
+                    value(b, i, depth + 1)?;
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {i}")),
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(b't') => literal(b, i, b"true"),
+            Some(b'f') => literal(b, i, b"false"),
+            Some(b'n') => literal(b, i, b"null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                *i += 1;
+                while *i < b.len()
+                    && (b[*i].is_ascii_digit()
+                        || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+                {
+                    *i += 1;
+                }
+                Ok(())
+            }
+            _ => Err(format!("unexpected byte at {i}")),
+        }
+    }
+    fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected '\"' at byte {i}"));
+        }
+        *i += 1;
+        while let Some(&c) = b.get(*i) {
+            match c {
+                b'"' => {
+                    *i += 1;
+                    return Ok(());
+                }
+                b'\\' => *i += 2,
+                _ => *i += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+    fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), String> {
+        if b.len() >= *i + lit.len() && &b[*i..*i + lit.len()] == lit {
+            *i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {i}"))
+        }
+    }
+    value(b, &mut i, 0)?;
+    skip_ws(b, &mut i);
+    if i == b.len() {
+        Ok(())
+    } else {
+        Err(format!("trailing garbage at byte {i}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let mut t = TraceSink::disabled();
+        t.record(TraceKind::L2Hit, 10, 0, 1, 2);
+        assert!(!t.is_enabled());
+        assert!(t.is_empty());
+        assert_eq!(t.records(), Vec::new());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_insertion_order_and_overwrites_oldest() {
+        let mut t = TraceSink::disabled();
+        t.enable(64); // minimum capacity
+        for i in 0..100u64 {
+            t.record(TraceKind::EngineOp, i, 0, i, 0);
+        }
+        assert_eq!(t.recorded(), 100);
+        assert_eq!(t.len(), 64);
+        assert_eq!(t.dropped(), 36);
+        let r = t.records();
+        assert_eq!(r.len(), 64);
+        // Oldest surviving record is #36, newest #99, in order.
+        assert_eq!(r[0].cycle, 36);
+        assert_eq!(r[63].cycle, 99);
+        assert!(r.windows(2).all(|w| w[0].cycle + 1 == w[1].cycle));
+    }
+
+    #[test]
+    fn enable_clear_disable_lifecycle() {
+        let mut t = TraceSink::disabled();
+        t.enable(100); // rounds up to 128
+        t.record(TraceKind::PhaseMark, 0, NO_PROCESS, 7, 0);
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(t.is_empty());
+        t.record(TraceKind::PhaseMark, 1, NO_PROCESS, 8, 0);
+        assert_eq!(t.records()[0].a, 8);
+        t.disable();
+        assert!(!t.is_enabled());
+        t.record(TraceKind::PhaseMark, 2, NO_PROCESS, 9, 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 1, 2, 3, 500, 900, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 2407);
+        assert_eq!(h.mean(), 300);
+        // Rank 4 of 8 (ceil(8*0.5)=4) is the value 2 → bucket 2 floor 2.
+        assert_eq!(h.p50(), 2);
+        // p99 → rank 8 → 1000 lives in bucket 10 (512..1023) floor 512.
+        assert_eq!(h.p99(), 512);
+        assert_eq!(h.percentile(0), 0, "rank clamps to the first sample");
+        assert_eq!(LogHistogram::new().p95(), 0, "empty histogram");
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_pass() {
+        let samples_a = [3u64, 77, 912, 4, 0];
+        let samples_b = [1u64, 1023, 65_536, 2];
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for &v in &samples_a {
+            a.record(v);
+            all.record(v);
+        }
+        for &v in &samples_b {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        // Identity: merging a reset histogram changes nothing.
+        b.reset();
+        let before = a.clone();
+        a.merge(&b);
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn metric_set_merge_and_reset() {
+        let mut a = MetricSet::new();
+        a.add("hits", 3);
+        a.observe("lat", 100);
+        let mut b = MetricSet::new();
+        b.add("hits", 4);
+        b.add("misses", 1);
+        b.observe("lat", 900);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge commutes");
+        assert_eq!(ab.counter("hits"), 7);
+        assert_eq!(ab.counter("misses"), 1);
+        assert_eq!(ab.histogram("lat").unwrap().count(), 2);
+        // reset() is the identity.
+        let mut z = ab.clone();
+        z.reset();
+        assert_eq!(z, MetricSet::new(), "reset equals fresh");
+        let before = a.clone();
+        a.merge(&z);
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json() {
+        let mut t = TraceSink::disabled();
+        t.enable(64);
+        t.record(TraceKind::L2Miss, 100, 2, 17, 4096);
+        t.record(TraceKind::FaultDownWait, 950, NO_PROCESS, 250, 0);
+        let spans = vec![TraceSpan {
+            name: "outage \"link 0\"".to_string(),
+            start: 900,
+            end: 1200,
+            track: 1,
+        }];
+        let json = chrome_trace_json(&t.records(), &spans);
+        validate_json(&json).expect("exporter must emit valid JSON");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("l2.miss"));
+        assert!(json.contains("\\\"link 0\\\""), "names are escaped");
+        assert!(json.contains("\"dur\":300"));
+    }
+
+    #[test]
+    fn human_timeline_sorts_and_elides() {
+        let recs = vec![
+            TraceRecord {
+                cycle: 500,
+                a: 1,
+                b: 0,
+                process: 3,
+                kind: TraceKind::L2Hit,
+            },
+            TraceRecord {
+                cycle: 100,
+                a: 2,
+                b: 0,
+                process: NO_PROCESS,
+                kind: TraceKind::PhaseMark,
+            },
+        ];
+        let text = human_timeline(&recs, &[], 1);
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("phase.mark"), "sorted by cycle: {first}");
+        assert!(text.contains("1 more records elided"));
+    }
+
+    #[test]
+    fn json_validator_rejects_garbage() {
+        assert!(validate_json("{\"a\":1}").is_ok());
+        assert!(validate_json("[1,2,{\"x\":[true,null]}]").is_ok());
+        assert!(validate_json("{\"a\":}").is_err());
+        assert!(validate_json("{\"a\":1},").is_err());
+        assert!(validate_json("{\"a\"").is_err());
+        assert!(validate_json("").is_err());
+    }
+}

@@ -31,6 +31,13 @@
 //! — so even while the outage is forcing PCIe fallbacks and reroutes,
 //! the steady-state loop allocates nothing.
 //!
+//! A fifth set proves it for the **event tracer** running on top of the
+//! full fault + QoS stack: the ring buffer is allocated once at
+//! `enable_tracing` time, and the record path is a branch plus a masked
+//! store that silently overwrites the oldest record when the ring wraps
+//! — so even at maximum event rate (every hop, stall, reroute and
+//! engine op recorded) the measured window allocates nothing.
+//!
 //! The counter is **thread-local**: the engine loop under test runs on
 //! the test's own thread, while the libtest main thread keeps doing its
 //! own bookkeeping (event messages, stdout buffering) concurrently — a
@@ -162,6 +169,30 @@ fn fault_steady_state_loop_is_allocation_free() {
 }
 
 #[test]
+fn traced_steady_state_loop_is_allocation_free() {
+    // The fault scenario's full stack plus every QoS mechanism, with the
+    // tracer on and a small (4Ki-record) ring: the measured window emits
+    // orders of magnitude more records than the ring holds, so the test
+    // also proves that wrapping is allocation-free.
+    let plan = FaultPlan::none()
+        .with_stalls(7, 16, 450)
+        .with_degraded(0, 700_000, 3_000_000, 4)
+        .with_link_down(1, 3_000_000, 5_000_000);
+    let qos = QosConfig::off()
+        .with_rate_limit(640, 1024)
+        .with_jitter(900, 17)
+        .with_valiant(23);
+    for kind in [SchedulerKind::Linear, SchedulerKind::Heap] {
+        let allocs = fabric_steady_state_allocs_traced(kind, 4, qos, plan.clone(), true);
+        assert_eq!(
+            allocs, 0,
+            "traced steady-state loop allocated {allocs} times \
+             (scheduler {kind:?})"
+        );
+    }
+}
+
+#[test]
 fn qos_steady_state_loop_is_allocation_free() {
     // Each defence mechanism in turn, plus the full stack at once, on
     // both schedulers. Deliberately tight budgets so the rate limiter
@@ -231,6 +262,19 @@ fn fabric_steady_state_allocs_under(
     qos: QosConfig,
     faults: FaultPlan,
 ) -> u64 {
+    fabric_steady_state_allocs_traced(kind, agents, qos, faults, false)
+}
+
+/// As [`fabric_steady_state_allocs_under`], optionally with the event
+/// tracer on (a deliberately small ring, so the measured window wraps it
+/// many times over).
+fn fabric_steady_state_allocs_traced(
+    kind: SchedulerKind,
+    agents: usize,
+    qos: QosConfig,
+    faults: FaultPlan,
+    traced: bool,
+) -> u64 {
     let mut cfg = SystemConfig::small_test()
         .noiseless()
         .with_fabric(FabricConfig::nvlink_v1().with_qos(qos).with_faults(faults));
@@ -238,6 +282,9 @@ fn fabric_steady_state_allocs_under(
     cfg.topology = Topology::from_edges(4, &[(0, 1), (1, 2)]);
     cfg.allow_indirect_peer = true;
     let mut sys = MultiGpuSystem::new(cfg);
+    if traced {
+        sys.enable_tracing(1 << 12);
+    }
     let pids: Vec<ProcessId> = (0..4)
         .map(|g| sys.create_process(GpuId::new(g)))
         .collect();

@@ -489,6 +489,7 @@ proptest! {
                 at,
                 bytes,
                 &mut stats,
+                &mut gpubox_sim::TraceSink::disabled(),
             );
             prop_assert!(extra >= hops * 10, "at least the service cycles");
             offered += bytes * hops; // the bucket is charged once per hop
@@ -529,6 +530,7 @@ proptest! {
                     0,
                     burst,
                     &mut stats,
+                    &mut gpubox_sim::TraceSink::disabled(),
                 );
             }
             // Now the bucket is empty at t = 0; the measured line's
@@ -541,11 +543,106 @@ proptest! {
                 0,
                 bytes,
                 &mut stats,
+                &mut gpubox_sim::TraceSink::disabled(),
             );
             stats.qos().throttle_delay_cycles - before
         };
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         prop_assert!(delay(lo) <= delay(hi),
             "delay must grow with the over-budget amount: {} vs {}", delay(lo), delay(hi));
+    }
+}
+
+/// Builds a [`gpubox_sim::MetricSet`] from an op list: each op hits one
+/// of four fixed metric names, either as a counter bump or a histogram
+/// observation.
+fn metric_set_from(ops: &[(u8, bool, u64)]) -> gpubox_sim::MetricSet {
+    const KEYS: [&str; 4] = ["gpu.hits", "link.bytes", "qos.delay", "fault.stalls"];
+    let mut m = gpubox_sim::MetricSet::new();
+    for &(k, hist, v) in ops {
+        let key = KEYS[(k % 4) as usize];
+        if hist {
+            m.observe(key, v);
+        } else {
+            m.add(key, v);
+        }
+    }
+    m
+}
+
+/// One metric op: (key selector, histogram?, value).
+fn metric_ops() -> impl Strategy<Value = Vec<(u8, bool, u64)>> {
+    prop::collection::vec((0u8..4, any::<bool>(), any::<u64>()), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fleet aggregation must not care how per-node metric sets are
+    /// grouped: `merge` is associative.
+    #[test]
+    fn metric_merge_is_associative(a in metric_ops(), b in metric_ops(), c in metric_ops()) {
+        let (ma, mb, mc) = (metric_set_from(&a), metric_set_from(&b), metric_set_from(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ma.clone();
+        left.merge(&mb);
+        left.merge(&mc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = mb.clone();
+        bc.merge(&mc);
+        let mut right = ma.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// ...nor in which order nodes report: `merge` is commutative.
+    #[test]
+    fn metric_merge_is_commutative(a in metric_ops(), b in metric_ops()) {
+        let (ma, mb) = (metric_set_from(&a), metric_set_from(&b));
+        let mut ab = ma.clone();
+        ab.merge(&mb);
+        let mut ba = mb.clone();
+        ba.merge(&ma);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// A `reset()` set is the merge identity — merging it in either
+    /// direction changes nothing, and it equals a fresh set.
+    #[test]
+    fn metric_reset_is_merge_identity(a in metric_ops(), b in metric_ops()) {
+        let ma = metric_set_from(&a);
+        let mut zero = metric_set_from(&b);
+        zero.reset();
+        prop_assert_eq!(&zero, &gpubox_sim::MetricSet::new(), "reset == fresh");
+        let mut left = ma.clone();
+        left.merge(&zero);
+        prop_assert_eq!(&left, &ma, "a ⊕ 0 == a");
+        let mut right = zero.clone();
+        right.merge(&ma);
+        prop_assert_eq!(&right, &ma, "0 ⊕ a == a");
+    }
+
+    /// Merging partial histograms must yield exactly the histogram (and
+    /// so exactly the percentiles) of a single pass over the
+    /// concatenated samples — the property that makes sharded collection
+    /// lossless.
+    #[test]
+    fn histogram_merge_equals_single_pass(
+        xs in prop::collection::vec(any::<u64>(), 0..200),
+        ys in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let mut hx = gpubox_sim::LogHistogram::new();
+        for &v in &xs { hx.record(v); }
+        let mut hy = gpubox_sim::LogHistogram::new();
+        for &v in &ys { hy.record(v); }
+        hx.merge(&hy);
+
+        let mut concat = gpubox_sim::LogHistogram::new();
+        for &v in xs.iter().chain(ys.iter()) { concat.record(v); }
+
+        prop_assert_eq!(&hx, &concat);
+        prop_assert_eq!(hx.p50(), concat.p50());
+        prop_assert_eq!(hx.p95(), concat.p95());
+        prop_assert_eq!(hx.p99(), concat.p99());
     }
 }
