@@ -42,8 +42,9 @@ use gpubox_attacks::{
     ChannelParams, Locality, ScanConfig, SetPair, Thresholds, TrialRunner,
 };
 use gpubox_sim::{
-    Agent, CacheConfig, Engine, FabricConfig, GpuId, L2Cache, MultiGpuSystem, Op, OpResult,
-    PhysAddr, ProbeStage, ProcessCtx, ProcessId, SystemConfig, Topology, VirtAddr,
+    Agent, CacheConfig, Engine, FabricConfig, FleetConfig, FleetRunner, GpuId, L2Cache,
+    MultiGpuSystem, Op, OpResult, Pack, PhysAddr, ProbeStage, ProcessCtx, ProcessId, SystemConfig,
+    Topology, VirtAddr,
 };
 use gpubox_sim::cache_reference::ReferenceCache;
 use rand::SeedableRng;
@@ -1018,6 +1019,43 @@ fn bench_discovery_scan(c: &mut Criterion) {
     });
 }
 
+/// Fleet rung: a small fleet stepped to a short horizon, serial vs two
+/// shared-nothing workers. The `bench_fleet` binary reports the
+/// full-scale 1-vs-N wall-clock numbers; this rung keeps the per-node
+/// stepping cost (mini-scheduler + batch issue + recycle) in the
+/// criterion trend so fleet-path regressions surface like any other.
+fn bench_fleet_step(c: &mut Criterion) {
+    let build = |threads: usize| {
+        let mut cfg = FleetConfig::new(8, 77).with_target_utilization(0.6);
+        cfg.horizon = 200_000;
+        cfg.epoch = 25_000;
+        cfg.threads = threads;
+        FleetRunner::new(cfg, Box::new(Pack))
+    };
+    // The two variants must decode identically before we time them.
+    let serial = build(1).run();
+    let parallel = build(2).run();
+    assert_eq!(
+        serial.exposure_line("row"),
+        parallel.exposure_line("row"),
+        "fleet rung: thread count changed the decoded exposure table"
+    );
+    c.bench_function("fleet_step_8n_serial", |b| {
+        b.iter_batched(
+            || build(1),
+            |r| black_box(r.run().exposure.accesses),
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("fleet_step_8n_2workers", |b| {
+        b.iter_batched(
+            || build(2),
+            |r| black_box(r.run().exposure.accesses),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
 criterion_group!(
     benches,
     bench_cache_layer,
@@ -1028,6 +1066,7 @@ criterion_group!(
     bench_trace_overhead,
     bench_discovery_scan,
     bench_fabric,
-    bench_system_boot
+    bench_system_boot,
+    bench_fleet_step
 );
 criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Fleet-runner throughput rung: shared-nothing parallel stepping.
+//!
+//! Runs the same fleet — pack placement at high offered load — to the
+//! horizon with 1 worker thread and with `--threads=K` workers, and
+//! reports node-epochs stepped per second and simulated accesses per
+//! second (medians across reruns).  The two runs must decode to a
+//! byte-identical exposure table: parallelism is a wall-clock lever
+//! only, never a semantic one, so the speedup column is meaningful.
+//!
+//! Usage: `bench_fleet [reruns] [--nodes=N] [--threads=K] [--horizon=C]`
+//! (defaults: 3 reruns, 64 nodes, 4 threads, 1.5M cycles).
+
+use std::time::Instant;
+
+use gpubox_bench::report;
+use gpubox_sim::{FleetConfig, FleetReport, FleetRunner, Pack};
+
+fn median_f64(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn build(nodes: u32, horizon: u64, threads: usize) -> FleetRunner {
+    let mut cfg = FleetConfig::new(nodes, 77).with_target_utilization(0.75);
+    cfg.horizon = horizon;
+    cfg.threads = threads;
+    FleetRunner::new(cfg, Box::new(Pack))
+}
+
+fn timed_run(nodes: u32, horizon: u64, threads: usize) -> (FleetReport, f64) {
+    let runner = build(nodes, horizon, threads);
+    let t0 = Instant::now();
+    let report = runner.run();
+    (report, t0.elapsed().as_secs_f64())
+}
+
+#[derive(Debug, serde::Serialize)]
+struct Row {
+    threads: usize,
+    wall_ms_median: f64,
+    node_epochs_per_sec: f64,
+    accesses_per_sec: f64,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct Artefact {
+    nodes: u32,
+    horizon: u64,
+    reruns: usize,
+    host_cpus: usize,
+    rows: Vec<Row>,
+    parallel_speedup: f64,
+}
+
+fn main() {
+    let mut reruns: usize = 3;
+    let mut nodes: u32 = 64;
+    let mut threads: usize = 4;
+    let mut horizon: u64 = 1_500_000;
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--nodes=") {
+            nodes = v.parse().expect("--nodes=N");
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            threads = v.parse().expect("--threads=K");
+        } else if let Some(v) = arg.strip_prefix("--horizon=") {
+            horizon = v.parse().expect("--horizon=C");
+        } else {
+            reruns = arg.parse().expect("reruns must be a number");
+        }
+    }
+    assert!(reruns >= 1 && threads >= 1);
+
+    report::header(
+        "Fleet-runner throughput: 1 worker vs shared-nothing parallel stepping",
+        "same fleet, same decoded exposure table; threads only move wall-clock",
+    );
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    println!(
+        "fleet: {nodes} nodes x 4 GPU slots, horizon {horizon} cycles, {reruns} rerun(s), \
+         {host_cpus} host cpu(s)\n"
+    );
+
+    let mut rows = Vec::new();
+    let mut walls = Vec::new();
+    for &t in &[1usize, threads] {
+        let mut wall_s = Vec::new();
+        let mut last = None;
+        for _ in 0..reruns {
+            let (r, w) = timed_run(nodes, horizon, t);
+            wall_s.push(w);
+            last = Some(r);
+        }
+        let r = last.unwrap();
+        let wall = median_f64(&mut wall_s);
+        rows.push(Row {
+            threads: t,
+            wall_ms_median: wall * 1e3,
+            node_epochs_per_sec: r.exposure.node_epochs as f64 / wall,
+            accesses_per_sec: r.exposure.accesses as f64 / wall,
+        });
+        walls.push((t, wall, r));
+    }
+
+    // Determinism ride-along: the parallel run must decode identically.
+    let (_, _, serial) = &walls[0];
+    let (_, _, parallel) = &walls[1];
+    assert_eq!(
+        serial.exposure_line("row"),
+        parallel.exposure_line("row"),
+        "thread count changed the decoded exposure table"
+    );
+
+    let speedup = walls[0].1 / walls[1].1;
+    let display: Vec<(String, String, String, String)> = rows
+        .iter()
+        .map(|r| {
+            (
+                format!("{} thread(s)", r.threads),
+                format!("{:.1} ms", r.wall_ms_median),
+                format!("{:.1} k node-epochs/s", r.node_epochs_per_sec / 1e3),
+                format!("{:.2} M accesses/s", r.accesses_per_sec / 1e6),
+            )
+        })
+        .collect();
+    report::table4(
+        ("configuration", "wall (median)", "step rate", "access rate"),
+        &display
+            .iter()
+            .map(|(a, b, c, d)| (a.as_str(), b.as_str(), c.as_str(), d.as_str()))
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nparallel speedup at {threads} threads on {host_cpus} host cpu(s): {speedup:.2}x \
+         (exposure tables bit-identical, asserted)"
+    );
+
+    report::write_json(
+        "BENCH_fleet",
+        &Artefact {
+            nodes,
+            horizon,
+            reruns,
+            host_cpus,
+            rows,
+            parallel_speedup: speedup,
+        },
+    );
+}

@@ -3,15 +3,35 @@
 //!
 //! Besides the per-bin stdout, emits one machine-readable
 //! `results/RESULTS.json` artefact: per-bin status (`pass` / `fail` /
-//! `unlaunchable`), exit code and wall-clock duration, plus the suite
-//! totals — the unified report CI uploads.
+//! `unlaunchable`), exit code, wall-clock duration and peak OS thread
+//! count (sampled from `/proc/<pid>/status` while the bin runs), plus
+//! the suite totals — the unified report CI uploads.
 //!
 //! Usage: `cargo run --release -p gpubox-bench --bin run_all [--full]`
 
 use gpubox_bench::report::write_json;
 use serde::Serialize;
 use std::process::Command;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Current OS thread count of `pid` from `/proc/<pid>/status`
+/// (`Threads:` line). Linux only; `None` elsewhere or on any read
+/// failure (e.g. the process already exited).
+fn thread_count(pid: u32) -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string(format!("/proc/{pid}/status")).ok()?;
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        None
+    }
+}
 
 #[derive(Debug, Serialize)]
 struct BinResult {
@@ -22,6 +42,9 @@ struct BinResult {
     /// Exit code when the process ran and reported one.
     exit_code: Option<i32>,
     duration_ms: u64,
+    /// Peak OS thread count observed while the bin ran (Linux only;
+    /// `None` when the probe is unavailable or the bin never launched).
+    peak_threads: Option<u64>,
 }
 
 #[derive(Debug, Serialize)]
@@ -57,6 +80,7 @@ fn main() {
         "ext_fabric_defense",
         "ext_fault_resilience",
         "ext_trace_anatomy",
+        "ext_fleet_placement",
     ];
     if full {
         bins.insert(6, "fig12_confusion_matrix");
@@ -73,15 +97,36 @@ fn main() {
         // failure of that experiment, not of the whole suite: record it
         // and keep going so the final report still covers the rest.
         let started = Instant::now();
-        let (status, exit_code) = match Command::new(dir.join(bin)).status() {
-            Ok(status) if status.success() => ("pass", status.code()),
-            Ok(status) => {
-                eprintln!("{bin} exited with {status}");
-                ("fail", status.code())
+        let (status, exit_code, peak_threads) = match Command::new(dir.join(bin)).spawn() {
+            Ok(mut child) => {
+                // Sample the child's OS thread count until it exits so
+                // the report records how parallel each bin actually ran.
+                let mut peak: Option<u64> = None;
+                let outcome = loop {
+                    if let Some(t) = thread_count(child.id()) {
+                        peak = Some(peak.map_or(t, |p| p.max(t)));
+                    }
+                    match child.try_wait() {
+                        Ok(Some(s)) => break Ok(s),
+                        Ok(None) => std::thread::sleep(Duration::from_millis(5)),
+                        Err(e) => break Err(e),
+                    }
+                };
+                match outcome {
+                    Ok(s) if s.success() => ("pass", s.code(), peak),
+                    Ok(s) => {
+                        eprintln!("{bin} exited with {s}");
+                        ("fail", s.code(), peak)
+                    }
+                    Err(e) => {
+                        eprintln!("could not wait on {bin}: {e}");
+                        ("fail", None, peak)
+                    }
+                }
             }
             Err(e) => {
                 eprintln!("could not launch {bin}: {e}");
-                ("unlaunchable", None)
+                ("unlaunchable", None, None)
             }
         };
         results.push(BinResult {
@@ -89,6 +134,7 @@ fn main() {
             status: status.to_string(),
             exit_code,
             duration_ms: started.elapsed().as_millis() as u64,
+            peak_threads,
         });
     }
     let failed: Vec<String> = results

@@ -71,6 +71,7 @@ pub mod engine;
 pub mod error;
 pub mod fabric;
 pub mod fault;
+pub mod fleet;
 pub mod memory;
 pub mod noise;
 pub mod process;
@@ -91,6 +92,11 @@ pub use engine::{Agent, Engine, Op, OpResult, ProbeStage, SchedulerKind};
 pub use error::{SimError, SimResult};
 pub use fabric::{Fabric, FabricConfig};
 pub use fault::{DegradedLink, FaultPlan, LinkDown, TransientStalls};
+pub use fleet::{
+    ArrivalConfig, ArrivalStream, ChannelAware, Exposure, FleetConfig, FleetReport, FleetRunner,
+    FleetScheduler, JobSpec, Occupancy, Pack, PlacementPolicy, RandomPlacement, SlotAddr, Spread,
+    TenantId,
+};
 pub use noise::{NoiseAgent, NoiseConfig};
 pub use process::ProcessCtx;
 pub use qos::{QosConfig, RateLimitConfig, RoutingPolicy, TrafficShaping};

@@ -412,6 +412,14 @@ impl MultiGpuSystem {
     /// the one piece of history that survives (allocations are not
     /// undone), which is why both paths must malloc identically first.
     pub fn canonicalize_phase(&mut self, tag: u64) {
+        // Node pooling (fleet) recycles a box through this boundary and
+        // asserts the next tenant epoch is bit-identical to a freshly
+        // built node's, so everything observable must rewind: the trace
+        // ring is emptied (enablement and storage kept — the boundary's
+        // own PhaseMark becomes record zero, exactly as on a fresh node)
+        // and the agent-id counter restarts.
+        self.trace.clear();
+        self.next_agent = 0;
         self.trace
             .record(TraceKind::PhaseMark, 0, crate::telemetry::NO_PROCESS, tag, 0);
         for g in &mut self.gpus {

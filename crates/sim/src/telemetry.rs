@@ -482,6 +482,20 @@ impl MetricSet {
         self.histograms.get(name)
     }
 
+    /// Folds a standalone histogram into histogram `name` (creating it
+    /// if absent). Lets hot paths accumulate into a plain
+    /// [`LogHistogram`] — fixed storage, no string keys — and export
+    /// into a set only at report time. Empty histograms are skipped so
+    /// the merge-identity property is preserved.
+    pub fn merge_histogram(&mut self, name: &str, h: &LogHistogram) {
+        if h.count() != 0 {
+            self.histograms
+                .entry(name.to_string())
+                .or_default()
+                .merge(h);
+        }
+    }
+
     /// All non-zero counters, name-sorted.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters

@@ -1,0 +1,147 @@
+//! Property-based tests for the fleet layer: arrival-stream
+//! determinism, placement validity and conservation under every
+//! policy, and the MetricSet fold identity (fleet fold == single-node
+//! concat).
+
+use gpubox_sim::{
+    ArrivalConfig, ArrivalStream, ChannelAware, FleetConfig, FleetRunner, MetricSet, Pack,
+    PlacementPolicy, RandomPlacement, Spread,
+};
+use proptest::prelude::*;
+
+/// A small-but-varied fleet config for property runs: 3–8 nodes, short
+/// horizon, load from underload to overload.
+fn prop_config(nodes: u32, seed: u64, load_pct: u32, threads: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::new(nodes, seed);
+    cfg.horizon = 300_000;
+    cfg.epoch = 25_000;
+    cfg.threads = threads;
+    cfg = cfg.with_target_utilization(f64::from(load_pct) / 100.0);
+    cfg
+}
+
+fn policy_by_index(i: u8, seed: u64) -> Box<dyn PlacementPolicy> {
+    match i % 4 {
+        0 => Box::new(Pack),
+        1 => Box::new(Spread),
+        2 => Box::new(RandomPlacement::new(seed)),
+        _ => Box::new(ChannelAware::new(16)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The arrival stream is a pure function of its config: two
+    /// independently built streams agree job for job, and job `i`'s
+    /// tenant/duration don't depend on how many jobs were drawn before
+    /// it (counter indexing, not sequential state).
+    #[test]
+    fn arrival_stream_deterministic(
+        seed in any::<u64>(),
+        mean in 1_000u64..100_000,
+        tenants in 1u32..64,
+        zipf in 0.0f64..2.0,
+    ) {
+        let cfg = ArrivalConfig {
+            mean_interarrival: mean,
+            tenants,
+            zipf_exponent: zipf,
+            min_duration: 10_000,
+            max_duration: 80_000,
+            seed,
+        };
+        let mut a = ArrivalStream::new(cfg.clone());
+        let mut b = ArrivalStream::new(cfg);
+        let mut last_at = 0u64;
+        for _ in 0..300 {
+            let ja = a.next_job();
+            let jb = b.next_job();
+            prop_assert_eq!(ja, jb);
+            prop_assert!(ja.at > last_at);
+            prop_assert!(ja.duration >= 10_000 && ja.duration <= 80_000);
+            prop_assert!(ja.tenant.0 < tenants);
+            last_at = ja.at;
+        }
+    }
+
+    /// Thread-count invariance, end to end: the same fleet stepped by 1
+    /// worker and by `threads` workers produces identical metrics and
+    /// exposure tables — the arrival stream, placement sequence and
+    /// every node's simulation are all deterministic.
+    #[test]
+    fn fleet_thread_count_invariant(
+        seed in any::<u64>(),
+        nodes in 3u32..8,
+        load_pct in 30u32..140,
+        threads in 2usize..6,
+        policy_idx in 0u8..4,
+    ) {
+        let serial = FleetRunner::new(
+            prop_config(nodes, seed, load_pct, 1),
+            policy_by_index(policy_idx, seed),
+        )
+        .run();
+        let parallel = FleetRunner::new(
+            prop_config(nodes, seed, load_pct, threads),
+            policy_by_index(policy_idx, seed),
+        )
+        .run();
+        prop_assert_eq!(&serial.metrics, &parallel.metrics);
+        prop_assert_eq!(
+            serial.exposure_line("row"),
+            parallel.exposure_line("row")
+        );
+    }
+
+    /// Placement validity and conservation under every policy: no slot
+    /// is double-booked (the occupancy layer panics on that), no jobs
+    /// are lost or invented (placed + queued == arrived, completed <=
+    /// placed), and co-residency accounting never exceeds the occupancy
+    /// that generated it.
+    #[test]
+    fn placement_validity_and_conservation(
+        seed in any::<u64>(),
+        nodes in 3u32..8,
+        load_pct in 30u32..160,
+        policy_idx in 0u8..4,
+    ) {
+        let cfg = prop_config(nodes, seed, load_pct, 1);
+        let horizon = cfg.horizon;
+        let total_slots = cfg.total_slots();
+        let r = FleetRunner::new(cfg, policy_by_index(policy_idx, seed)).run();
+        let e = &r.exposure;
+        prop_assert_eq!(e.placed + e.queued_end, e.arrived, "conservation");
+        prop_assert!(e.completed <= e.placed);
+        prop_assert!(e.occupied_cycles <= horizon * total_slots,
+            "no over-subscription: occupied {} vs capacity {}",
+            e.occupied_cycles, horizon * total_slots);
+        // Each occupied slot-cycle can co-reside with at most 2 link
+        // neighbours on the 4-GPU ring, counted from both sides.
+        prop_assert!(e.coresident_cycles <= 2 * e.occupied_cycles);
+        prop_assert!(e.l2_exposed_windows <= e.windows);
+        prop_assert!(e.link_exposed_windows <= e.l2_exposed_windows,
+            "the slower channel needs longer windows");
+    }
+
+    /// Fold identity: the fleet's per-node `MetricSet` fold equals the
+    /// metric export of the folded `SystemStats` (fold == concat), and
+    /// folding the fleet sets in any grouping is associative.
+    #[test]
+    fn metric_fold_equals_single_node_concat(
+        seed in any::<u64>(),
+        nodes in 3u32..7,
+        load_pct in 40u32..120,
+        policy_idx in 0u8..4,
+    ) {
+        let mut cfg = prop_config(nodes, seed, load_pct, 1);
+        cfg.verify_fold = true;
+        let r = FleetRunner::new(cfg, policy_by_index(policy_idx, seed)).run();
+        prop_assert_eq!(r.fold_matches_total(), Some(true));
+        // The exported report folds fleet counters on top of node
+        // counters; merging an empty set is the identity on all of it.
+        let mut merged = MetricSet::new();
+        merged.merge(&r.metrics);
+        prop_assert_eq!(&merged, &r.metrics);
+    }
+}
