@@ -167,6 +167,15 @@ fn main() {
         }
     }
 
+    // A saturated ring means every span/count above under-reports the
+    // run — surface that in RESULTS.json before the hard gate fires.
+    if dropped > 0 {
+        report::warn(
+            "ext_trace_anatomy",
+            &format!("TraceSink dropped {dropped} records — trace spans under-report the run"),
+        );
+    }
+
     // Gates.
     assert_eq!(dropped, 0, "ring must hold the whole run (raise capacity)");
     validate_json(&json).expect("exported trace must be valid Chrome trace_event JSON");

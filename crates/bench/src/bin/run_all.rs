@@ -3,13 +3,18 @@
 //!
 //! Besides the per-bin stdout, emits one machine-readable
 //! `results/RESULTS.json` artefact: per-bin status (`pass` / `fail` /
-//! `unlaunchable`), exit code, wall-clock duration and peak OS thread
-//! count (sampled from `/proc/<pid>/status` while the bin runs), plus
-//! the suite totals — the unified report CI uploads.
+//! `unlaunchable`), exit code, wall-clock duration, peak OS thread
+//! count (sampled from `/proc/<pid>/status` while the bin runs) and
+//! any warnings the bin recorded via [`gpubox_bench::report::warn`]
+//! (e.g. a saturated `TraceSink` under-reporting trace spans), plus
+//! the suite totals — the unified report CI uploads. The same totals
+//! are exported as `results/metrics.prom` in Prometheus exposition
+//! format through [`MetricSet::to_prometheus_text`].
 //!
 //! Usage: `cargo run --release -p gpubox-bench --bin run_all [--full]`
 
 use gpubox_bench::report::write_json;
+use gpubox_sim::telemetry::MetricSet;
 use serde::Serialize;
 use std::process::Command;
 use std::time::{Duration, Instant};
@@ -45,6 +50,25 @@ struct BinResult {
     /// Peak OS thread count observed while the bin ran (Linux only;
     /// `None` when the probe is unavailable or the bin never launched).
     peak_threads: Option<u64>,
+    /// Warnings the bin recorded via `report::warn` — non-fatal
+    /// conditions (e.g. dropped trace records) that would otherwise
+    /// only exist in the scrollback.
+    warnings: Vec<String>,
+}
+
+/// Reads and clears the warning file a bin may have written through
+/// `report::warn`. Cleared *before* each launch so stale warnings from
+/// a previous suite run are never attributed to this one.
+fn warning_path(bin: &str) -> std::path::PathBuf {
+    std::path::Path::new("results")
+        .join("warnings")
+        .join(format!("{bin}.txt"))
+}
+
+fn collect_warnings(bin: &str) -> Vec<String> {
+    std::fs::read_to_string(warning_path(bin))
+        .map(|s| s.lines().map(str::to_string).collect())
+        .unwrap_or_default()
 }
 
 #[derive(Debug, Serialize)]
@@ -81,6 +105,7 @@ fn main() {
         "ext_fault_resilience",
         "ext_trace_anatomy",
         "ext_fleet_placement",
+        "ext_detection",
     ];
     if full {
         bins.insert(6, "fig12_confusion_matrix");
@@ -97,6 +122,7 @@ fn main() {
         // failure of that experiment, not of the whole suite: record it
         // and keep going so the final report still covers the rest.
         let started = Instant::now();
+        let _ = std::fs::remove_file(warning_path(bin));
         let (status, exit_code, peak_threads) = match Command::new(dir.join(bin)).spawn() {
             Ok(mut child) => {
                 // Sample the child's OS thread count until it exits so
@@ -135,6 +161,7 @@ fn main() {
             exit_code,
             duration_ms: started.elapsed().as_millis() as u64,
             peak_threads,
+            warnings: collect_warnings(bin),
         });
     }
     let failed: Vec<String> = results
@@ -150,6 +177,27 @@ fn main() {
         bins: results,
     };
     write_json("RESULTS", &suite);
+    // The same totals as a Prometheus scrape surface: pass/fail/warning
+    // counters and the per-bin wall-clock distribution.
+    let mut metrics = MetricSet::new();
+    for r in &suite.bins {
+        metrics.add(
+            match r.status.as_str() {
+                "pass" => "suite.bins_passed",
+                _ => "suite.bins_failed",
+            },
+            1,
+        );
+        metrics.add("suite.warnings", r.warnings.len() as u64);
+        metrics.observe("suite.bin_duration_ms", r.duration_ms);
+    }
+    if std::fs::create_dir_all("results").is_ok() {
+        let path = "results/metrics.prom";
+        match std::fs::write(path, metrics.to_prometheus_text()) {
+            Ok(()) => println!("\n[artefact] {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
     println!("\n================================================================");
     if failed.is_empty() {
         println!("all {} experiments completed successfully", suite.total);

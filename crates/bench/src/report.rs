@@ -77,6 +77,28 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
     "#".repeat(n.min(width))
 }
 
+/// Records a non-fatal warning for `bin`: appends one line to
+/// `results/warnings/<bin>.txt` (and mirrors it to stderr). `run_all`
+/// collects these files into the per-bin `warnings` field of
+/// `results/RESULTS.json`, so conditions like a saturated `TraceSink`
+/// surface in the machine-readable report instead of silently
+/// under-reporting.
+pub fn warn(bin: &str, msg: &str) {
+    eprintln!("warning[{bin}]: {msg}");
+    let dir = std::path::Path::new("results").join("warnings");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    use std::io::Write;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join(format!("{bin}.txt")))
+    {
+        let _ = writeln!(f, "{msg}");
+    }
+}
+
 /// Writes a JSON artefact next to the binary outputs (under `results/`).
 pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
     let dir = std::path::Path::new("results");

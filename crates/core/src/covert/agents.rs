@@ -7,6 +7,31 @@ use gpubox_sim::{Agent, Op, OpResult, ProbeStage, ProcessId, VirtAddr};
 use std::cell::RefCell;
 use std::rc::Rc;
 
+/// Active phase of a `1` slot under the evasion knobs: a deterministic
+/// per-bit jitter offset (Weyl sequence over the bit index — no RNG
+/// consumed, so fingerprints with jitter off are untouched) followed by
+/// `duty_pct`% of the slot, clipped to the slot boundary. With the
+/// default knobs (`duty_pct == 100`, `slot_jitter == 0`) this is the
+/// whole slot and the agents below behave bit-identically to their
+/// pre-evasion versions.
+pub(super) fn active_window(
+    slot_end: u64,
+    slot_cycles: u64,
+    duty_pct: u32,
+    slot_jitter: u64,
+    bit_idx: usize,
+) -> (u64, u64) {
+    let slot_start = slot_end - slot_cycles;
+    let jitter = if slot_jitter > 0 {
+        ((bit_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % slot_jitter
+    } else {
+        0
+    };
+    let a0 = (slot_start + jitter).min(slot_end);
+    let span = slot_cycles * u64::from(duty_pct.clamp(1, 100)) / 100;
+    (a0, (a0 + span).min(slot_end))
+}
+
 /// The trojan transmitter for one set pair: paces bit slots on its own
 /// clock; during a `1` slot it re-primes its eviction set (warp-parallel,
 /// all threads of the block participating); during a `0` slot it spins on
@@ -21,6 +46,10 @@ pub struct TrojanAgent {
     /// Estimated duration of one prime batch, used to size dummy waits.
     prime_estimate: u64,
     bit_idx: usize,
+    /// Evasion: percentage of a `1` slot actively driven.
+    duty_pct: u32,
+    /// Evasion: per-bit active-phase jitter span, cycles.
+    slot_jitter: u64,
 }
 
 impl TrojanAgent {
@@ -34,6 +63,8 @@ impl TrojanAgent {
             start: None,
             prime_estimate: 700,
             bit_idx: 0,
+            duty_pct: params.trojan_duty_pct,
+            slot_jitter: params.trojan_slot_jitter,
         }
     }
 }
@@ -51,9 +82,24 @@ impl Agent for TrojanAgent {
         }
         let remaining = slot_end - now;
         if self.frame[self.bit_idx] == 1 {
-            if remaining < self.prime_estimate {
+            let (a0, a1) = active_window(
+                slot_end,
+                self.slot_cycles,
+                self.duty_pct,
+                self.slot_jitter,
+                self.bit_idx,
+            );
+            if now < a0 {
+                // Evasion: idle until the jittered active phase opens.
+                return Op::Compute(a0 - now);
+            }
+            if now >= a1 {
+                // Evasion: duty budget spent; idle out the slot tail.
+                return Op::Compute(slot_end - now);
+            }
+            if a1 - now < self.prime_estimate {
                 // Not enough room for a full prime; idle to the boundary.
-                Op::Compute(remaining)
+                Op::Compute(slot_end - now)
             } else {
                 // Re-prime warp-parallel: stage the eviction set into the
                 // engine's reusable probe buffer (no per-op allocation).
@@ -234,6 +280,58 @@ mod tests {
         match t.next_op(0, &mut stage) {
             Op::LoadBatch => assert_eq!(stage.len(), 2, "both lines staged"),
             other => panic!("expected prime batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reduced_duty_idles_the_slot_tail() {
+        let params = ChannelParams {
+            slot_cycles: 5000,
+            trojan_duty_pct: 40,
+            ..Default::default()
+        };
+        let set = EvictionSet::new(vec![VirtAddr(4096), VirtAddr(8192)]);
+        let mut t = TrojanAgent::new(ProcessId(0), &set, vec![1], &params);
+        let mut stage = ProbeStage::new();
+        // Active phase covers [0, 2000): still primes at its open.
+        match t.next_op(0, &mut stage) {
+            Op::LoadBatch => assert_eq!(stage.len(), 2),
+            other => panic!("expected prime batch, got {other:?}"),
+        }
+        stage.clear();
+        // After the duty budget: idles exactly to the slot boundary.
+        assert_eq!(t.next_op(2500, &mut stage), Op::Compute(2500));
+        assert_eq!(t.next_op(5000, &mut stage), Op::Done);
+    }
+
+    #[test]
+    fn slot_jitter_delays_the_active_phase_deterministically() {
+        let params = ChannelParams {
+            slot_cycles: 5000,
+            trojan_slot_jitter: 1000,
+            ..Default::default()
+        };
+        let (a0, a1) = active_window(5000, 5000, 100, 1000, 0);
+        assert_eq!((a0, a1), (active_window(5000, 5000, 100, 1000, 0)), "deterministic");
+        assert!(a0 < 5000 && a1 == 5000);
+        let set = EvictionSet::new(vec![VirtAddr(4096)]);
+        let mut t = TrojanAgent::new(ProcessId(0), &set, vec![1], &params);
+        let mut stage = ProbeStage::new();
+        if a0 > 0 {
+            // Before the jittered phase opens: waits exactly until it.
+            assert_eq!(t.next_op(0, &mut stage), Op::Compute(a0));
+        }
+        match t.next_op(a0, &mut stage) {
+            Op::LoadBatch => {}
+            other => panic!("expected prime batch at phase open, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_knobs_reproduce_full_slot_window() {
+        for bit in 0..32 {
+            let end = 6000 * (bit as u64 + 1);
+            assert_eq!(active_window(end, 6000, 100, 0, bit), (end - 6000, end));
         }
     }
 

@@ -50,6 +50,10 @@ pub struct LinkTrojanAgent {
     /// boundary bursts would corrupt it).
     full_burst: bool,
     bit_idx: usize,
+    /// Evasion: percentage of a `1` slot actively driven.
+    duty_pct: u32,
+    /// Evasion: per-bit active-phase jitter span, cycles.
+    slot_jitter: u64,
 }
 
 impl LinkTrojanAgent {
@@ -65,6 +69,8 @@ impl LinkTrojanAgent {
             burst_estimate: 900,
             full_burst: false,
             bit_idx: 0,
+            duty_pct: params.trojan_duty_pct,
+            slot_jitter: params.trojan_slot_jitter,
         }
     }
 }
@@ -82,13 +88,29 @@ impl Agent for LinkTrojanAgent {
         }
         let remaining = slot_end - now;
         if self.frame[self.bit_idx] == 1 {
-            if remaining < self.burst_estimate {
+            let (a0, a1) = super::agents::active_window(
+                slot_end,
+                self.slot_cycles,
+                self.duty_pct,
+                self.slot_jitter,
+                self.bit_idx,
+            );
+            if now < a0 {
+                // Evasion: idle until the jittered active phase opens.
+                return Op::Compute(a0 - now);
+            }
+            if now >= a1 {
+                // Evasion: duty budget spent; idle out the slot tail.
+                return Op::Compute(slot_end - now);
+            }
+            let active_remaining = a1 - now;
+            if active_remaining < self.burst_estimate {
                 // Not enough room for a full burst: issue a proportionally
                 // narrower one so the link stays saturated right up to the
                 // slot boundary (an idle slot tail would hand the spy
                 // uncongested samples inside a `1` slot), with bounded
                 // overrun into the next slot.
-                let n = (self.lines.len() as u64 * remaining / self.burst_estimate.max(1))
+                let n = (self.lines.len() as u64 * active_remaining / self.burst_estimate.max(1))
                     .clamp(1, self.lines.len() as u64) as usize;
                 self.full_burst = false;
                 stage.extend_from_slice(&self.lines[..n]);

@@ -17,6 +17,16 @@ pub struct ChannelParams {
     /// Fraction of a probe's lines that must miss for the probe to vote
     /// "1".
     pub miss_vote_fraction: f64,
+    /// Evasion knob: percentage of each `1` slot the trojan actively
+    /// drives contention for (100 = the full slot, the paper's
+    /// behaviour). A stealthy trojan trades channel SNR for a smaller
+    /// per-window contention footprint to slip under online detectors.
+    pub trojan_duty_pct: u32,
+    /// Evasion knob: exclusive upper bound of a deterministic
+    /// (counter-indexed, per-bit) offset added to each slot's active
+    /// phase, in cycles (0 = none). Smears the trojan's slot clock to
+    /// blunt autocorrelation detectors.
+    pub trojan_slot_jitter: u64,
 }
 
 impl Default for ChannelParams {
@@ -26,6 +36,8 @@ impl Default for ChannelParams {
             spy_gap: 0,
             preamble_bits: 16,
             miss_vote_fraction: 0.5,
+            trojan_duty_pct: 100,
+            trojan_slot_jitter: 0,
         }
     }
 }

@@ -266,6 +266,20 @@ impl<'a> Engine<'a> {
         self.kind
     }
 
+    /// The system being driven. Lets window-stepping callers (the
+    /// [`crate::monitor`] stats-diffing loop) read cumulative stats
+    /// between resumable [`Engine::run`] calls.
+    pub fn system(&self) -> &MultiGpuSystem {
+        self.sys
+    }
+
+    /// Mutable access to the system being driven — the detect-then-
+    /// throttle response path deploys scoped QoS between windows via
+    /// [`MultiGpuSystem::set_qos`] without tearing down the engine.
+    pub fn system_mut(&mut self) -> &mut MultiGpuSystem {
+        self.sys
+    }
+
     /// Adds an agent starting at local time `start` (a launch offset models
     /// the two malicious processes not starting simultaneously).
     pub fn add_agent(&mut self, agent: Box<dyn Agent>, start: u64) {

@@ -169,6 +169,11 @@ pub struct Fabric {
     pcie_busy_until: u64,
     /// Whether any QoS component is active (fast path check).
     qos_enabled: bool,
+    /// `(tenant, link)` scope of the rate-limit / shaping pipeline;
+    /// `scope_all` short-circuits the per-hop mask test for the
+    /// default (always-on) scope.
+    qos_scope: crate::qos::QosScope,
+    scope_all: bool,
     /// QoS / defence runtime state (token buckets, shaping streams,
     /// valiant counters); inert when `qos_enabled` is false.
     qos: QosState,
@@ -198,6 +203,8 @@ impl Fabric {
             busy_until: if cfg.enabled { vec![0; windows] } else { Vec::new() },
             pcie_busy_until: 0,
             qos_enabled: cfg.enabled && cfg.qos.enabled(),
+            qos_scope: cfg.qos.scope,
+            scope_all: cfg.qos.scope.is_all(),
             qos: QosState::new(&cfg.qos, topo, windows),
             faults: (cfg.enabled && cfg.faults.enabled())
                 .then(|| FaultState::new(&cfg.faults, topo.num_links())),
@@ -356,12 +363,19 @@ impl Fabric {
                     }
                 }
             }
-            let qos_before = if tracing && self.qos_enabled {
+            // Scoped QoS: the rate-limit / shaping pipeline only acts
+            // on `(tenant, link)` pairs inside the configured scope —
+            // the detect-then-throttle response narrows it to alarmed
+            // links. The default all-ones scope takes the
+            // `scope_all` short-circuit, bit-identical to PR 5.
+            let qos_here =
+                self.qos_enabled && (self.scope_all || self.qos_scope.covers(pid, l));
+            let qos_before = if tracing && qos_here {
                 *stats.qos()
             } else {
                 Default::default()
             };
-            let horizon = if self.qos_enabled {
+            let horizon = if qos_here {
                 self.qos
                     .delivery_horizon(pid, w, t, line_bytes, stats.qos_mut())
             } else {
@@ -374,7 +388,7 @@ impl Fabric {
                 // meaning "cycles the bookable windows were held").
                 (horizon, 0, 0)
             } else {
-                let granted = if self.qos_enabled {
+                let granted = if qos_here {
                     self.qos.shaped_grant(t, stats.qos_mut())
                 } else {
                     t
@@ -386,7 +400,7 @@ impl Fabric {
             };
             if tracing {
                 let link = u64::from(l.0);
-                if self.qos_enabled {
+                if qos_here {
                     let after = stats.qos();
                     let throttle =
                         after.throttle_delay_cycles - qos_before.throttle_delay_cycles;
@@ -609,6 +623,90 @@ mod tests {
         assert_eq!(stats.link(LinkId(0)).unwrap().queue_cycles, 0);
         assert_eq!(stats.link(LinkId(0)).unwrap().busy_cycles, 10);
         assert_eq!(stats.link(LinkId(0)).unwrap().bytes, 256, "bytes still counted");
+    }
+
+    #[test]
+    fn scoped_qos_only_throttles_covered_pairs() {
+        use crate::qos::{QosConfig, QosScope};
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        // Rate limit scoped to link 1 only: link 0 traffic is never
+        // touched, link 1 traffic pays the refill horizon.
+        let cfg = FabricConfig::nvlink_v1().with_qos(
+            QosConfig::off()
+                .with_rate_limit(128, 128)
+                .with_scope(QosScope::links_mask(0b10)),
+        );
+        let mut fabric = Fabric::new(&topo, &cfg);
+        fabric.register_process();
+        let mut stats = SystemStats::new(3, topo.num_links());
+        // Two back-to-back lines over link 0 (out of scope): second
+        // queues on occupancy, no throttle.
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 0, 1, 0), 10);
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 0, 1, 0), 20);
+        assert_eq!(stats.qos().throttle_delay_cycles, 0);
+        // Two back-to-back lines over link 1 (in scope): second is
+        // re-paced to the token refill horizon.
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 1, 2, 0), 10);
+        assert_eq!(go(&topo, &mut fabric, &mut stats, 1, 2, 0), 1024 + 10);
+        assert_eq!(stats.qos().throttle_delay_cycles, 1024);
+    }
+
+    #[test]
+    fn scoped_qos_exempts_uncovered_tenants() {
+        use crate::qos::{QosConfig, QosScope};
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        // Only tenant 1 is throttled.
+        let scope = QosScope {
+            tenants: 0b10,
+            links: u64::MAX,
+        };
+        let cfg = FabricConfig::nvlink_v1()
+            .with_qos(QosConfig::off().with_rate_limit(128, 128).with_scope(scope));
+        let mut fabric = Fabric::new(&topo, &cfg);
+        fabric.register_process();
+        fabric.register_process();
+        let mut stats = SystemStats::new(3, topo.num_links());
+        let mut trace = TraceSink::disabled();
+        let (src, dst) = (crate::address::GpuId::new(0), crate::address::GpuId::new(1));
+        let mut send = |pid: u32, now: u64, fabric: &mut Fabric, stats: &mut SystemStats| {
+            fabric.traverse(
+                ProcessId(pid),
+                topo.path(src, dst),
+                topo.path_dirs(src, dst),
+                now,
+                128,
+                stats,
+                &mut trace,
+            )
+        };
+        // Tenant 0 is out of scope: back-to-back lines only queue on
+        // occupancy (latency 10 then 20), never on tokens.
+        assert_eq!(send(0, 0, &mut fabric, &mut stats), 10);
+        assert_eq!(send(0, 0, &mut fabric, &mut stats), 20);
+        assert_eq!(stats.qos().throttle_delay_cycles, 0);
+        // Tenant 1 is in scope: its second line hits the rate limit.
+        assert_eq!(send(1, 2000, &mut fabric, &mut stats), 10);
+        assert!(send(1, 2000, &mut fabric, &mut stats) >= 1024);
+        assert!(stats.qos().throttle_delay_cycles > 0);
+    }
+
+    #[test]
+    fn default_scope_matches_unscoped_qos_bit_for_bit() {
+        use crate::qos::{QosConfig, QosScope};
+        let topo = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        let base = QosConfig::off().with_rate_limit(128, 256).with_pacing(500);
+        let run = |qos: QosConfig| {
+            let cfg = FabricConfig::nvlink_v1().with_qos(qos);
+            let mut fabric = Fabric::new(&topo, &cfg);
+            fabric.register_process();
+            let mut stats = SystemStats::new(3, topo.num_links());
+            let mut out = Vec::new();
+            for i in 0..6 {
+                out.push(go(&topo, &mut fabric, &mut stats, 0, 2, i * 37));
+            }
+            (out, *stats.qos())
+        };
+        assert_eq!(run(base), run(base.with_scope(QosScope::all())));
     }
 
     #[test]

@@ -64,10 +64,12 @@
 //! zero heap allocations after pool warm-up.
 
 pub mod arrivals;
+pub mod monitor;
 pub mod placement;
 pub mod runner;
 
 pub use arrivals::{ArrivalConfig, ArrivalStream, JobSpec, TenantId};
+pub use monitor::FleetMonitor;
 pub use placement::{
     ChannelAware, Occupancy, Pack, PlacementPolicy, RandomPlacement, SlotAddr, Spread,
 };

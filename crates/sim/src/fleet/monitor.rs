@@ -1,0 +1,205 @@
+//! Fleet health layer: per-node [`Monitor`]s folded into fleet-wide
+//! alarm streams through the [`MetricSet`] merge machinery.
+//!
+//! A fleet operator does not read one node's detector state — they
+//! read a dashboard: *which tenants look suspicious, how long does
+//! detection take across the fleet, how many nodes are alarmed*. The
+//! [`FleetMonitor`] owns one streaming [`Monitor`] per node, attributes
+//! node alarms to the tenants resident on that node (per-tenant
+//! suspicion scores — a tenant co-resident with every alarm is the
+//! likely trojan or spy), aggregates time-to-detection into a
+//! [`LogHistogram`](crate::telemetry::LogHistogram), and folds all of
+//! it into one mergeable [`MetricSet`] via [`FleetMonitor::fold`].
+//!
+//! The fold obeys the same law as the fleet exposure accumulator:
+//! folding per-node exports is exactly the merge of the nodes'
+//! individual exports, and a single-node fleet fed a window stream in
+//! chunks is bit-identical to a standalone [`Monitor`] fed the same
+//! stream in one pass (`tests/monitor_proptests.rs`).
+
+use crate::monitor::{Monitor, MonitorConfig};
+use crate::stats::SystemStats;
+use crate::telemetry::MetricSet;
+
+use super::arrivals::TenantId;
+
+/// Per-node streaming detectors plus fleet-level attribution state.
+#[derive(Debug)]
+pub struct FleetMonitor {
+    nodes: Vec<Monitor>,
+    /// True once the node's alarms were attributed (one attribution
+    /// per node: the residents at first-alarm time are the suspects).
+    attributed: Vec<bool>,
+    /// Per-tenant suspicion: number of node alarms the tenant was
+    /// resident for, weighted by the node's alarm-window count at
+    /// attribution time.
+    suspicion: Vec<u64>,
+}
+
+impl FleetMonitor {
+    /// Builds a fleet monitor for `nodes` identical nodes (each with
+    /// `num_links` links and `num_gpus` GPUs) tracking suspicion for
+    /// tenant ids below `max_tenants`.
+    pub fn new(
+        cfg: MonitorConfig,
+        nodes: usize,
+        num_links: usize,
+        num_gpus: usize,
+        max_tenants: usize,
+    ) -> Self {
+        FleetMonitor {
+            nodes: (0..nodes)
+                .map(|_| Monitor::new(cfg.clone(), num_links, num_gpus))
+                .collect(),
+            attributed: vec![false; nodes],
+            suspicion: vec![0; max_tenants],
+        }
+    }
+
+    /// Number of nodes under watch.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node's own monitor (e.g. to [`Monitor::prime`] it after
+    /// node warm-up, or to read its alarm mask for a scoped-QoS
+    /// response on that node).
+    pub fn node(&self, node: usize) -> &Monitor {
+        &self.nodes[node]
+    }
+
+    /// Mutable access to a node's monitor.
+    pub fn node_mut(&mut self, node: usize) -> &mut Monitor {
+        &mut self.nodes[node]
+    }
+
+    /// Feeds one window of `node`'s cumulative stats and attributes
+    /// any *new* alarm to the tenants currently resident on that node.
+    /// Allocation-free in steady state.
+    pub fn observe_node(&mut self, node: usize, stats: &SystemStats, residents: &[TenantId]) {
+        self.nodes[node].observe(stats);
+        if self.nodes[node].alarmed() && !self.attributed[node] {
+            self.attributed[node] = true;
+            for t in residents {
+                if let Some(s) = self.suspicion.get_mut(t.0 as usize) {
+                    *s += 1;
+                }
+            }
+        }
+    }
+
+    /// Suspicion score of a tenant: how many alarmed nodes it was
+    /// resident on at first-alarm time.
+    pub fn suspicion(&self, t: TenantId) -> u64 {
+        self.suspicion.get(t.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Number of nodes with at least one latched alarm.
+    pub fn nodes_alarmed(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alarmed()).count()
+    }
+
+    /// Folds every node's detector export plus the fleet-level
+    /// attribution counters into one mergeable [`MetricSet`]. Folding
+    /// is a pure merge: `fold(a ∪ b) == fold(a).merge(fold(b))` for a
+    /// node partition, the law `tests/monitor_proptests.rs` pins.
+    pub fn fold(&self) -> MetricSet {
+        let mut m = MetricSet::new();
+        for n in &self.nodes {
+            n.export_into(&mut m);
+        }
+        m.add("fleet.nodes", self.nodes.len() as u64);
+        m.add("fleet.nodes_alarmed", self.nodes_alarmed() as u64);
+        for (i, &s) in self.suspicion.iter().enumerate() {
+            if s > 0 {
+                m.add(&format!("fleet.suspicion.tenant{i}"), s);
+            }
+        }
+        m
+    }
+
+    /// Resets every node monitor and all attribution state.
+    pub fn reset(&mut self) {
+        for n in &mut self.nodes {
+            n.reset();
+        }
+        self.attributed.fill(false);
+        self.suspicion.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkId;
+
+    fn cfg() -> MonitorConfig {
+        MonitorConfig {
+            warmup_windows: 8,
+            ring_windows: 16,
+            ..MonitorConfig::default()
+        }
+    }
+
+    #[test]
+    fn alarms_attribute_to_resident_tenants() {
+        let mut fm = FleetMonitor::new(cfg(), 2, 1, 0, 8);
+        let mut s0 = SystemStats::new(1, 1);
+        let mut s1 = SystemStats::new(1, 1);
+        let quiet = [TenantId(0), TenantId(1)];
+        let noisy = [TenantId(2), TenantId(3)];
+        for i in 0..60u64 {
+            s0.link_mut(LinkId(0)).busy_cycles += 300;
+            s1.link_mut(LinkId(0)).busy_cycles += if i < 40 { 300 } else { 40_000 };
+            fm.observe_node(0, &s0, &quiet);
+            fm.observe_node(1, &s1, &noisy);
+        }
+        assert_eq!(fm.nodes_alarmed(), 1);
+        assert_eq!(fm.suspicion(TenantId(0)), 0);
+        assert_eq!(fm.suspicion(TenantId(2)), 1);
+        assert_eq!(fm.suspicion(TenantId(3)), 1);
+        let folded = fm.fold();
+        assert_eq!(folded.counter("fleet.nodes"), 2);
+        assert_eq!(folded.counter("fleet.nodes_alarmed"), 1);
+        assert_eq!(folded.counter("fleet.suspicion.tenant2"), 1);
+        assert_eq!(folded.counter("monitor.windows"), 120);
+    }
+
+    #[test]
+    fn fold_equals_merge_of_node_exports() {
+        let mut fm = FleetMonitor::new(cfg(), 3, 1, 1, 4);
+        let mut stats: Vec<SystemStats> = (0..3).map(|_| SystemStats::new(1, 1)).collect();
+        for i in 0..50u64 {
+            for (n, s) in stats.iter_mut().enumerate() {
+                s.link_mut(LinkId(0)).busy_cycles += 200 + 100 * n as u64;
+                if n == 2 && i >= 30 {
+                    s.link_mut(LinkId(0)).busy_cycles += 30_000;
+                }
+                fm.observe_node(n, s, &[TenantId(n as u32)]);
+            }
+        }
+        let mut manual = MetricSet::new();
+        for n in 0..3 {
+            fm.node(n).export_into(&mut manual);
+        }
+        let folded = fm.fold();
+        for (name, v) in manual.counters() {
+            assert_eq!(folded.counter(name), v, "counter {name} diverged in fold");
+        }
+    }
+
+    #[test]
+    fn reset_clears_attribution() {
+        let mut fm = FleetMonitor::new(cfg(), 1, 1, 0, 4);
+        let mut s = SystemStats::new(1, 1);
+        for i in 0..60u64 {
+            s.link_mut(LinkId(0)).busy_cycles += if i < 40 { 300 } else { 40_000 };
+            fm.observe_node(0, &s, &[TenantId(1)]);
+        }
+        assert_eq!(fm.suspicion(TenantId(1)), 1);
+        fm.reset();
+        assert_eq!(fm.suspicion(TenantId(1)), 0);
+        assert_eq!(fm.nodes_alarmed(), 0);
+        assert_eq!(fm.fold().counter("monitor.windows"), 0);
+    }
+}

@@ -73,6 +73,7 @@ pub mod fabric;
 pub mod fault;
 pub mod fleet;
 pub mod memory;
+pub mod monitor;
 pub mod noise;
 pub mod process;
 pub mod qos;
@@ -93,13 +94,14 @@ pub use error::{SimError, SimResult};
 pub use fabric::{Fabric, FabricConfig};
 pub use fault::{DegradedLink, FaultPlan, LinkDown, TransientStalls};
 pub use fleet::{
-    ArrivalConfig, ArrivalStream, ChannelAware, Exposure, FleetConfig, FleetReport, FleetRunner,
-    FleetScheduler, JobSpec, Occupancy, Pack, PlacementPolicy, RandomPlacement, SlotAddr, Spread,
-    TenantId,
+    ArrivalConfig, ArrivalStream, ChannelAware, Exposure, FleetConfig, FleetMonitor, FleetReport,
+    FleetRunner, FleetScheduler, JobSpec, Occupancy, Pack, PlacementPolicy, RandomPlacement,
+    SlotAddr, Spread, TenantId,
 };
+pub use monitor::{run_windowed, Alarm, ChannelKind, DetectorKind, Monitor, MonitorConfig};
 pub use noise::{NoiseAgent, NoiseConfig};
 pub use process::ProcessCtx;
-pub use qos::{QosConfig, RateLimitConfig, RoutingPolicy, TrafficShaping};
+pub use qos::{QosConfig, QosScope, RateLimitConfig, RoutingPolicy, TrafficShaping};
 pub use sm::{KernelId, KernelLaunch, SmArray};
 pub use stats::{FaultStats, GpuStats, LinkStats, QosStats, SystemStats};
 pub use system::{

@@ -123,6 +123,63 @@ pub enum RoutingPolicy {
     },
 }
 
+/// Which `(tenant, link)` pairs the rate-limit / shaping pipeline
+/// applies to, as a pair of bitmasks (bit *i* covers `ProcessId(i)` /
+/// `LinkId(i)` for *i* < 64; ids ≥ 64 are always in scope).
+///
+/// The default is all-ones — QoS applies everywhere, reproducing the
+/// PR 5 always-on behaviour bit-for-bit. The online monitor's
+/// detect-then-throttle response narrows the scope to alarmed links
+/// ([`crate::monitor::Monitor::alarmed_links`]) so benign traffic on
+/// clean links pays nothing. Valiant routing is deliberately *not*
+/// scoped: a detour decision is per-line and pid-agnostic, and
+/// rescoping it would change path selection for every tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QosScope {
+    /// Bitmask of throttled tenants (`ProcessId` index).
+    pub tenants: u64,
+    /// Bitmask of throttled links (`LinkId` index).
+    pub links: u64,
+}
+
+impl Default for QosScope {
+    fn default() -> Self {
+        QosScope::all()
+    }
+}
+
+impl QosScope {
+    /// Every tenant on every link — the always-on PR 5 scope.
+    pub fn all() -> Self {
+        QosScope {
+            tenants: u64::MAX,
+            links: u64::MAX,
+        }
+    }
+
+    /// All tenants, but only the links set in `mask` — the shape the
+    /// responsive defence deploys from a monitor's alarm mask.
+    pub fn links_mask(mask: u64) -> Self {
+        QosScope {
+            tenants: u64::MAX,
+            links: mask,
+        }
+    }
+
+    /// Whether this is the unrestricted (default) scope.
+    pub fn is_all(&self) -> bool {
+        self.tenants == u64::MAX && self.links == u64::MAX
+    }
+
+    /// Whether QoS applies to `pid` traversing `link`.
+    #[inline]
+    pub fn covers(&self, pid: crate::system::ProcessId, link: crate::topology::LinkId) -> bool {
+        let t = u64::from(pid.0);
+        let l = u64::from(link.0);
+        (t >= 64 || self.tenants & (1u64 << t) != 0) && (l >= 64 || self.links & (1u64 << l) != 0)
+    }
+}
+
 /// The complete QoS/defence configuration of the fabric; every
 /// component defaults to *off*, which reproduces the undefended fabric
 /// bit-for-bit.
@@ -134,6 +191,9 @@ pub struct QosConfig {
     pub shaping: TrafficShaping,
     /// Remote-access routing policy.
     pub routing: RoutingPolicy,
+    /// Which `(tenant, link)` pairs rate limiting and shaping apply
+    /// to; defaults to everything.
+    pub scope: QosScope,
 }
 
 impl QosConfig {
@@ -178,6 +238,14 @@ impl QosConfig {
     #[must_use]
     pub fn with_valiant(mut self, seed: u64) -> Self {
         self.routing = RoutingPolicy::Valiant { seed };
+        self
+    }
+
+    /// Restricts rate limiting / shaping to a `(tenant, link)` scope
+    /// (builder-style). See [`QosScope`].
+    #[must_use]
+    pub fn with_scope(mut self, scope: QosScope) -> Self {
+        self.scope = scope;
         self
     }
 

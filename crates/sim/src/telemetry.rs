@@ -49,7 +49,15 @@
 //! supports `merge(&other)` and `reset()`, so fleet-scale aggregation
 //! is a fold over per-node sets instead of a snapshot diff
 //! ([`crate::stats::SystemStats::metric_set`] exports a system's
-//! counters into one).
+//! counters into one). [`MetricSet::to_prometheus_text`] renders a set
+//! in the Prometheus exposition format for external scrapers.
+//!
+//! The online covert-channel detectors of [`crate::monitor`] are the
+//! first in-repo *consumer* of this layer: they diff windowed
+//! [`crate::stats::SystemStats`] snapshots (the same idiom as the
+//! per-cause delay attribution above), and
+//! [`crate::fleet::FleetMonitor`] folds their alarm counters and
+//! time-to-detection histograms through [`MetricSet::merge`].
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -504,6 +512,57 @@ impl MetricSet {
             .map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// Renders the set in the Prometheus text exposition format
+    /// (version 0.0.4): every non-zero counter as a `counter` family,
+    /// every non-empty histogram as a `histogram` family with
+    /// cumulative `_bucket{le="…"}` series (upper bounds are the log2
+    /// bucket ceilings), `_sum` and `_count`. Metric names are
+    /// sanitised (`.` and `-` become `_`). `run_all` writes the suite
+    /// set to `results/metrics.prom`; the online
+    /// [`crate::monitor`] / [`crate::fleet::FleetMonitor`] layers
+    /// export their alarm counters and time-to-detection histograms
+    /// through the same path.
+    pub fn to_prometheus_text(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::new();
+        for (name, v) in self.counters() {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, h) in self.histograms.iter().filter(|(_, h)| h.count() != 0) {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            let last = h
+                .buckets
+                .iter()
+                .rposition(|&c| c != 0)
+                .unwrap_or(0);
+            for (i, &c) in h.buckets.iter().enumerate().take(last + 1) {
+                cumulative = cumulative.saturating_add(c);
+                // Bucket i holds values of bit length i, so its
+                // inclusive upper bound is 2^i - 1.
+                let le = if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!(
+                "{n}_bucket{{le=\"+Inf\"}} {}\n{n}_sum {}\n{n}_count {}\n",
+                h.count(),
+                h.sum(),
+                h.count()
+            ));
+        }
+        out
+    }
+
     /// Folds `other` into `self`: counters add (saturating), histograms
     /// merge. Zero counters and empty histograms in `other` are skipped
     /// so a reset set is a true merge identity.
@@ -793,6 +852,43 @@ pub fn validate_json(s: &str) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn prometheus_text_renders_counters_and_histograms() {
+        let mut m = MetricSet::new();
+        m.add("fleet.nodes", 4);
+        m.add("monitor.alarm-windows", 7);
+        m.add("zero.counter", 0); // zero counters are elided
+        m.observe("ttd.cycles", 0);
+        m.observe("ttd.cycles", 3);
+        m.observe("ttd.cycles", 3);
+        m.observe("ttd.cycles", 900);
+        let text = m.to_prometheus_text();
+        assert!(text.contains("# TYPE fleet_nodes counter\nfleet_nodes 4\n"));
+        assert!(text.contains("# TYPE monitor_alarm_windows counter\nmonitor_alarm_windows 7\n"));
+        assert!(!text.contains("zero_counter"));
+        assert!(text.contains("# TYPE ttd_cycles histogram\n"));
+        // Cumulative buckets: value 0 -> le=0, the two 3s land in the
+        // bit-length-2 bucket (le=3), 900 in the le=1023 bucket.
+        assert!(text.contains("ttd_cycles_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("ttd_cycles_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("ttd_cycles_bucket{le=\"1023\"} 4\n"));
+        assert!(text.contains("ttd_cycles_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("ttd_cycles_sum 906\n"));
+        assert!(text.contains("ttd_cycles_count 4\n"));
+        // Bucket series are cumulative and non-decreasing.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("ttd_cycles_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn prometheus_text_of_empty_set_is_empty() {
+        assert_eq!(MetricSet::new().to_prometheus_text(), "");
+    }
 
     #[test]
     fn disabled_sink_records_nothing() {

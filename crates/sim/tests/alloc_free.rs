@@ -55,9 +55,10 @@
 //! loop and nothing else.
 
 use gpubox_sim::{
-    Agent, ChannelAware, Engine, FabricConfig, FaultPlan, FleetConfig, FleetRunner,
-    FleetScheduler, GpuId, MultiGpuSystem, Op, OpResult, Pack, PlacementPolicy, ProbeStage,
-    ProcessId, QosConfig, RandomPlacement, SchedulerKind, SystemConfig, Topology, VirtAddr,
+    run_windowed, Agent, ChannelAware, Engine, FabricConfig, FaultPlan, FleetConfig, FleetRunner,
+    FleetScheduler, GpuId, Monitor, MonitorConfig, MultiGpuSystem, Op, OpResult, Pack,
+    PlacementPolicy, ProbeStage, ProcessId, QosConfig, RandomPlacement, SchedulerKind,
+    SystemConfig, Topology, VirtAddr,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -233,6 +234,24 @@ fn qos_steady_state_loop_is_allocation_free() {
 }
 
 #[test]
+fn monitored_steady_state_loop_is_allocation_free() {
+    // The online covert-channel monitor on top of the fabric scenario:
+    // the engine is stepped in 1500-cycle windows and every window's
+    // cumulative stats are diffed into the EWMA/CUSUM/periodicity
+    // detectors. All detector state (rings, per-channel estimates, the
+    // alarm list) is preallocated at `Monitor::new`, so the whole
+    // windowed observe loop must not allocate once warm.
+    for kind in [SchedulerKind::Linear, SchedulerKind::Heap] {
+        let allocs = monitored_steady_state_allocs(kind, 4);
+        assert_eq!(
+            allocs, 0,
+            "monitored steady-state loop allocated {allocs} times \
+             (scheduler {kind:?})"
+        );
+    }
+}
+
+#[test]
 fn fleet_steady_state_is_allocation_free_after_pool_warmup() {
     // Every placement policy and both node schedulers: the policies
     // differ in index queries and hint state, the schedulers in slot
@@ -364,6 +383,57 @@ fn fabric_steady_state_allocs_traced(
         plans.push((pid, lines, (a as u64) * 37));
     }
     measure(sys, kind, plans)
+}
+
+/// The fabric scenario of [`fabric_steady_state_allocs`], but driven
+/// through [`gpubox_sim::run_windowed`] with a [`gpubox_sim::Monitor`]
+/// observing every 1500-cycle window: warm-up past the detector
+/// calibration phase, snapshot, then a 10x longer monitored run.
+fn monitored_steady_state_allocs(kind: SchedulerKind, agents: usize) -> u64 {
+    let mut cfg = SystemConfig::small_test()
+        .noiseless()
+        .with_fabric(FabricConfig::nvlink_v1());
+    cfg.num_gpus = 4;
+    cfg.topology = Topology::from_edges(4, &[(0, 1), (1, 2)]);
+    cfg.allow_indirect_peer = true;
+    let num_links = cfg.topology.num_links();
+    let mut sys = MultiGpuSystem::new(cfg);
+    let pids: Vec<ProcessId> = (0..4)
+        .map(|g| sys.create_process(GpuId::new(g)))
+        .collect();
+    for &pid in &pids[1..] {
+        sys.enable_peer_access(pid, GpuId::new(0)).unwrap();
+    }
+    let mut plans = Vec::new();
+    for a in 0..agents {
+        let pid = pids[a % 4];
+        let buf = sys.malloc_on(pid, GpuId::new(0), 16 * 4096).unwrap();
+        let lines: Vec<VirtAddr> = (0..16).map(|i| buf.offset(i * 4096)).collect();
+        plans.push((pid, lines, (a as u64) * 37));
+    }
+    let mut mon = Monitor::new(MonitorConfig::default(), num_links, 4);
+    let mut eng = Engine::with_scheduler(&mut sys, kind);
+    for (pid, lines, start) in plans {
+        eng.add_agent(
+            Box::new(AllKindsAgent {
+                pid,
+                lines,
+                step: 0,
+            }),
+            start,
+        );
+    }
+    // Warm-up: past detector calibration (64 windows × 1500 cycles)
+    // and every engine scratch sizing.
+    run_windowed(&mut eng, &mut mon, 600_000).unwrap();
+    let before = alloc_calls();
+    run_windowed(&mut eng, &mut mon, 6_000_000).unwrap();
+    let allocs = alloc_calls() - before;
+    assert!(
+        mon.windows_observed() >= 4000,
+        "measured run must actually observe windows, or the claim is vacuous"
+    );
+    allocs
 }
 
 /// Warm-up run, snapshot, measured run; returns the measured count.

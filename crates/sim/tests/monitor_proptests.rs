@@ -1,0 +1,200 @@
+//! Detector laws for the online covert-channel monitor
+//! (`gpubox_sim::monitor`), property-tested over seeded synthetic
+//! traffic:
+//!
+//! 1. **No false alarms on stationary benign traffic** — bounded-noise
+//!    series across seeds and load levels never alarm any detector.
+//! 2. **Guaranteed detection of square-wave contention** — an injected
+//!    trojan-like square wave (large amplitude, slot-period structure)
+//!    always alarms, across seeds, phases and benign backgrounds.
+//! 3. **Fold consistency** — feeding a window stream in arbitrary
+//!    chunks is bit-identical to feeding it in one pass, and a
+//!    single-node `FleetMonitor` fold equals the standalone monitor's
+//!    export on the same stream.
+
+use gpubox_sim::fleet::TenantId;
+use gpubox_sim::telemetry::MetricSet;
+use gpubox_sim::{FleetMonitor, LinkId, Monitor, MonitorConfig, SystemStats};
+use proptest::prelude::*;
+
+/// Counter-indexed pseudo-random stream (the QoS splitmix idiom) so
+/// the benign series is a pure function of `(seed, index)`.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn test_cfg() -> MonitorConfig {
+    MonitorConfig {
+        warmup_windows: 32,
+        ring_windows: 32,
+        ..MonitorConfig::default()
+    }
+}
+
+/// Benign window series: a load level plus bounded multiplicative
+/// noise (up to ±25% of the level), stationary by construction.
+fn benign_series(seed: u64, level: u64, len: usize) -> Vec<u64> {
+    (0..len as u64)
+        .map(|i| {
+            let noise_span = (level / 2).max(1);
+            level + mix(seed, i) % noise_span
+        })
+        .collect()
+}
+
+fn feed(mon: &mut Monitor, stats: &mut SystemStats, series: &[u64]) {
+    for &d in series {
+        stats.link_mut(LinkId(0)).busy_cycles += d;
+        mon.observe(stats);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Law 1: EWMA/CUSUM/periodicity never alarm on stationary benign
+    /// traffic, across seeds and load levels.
+    #[test]
+    fn stationary_benign_traffic_never_alarms(
+        seed in any::<u64>(),
+        level in 1u64..20_000,
+    ) {
+        let mut mon = Monitor::new(test_cfg(), 1, 0);
+        let mut stats = SystemStats::new(1, 1);
+        feed(&mut mon, &mut stats, &benign_series(seed, level, 300));
+        prop_assert!(
+            !mon.alarmed(),
+            "benign series (seed {seed}, level {level}) alarmed: {:?}",
+            mon.first_alarm()
+        );
+    }
+
+    /// Law 2: an injected square-wave contention signal (a trojan
+    /// saturating the link on its slot clock) always alarms, whatever
+    /// the benign background underneath it.
+    #[test]
+    fn square_wave_contention_always_alarms(
+        seed in any::<u64>(),
+        level in 1u64..5_000,
+        half_period in 1usize..8,
+        phase in 0usize..16,
+        amplitude in 50_000u64..500_000,
+    ) {
+        let mut mon = Monitor::new(test_cfg(), 1, 0);
+        let mut stats = SystemStats::new(1, 1);
+        // Benign-only through warm-up and a margin, then attack starts.
+        let mut series = benign_series(seed, level, 48);
+        let attack: Vec<u64> = (0..160)
+            .map(|i| {
+                let benign = level + mix(seed, 1000 + i as u64) % (level / 2).max(1);
+                let one_slot = ((i + phase) / half_period) % 2 == 0;
+                benign + if one_slot { amplitude } else { 0 }
+            })
+            .collect();
+        series.extend(attack);
+        feed(&mut mon, &mut stats, &series);
+        prop_assert!(
+            mon.alarmed(),
+            "square wave (amp {amplitude}, half-period {half_period}) went undetected"
+        );
+        let a = mon.first_alarm().unwrap();
+        prop_assert!(a.window >= 48, "alarm before the attack started: {a:?}");
+    }
+
+    /// Law 3a: observation is streaming — chunking the same window
+    /// stream arbitrarily cannot change any detector state.
+    #[test]
+    fn chunked_observation_equals_single_pass(
+        seed in any::<u64>(),
+        level in 1u64..20_000,
+        inject in 0u8..2,
+    ) {
+        let mut series = benign_series(seed, level, 120);
+        if inject == 1 {
+            for v in series.iter_mut().skip(60) {
+                *v += 80_000;
+            }
+        }
+        // One pass.
+        let mut all = Monitor::new(test_cfg(), 1, 0);
+        let mut s1 = SystemStats::new(1, 1);
+        feed(&mut all, &mut s1, &series);
+        // Chunked passes over the same monitor (sizes from the seed).
+        let mut chunked = Monitor::new(test_cfg(), 1, 0);
+        let mut s2 = SystemStats::new(1, 1);
+        let mut rest: &[u64] = &series;
+        let mut i = 0;
+        while !rest.is_empty() {
+            let take = (mix(seed, 777 + i) as usize % rest.len()) + 1;
+            feed(&mut chunked, &mut s2, &rest[..take]);
+            rest = &rest[take..];
+            i += 1;
+        }
+        prop_assert_eq!(all.alarmed(), chunked.alarmed());
+        prop_assert_eq!(all.first_alarm(), chunked.first_alarm());
+        prop_assert_eq!(all.windows_observed(), chunked.windows_observed());
+        let (mut ma, mut mc) = (MetricSet::new(), MetricSet::new());
+        all.export_into(&mut ma);
+        chunked.export_into(&mut mc);
+        prop_assert_eq!(ma, mc);
+    }
+
+    /// Law 3b: a single-node fleet fold is bit-identical to the
+    /// standalone monitor's export on the same stream (plus the
+    /// fleet-level counters), and a two-node fold equals the merge of
+    /// the nodes' individual exports.
+    #[test]
+    fn fleet_fold_equals_single_stream_state(
+        seed in any::<u64>(),
+        level in 1u64..20_000,
+        inject in 0u8..2,
+    ) {
+        let mut series = benign_series(seed, level, 120);
+        if inject == 1 {
+            for v in series.iter_mut().skip(60) {
+                *v += 80_000;
+            }
+        }
+        let mut standalone = Monitor::new(test_cfg(), 1, 0);
+        let mut s1 = SystemStats::new(1, 1);
+        feed(&mut standalone, &mut s1, &series);
+
+        let mut fleet = FleetMonitor::new(test_cfg(), 1, 1, 0, 4);
+        let mut s2 = SystemStats::new(1, 1);
+        for &d in &series {
+            s2.link_mut(LinkId(0)).busy_cycles += d;
+            fleet.observe_node(0, &s2, &[TenantId(2)]);
+        }
+        prop_assert_eq!(standalone.alarmed(), fleet.node(0).alarmed());
+        let mut expected = MetricSet::new();
+        standalone.export_into(&mut expected);
+        expected.add("fleet.nodes", 1);
+        if standalone.alarmed() {
+            expected.add("fleet.nodes_alarmed", 1);
+            expected.add("fleet.suspicion.tenant2", 1);
+        }
+        prop_assert_eq!(fleet.fold(), expected);
+
+        // Two independent nodes: fold == merge of individual exports.
+        let mut fleet2 = FleetMonitor::new(test_cfg(), 2, 1, 0, 4);
+        let mut t0 = SystemStats::new(1, 1);
+        let mut t1 = SystemStats::new(1, 1);
+        for (i, &d) in series.iter().enumerate() {
+            t0.link_mut(LinkId(0)).busy_cycles += d;
+            t1.link_mut(LinkId(0)).busy_cycles += benign_series(seed ^ 1, level, 120)[i];
+            fleet2.observe_node(0, &t0, &[TenantId(0)]);
+            fleet2.observe_node(1, &t1, &[TenantId(1)]);
+        }
+        let mut manual = MetricSet::new();
+        fleet2.node(0).export_into(&mut manual);
+        fleet2.node(1).export_into(&mut manual);
+        for (name, v) in manual.counters() {
+            prop_assert_eq!(fleet2.fold().counter(name), v);
+        }
+    }
+}

@@ -645,4 +645,36 @@ proptest! {
         prop_assert_eq!(hx.p95(), concat.p95());
         prop_assert_eq!(hx.p99(), concat.p99());
     }
+
+    /// First moments survive the merge exactly like percentiles do:
+    /// merged `count`/`sum`/`mean` equal the single-pass concatenation
+    /// values (the detectors consume means, not just percentiles).
+    /// Samples are bounded so `sum` cannot saturate — saturation is
+    /// deliberately lossy and would make the law vacuous.
+    #[test]
+    fn histogram_moments_merge_like_single_pass(
+        xs in prop::collection::vec(0u64..1_000_000_000, 0..200),
+        ys in prop::collection::vec(0u64..1_000_000_000, 0..200),
+    ) {
+        let mut hx = gpubox_sim::LogHistogram::new();
+        for &v in &xs { hx.record(v); }
+        let mut hy = gpubox_sim::LogHistogram::new();
+        for &v in &ys { hy.record(v); }
+        hx.merge(&hy);
+
+        let mut concat = gpubox_sim::LogHistogram::new();
+        for &v in xs.iter().chain(ys.iter()) { concat.record(v); }
+
+        prop_assert_eq!(hx.count(), concat.count());
+        prop_assert_eq!(hx.count(), (xs.len() + ys.len()) as u64);
+        prop_assert_eq!(hx.sum(), concat.sum());
+        let exact: u64 = xs.iter().chain(ys.iter()).sum();
+        prop_assert_eq!(hx.sum(), exact);
+        prop_assert_eq!(hx.mean(), concat.mean());
+        if hx.count() > 0 {
+            prop_assert_eq!(hx.mean(), exact / hx.count());
+        } else {
+            prop_assert_eq!(hx.mean(), 0);
+        }
+    }
 }
